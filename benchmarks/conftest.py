@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The corpus
+scale is controlled by the ``REPRO_SCALE`` environment variable (default
+``0.05`` -- about 6,000 recipes, which keeps a full benchmark run under a few
+minutes).  Set ``REPRO_SCALE=1.0`` to regenerate the artefacts at the paper's
+full corpus size.
+
+The expensive shared artefacts (corpus, per-cuisine mining results, pattern
+features) are session-scoped so each benchmark times only its own stage.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.pipeline import CuisineClusteringPipeline
+
+
+def _benchmark_config() -> AnalysisConfig:
+    scale = float(os.environ.get("REPRO_SCALE", "0.05"))
+    seed = int(os.environ.get("REPRO_SEED", "2020"))
+    return AnalysisConfig(seed=seed, scale=scale, elbow_k_max=15)
+
+
+@pytest.fixture(scope="session")
+def config() -> AnalysisConfig:
+    return _benchmark_config()
+
+
+@pytest.fixture(scope="session")
+def pipeline(config) -> CuisineClusteringPipeline:
+    return CuisineClusteringPipeline(config)
+
+
+@pytest.fixture(scope="session")
+def corpus(pipeline):
+    return pipeline.build_corpus()
+
+
+@pytest.fixture(scope="session")
+def mining_results(pipeline, corpus):
+    return pipeline.mine_patterns(corpus)
+
+
+@pytest.fixture(scope="session")
+def pattern_features(pipeline, mining_results):
+    return pipeline.build_pattern_features(mining_results)

@@ -1,0 +1,48 @@
+"""Supporting benchmarks: corpus generation, Section III statistics and the
+end-to-end pipeline.
+
+These do not correspond to a single table or figure; they time the substrate
+stages that every experiment depends on and print the Section III corpus
+statistics next to the paper's published numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import CuisineClusteringPipeline
+from repro.recipedb.stats import corpus_statistics
+from repro.viz.tables import format_table
+
+
+def test_corpus_generation(benchmark, pipeline, config):
+    corpus = benchmark.pedantic(pipeline.build_corpus, rounds=1, iterations=1)
+    stats = corpus_statistics(corpus)
+
+    rows = [
+        {"statistic": key, "paper": values["paper"], "measured": values["measured"]}
+        for key, values in stats.paper_comparison().items()
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            ["statistic", "paper", "measured"],
+            title=f"Section III corpus statistics (scale={config.scale})",
+        )
+    )
+    assert stats.n_regions == 26
+    assert 7.0 <= stats.mean_ingredients_per_recipe <= 13.0
+    assert 0.05 <= stats.utensil_sparsity <= 0.25
+
+
+def test_full_pipeline(benchmark, config, corpus):
+    """Time the complete analysis (mining -> features -> all five trees)."""
+    pipeline = CuisineClusteringPipeline(config)
+    results = benchmark.pedantic(pipeline.run, args=(corpus,), rounds=1, iterations=1)
+    print()
+    print("pipeline summary:")
+    summary = results.summary()
+    print(f"  recipes: {summary['n_recipes']}, total mined patterns: {summary['total_patterns']}")
+    for name, comparison in summary["geography_validation"].items():
+        print(f"  {name}: Baker's gamma vs geography = {comparison['bakers_gamma']:.3f}")
+    assert summary["n_regions"] == 26
+    assert not results.elbow.has_clear_elbow

@@ -1,0 +1,40 @@
+"""E2 — Figure 1: elbow method (WCSS vs k) on cuisine pattern features.
+
+Regenerates the WCSS-versus-k series of Figure 1 and checks the paper's
+negative finding: the curve decreases smoothly with no pronounced elbow, so
+K-means offers no natural cluster count for cuisine patterns.
+"""
+
+from __future__ import annotations
+
+from repro.core.figures import build_figure1
+from repro.viz.tables import format_table
+
+
+def test_figure1_elbow_curve(benchmark, pattern_features, config):
+    analysis = benchmark.pedantic(
+        build_figure1, args=(pattern_features, config), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        format_table(
+            analysis.to_rows(),
+            ["k", "wcss"],
+            title="Figure 1 — WCSS vs number of clusters",
+        )
+    )
+    print(
+        f"\nelbow strength = {analysis.elbow_strength:.3f} "
+        f"(candidate k = {analysis.elbow_k}, pronounced elbow: "
+        f"{'yes' if analysis.has_clear_elbow else 'no'})"
+    )
+
+    wcss = analysis.wcss_values()
+    assert len(wcss) >= 10
+    # WCSS should trend downward.  K-means is a local optimiser with a finite
+    # number of restarts, so allow small (<5%) upticks between adjacent k.
+    assert all(later <= earlier * 1.05 + 1e-9 for earlier, later in zip(wcss, wcss[1:]))
+    assert wcss[-1] < wcss[0] * 0.8
+    # ... and, per the paper, show no sharp elbow.
+    assert not analysis.has_clear_elbow

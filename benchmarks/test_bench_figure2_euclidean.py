@@ -1,0 +1,32 @@
+"""E3 — Figure 2: HAC of cuisine pattern features under Euclidean distance.
+
+Regenerates the Euclidean dendrogram over the 26 cuisines (leaf order, merge
+heights, ASCII rendering) and reports its agreement with the geographic
+reference tree.
+"""
+
+from __future__ import annotations
+
+from repro.core.figures import build_figure2
+from repro.geo.comparison import compare_to_geography
+from repro.viz.ascii_dendrogram import render_dendrogram
+
+
+def test_figure2_euclidean_dendrogram(benchmark, pattern_features, config):
+    run = benchmark.pedantic(
+        build_figure2, args=(pattern_features, config), rounds=1, iterations=1
+    )
+
+    print()
+    print("Figure 2 — HAC on mined patterns, Euclidean distance, "
+          f"{config.linkage_method} linkage")
+    print("leaf order:", ", ".join(run.dendrogram.leaf_order()))
+    print(render_dendrogram(run.dendrogram))
+    comparison = compare_to_geography(run, k_values=config.validation_k_values)
+    print(f"agreement with geography: Baker's gamma = {comparison.bakers_gamma:.3f}, "
+          f"mean Fowlkes-Mallows = {comparison.mean_fowlkes_mallows():.3f}")
+
+    assert len(run.dendrogram.leaf_order()) == 26
+    assert run.metric == "euclidean"
+    heights = run.dendrogram.merge_heights()
+    assert all(a <= b + 1e-9 for a, b in zip(heights, heights[1:]))

@@ -1,0 +1,34 @@
+"""E4 — Figure 3: HAC of cuisine pattern features under Cosine distance."""
+
+from __future__ import annotations
+
+from repro.core.figures import build_figure3
+from repro.geo.comparison import (
+    canada_france_vs_us,
+    compare_to_geography,
+    india_north_africa_affinity,
+)
+from repro.viz.ascii_dendrogram import render_dendrogram
+
+
+def test_figure3_cosine_dendrogram(benchmark, pattern_features, config):
+    run = benchmark.pedantic(
+        build_figure3, args=(pattern_features, config), rounds=1, iterations=1
+    )
+
+    print()
+    print("Figure 3 — HAC on mined patterns, Cosine distance, "
+          f"{config.linkage_method} linkage")
+    print("leaf order:", ", ".join(run.dendrogram.leaf_order()))
+    print(render_dendrogram(run.dendrogram))
+    comparison = compare_to_geography(run, k_values=config.validation_k_values)
+    print(f"agreement with geography: Baker's gamma = {comparison.bakers_gamma:.3f}")
+    for check in (canada_france_vs_us(run), india_north_africa_affinity(run)):
+        print(f"claim: {check.claim} -> {'holds' if check.holds else 'does not hold'} "
+              f"{check.details}")
+
+    assert len(run.dendrogram.leaf_order()) == 26
+    assert run.metric == "cosine"
+    # East-Asian soy-sauce cuisines should merge below the tree's full height.
+    cophenetic = run.dendrogram.cophenetic_distances()
+    assert cophenetic.distance("Japanese", "Korean") < run.dendrogram.max_height()

@@ -1,0 +1,26 @@
+"""E5 — Figure 4: HAC of cuisine pattern features under Jaccard distance."""
+
+from __future__ import annotations
+
+from repro.core.figures import build_figure4
+from repro.geo.comparison import compare_to_geography
+from repro.viz.ascii_dendrogram import render_dendrogram
+
+
+def test_figure4_jaccard_dendrogram(benchmark, pattern_features, config):
+    run = benchmark.pedantic(
+        build_figure4, args=(pattern_features, config), rounds=1, iterations=1
+    )
+
+    print()
+    print("Figure 4 — HAC on mined patterns, Jaccard distance, "
+          f"{config.linkage_method} linkage")
+    print("leaf order:", ", ".join(run.dendrogram.leaf_order()))
+    print(render_dendrogram(run.dendrogram))
+    comparison = compare_to_geography(run, k_values=config.validation_k_values)
+    print(f"agreement with geography: Baker's gamma = {comparison.bakers_gamma:.3f}")
+
+    assert len(run.dendrogram.leaf_order()) == 26
+    assert run.metric == "jaccard"
+    # Jaccard distances are bounded by 1, so every merge height is too.
+    assert run.dendrogram.max_height() <= 1.0 + 1e-9

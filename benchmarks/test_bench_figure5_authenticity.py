@@ -1,0 +1,44 @@
+"""E6 — Figure 5: HAC of the ingredient-authenticity (relative prevalence) matrix."""
+
+from __future__ import annotations
+
+from repro.core.figures import build_figure5
+from repro.geo.comparison import (
+    canada_france_vs_us,
+    compare_to_geography,
+    india_north_africa_affinity,
+)
+from repro.viz.ascii_dendrogram import render_dendrogram
+
+
+def test_figure5_authenticity_dendrogram(benchmark, pipeline, corpus, config):
+    run = benchmark.pedantic(build_figure5, args=(corpus, config), rounds=1, iterations=1)
+
+    print()
+    print("Figure 5 — HAC on ingredient authenticity (relative prevalence)")
+    print("leaf order:", ", ".join(run.dendrogram.leaf_order()))
+    print(render_dendrogram(run.dendrogram))
+    comparison = compare_to_geography(run, k_values=config.validation_k_values)
+    print(f"agreement with geography: Baker's gamma = {comparison.bakers_gamma:.3f}, "
+          f"mean Fowlkes-Mallows = {comparison.mean_fowlkes_mallows():.3f}")
+    for check in (canada_france_vs_us(run), india_north_africa_affinity(run)):
+        print(f"claim: {check.claim} -> {'holds' if check.holds else 'does not hold'}")
+
+    assert len(run.dendrogram.leaf_order()) == 26
+    # The paper reports the authenticity tree tracking geography well; require
+    # a clearly positive association.
+    assert comparison.bakers_gamma > 0.2
+
+
+def test_figure5_fingerprints(benchmark, pipeline, corpus):
+    """Time the fingerprint extraction and print a sample (Section V-B)."""
+    fingerprints = benchmark.pedantic(
+        pipeline.build_fingerprints, args=(corpus,), rounds=1, iterations=1
+    )
+    print()
+    for cuisine in ("Japanese", "Greek", "Mexican", "Indian Subcontinent"):
+        fingerprint = fingerprints[cuisine]
+        top = ", ".join(item for item, _ in fingerprint.most_authentic[:5])
+        print(f"{cuisine}: most authentic -> {top}")
+    assert "soy sauce" in fingerprints["Japanese"].positive_items()
+    assert "olive oil" in fingerprints["Greek"].positive_items()

@@ -1,0 +1,24 @@
+"""E7 — Figure 6: HAC of geographic (haversine) distances between regions."""
+
+from __future__ import annotations
+
+from repro.core.figures import build_figure6
+from repro.geo.regions import REGION_GEOGRAPHY
+from repro.viz.ascii_dendrogram import render_dendrogram
+
+
+def test_figure6_geography_dendrogram(benchmark, config):
+    regions = sorted(REGION_GEOGRAPHY)
+    run = benchmark.pedantic(build_figure6, args=(regions, config), rounds=1, iterations=1)
+
+    print()
+    print("Figure 6 — HAC on geographical distance between region centroids")
+    print("leaf order:", ", ".join(run.dendrogram.leaf_order()))
+    print(render_dendrogram(run.dendrogram))
+
+    assert len(run.dendrogram.leaf_order()) == 26
+    cophenetic = run.dendrogram.cophenetic_distances()
+    # Geographic sanity: neighbours join earlier than distant regions.
+    assert cophenetic.distance("Korean", "Japanese") < cophenetic.distance("Korean", "UK")
+    assert cophenetic.distance("Canadian", "US") < cophenetic.distance("Canadian", "French")
+    assert cophenetic.distance("UK", "Irish") < cophenetic.distance("UK", "Thai")

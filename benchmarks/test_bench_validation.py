@@ -1,0 +1,67 @@
+"""E8 — Section VII validation: cuisine trees vs the geographic reference.
+
+Scores every cuisine tree (Figures 2-5) against the geography tree (Figure 6)
+and evaluates the paper's two qualitative claims on each, printing a summary
+table comparable to the paper's discussion.
+"""
+
+from __future__ import annotations
+
+from repro.core.figures import build_figure2, build_figure3, build_figure4, build_figure5
+from repro.geo.comparison import (
+    canada_france_vs_us,
+    compare_to_geography,
+    india_north_africa_affinity,
+)
+from repro.viz.tables import format_table
+
+
+def _build_all_trees(pattern_features, corpus, config):
+    return {
+        "patterns-euclidean (Fig 2)": build_figure2(pattern_features, config),
+        "patterns-cosine (Fig 3)": build_figure3(pattern_features, config),
+        "patterns-jaccard (Fig 4)": build_figure4(pattern_features, config),
+        "authenticity (Fig 5)": build_figure5(corpus, config),
+    }
+
+
+def test_validation_against_geography(benchmark, pattern_features, corpus, config):
+    runs = _build_all_trees(pattern_features, corpus, config)
+
+    def _validate():
+        return {
+            name: compare_to_geography(run, k_values=config.validation_k_values)
+            for name, run in runs.items()
+        }
+
+    validation = benchmark.pedantic(_validate, rounds=1, iterations=1)
+
+    rows = []
+    for name, run in runs.items():
+        comparison = validation[name]
+        canada = canada_france_vs_us(run)
+        india = india_north_africa_affinity(run)
+        rows.append(
+            {
+                "tree": name,
+                "bakers_gamma": comparison.bakers_gamma,
+                "mean_fowlkes_mallows": comparison.mean_fowlkes_mallows(),
+                "canada~france": canada.holds,
+                "india~n.africa": india.holds,
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            ["tree", "bakers_gamma", "mean_fowlkes_mallows", "canada~france", "india~n.africa"],
+            title="Section VII — validation of cuisine trees against geography",
+        )
+    )
+
+    # Shape checks mirroring the paper's discussion: the trees relate
+    # positively to geography, and the Canada~France deviation appears in the
+    # majority of cuisine trees.
+    assert max(row["bakers_gamma"] for row in rows) > 0.3
+    assert sum(1 for row in rows if row["canada~france"]) >= 3
+    assert sum(1 for row in rows if row["india~n.africa"]) >= 2

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare every cuisine tree against the geographic reference (Section VII).
+
+Builds all five trees of the paper's evaluation -- pattern-based HAC under
+Euclidean / Cosine / Jaccard distances (Figures 2-4), the authenticity tree
+(Figure 5) and the geography tree (Figure 6) -- plus the FIHC variant, scores
+each cuisine tree against geography, and evaluates the two qualitative claims
+of Section VII on each.
+
+Run with::
+
+    python examples/geography_validation.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cluster.fihc import FIHCClustering
+from repro.core.config import AnalysisConfig
+from repro.core.figures import (
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    build_figure6,
+)
+from repro.core.pipeline import CuisineClusteringPipeline
+from repro.geo.comparison import (
+    canada_france_vs_us,
+    compare_trees,
+    india_north_africa_affinity,
+)
+from repro.viz.tables import format_table
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    config = AnalysisConfig(seed=2020, scale=scale)
+    pipeline = CuisineClusteringPipeline(config)
+
+    print(f"Generating corpus and mining patterns (scale={scale}) ...")
+    corpus = pipeline.build_corpus()
+    mining_results = pipeline.mine_patterns(corpus)
+    pattern_features = pipeline.build_pattern_features(mining_results)
+
+    print("Building all cuisine trees ...")
+    geography = build_figure6(corpus.region_names(), config)
+    trees = {
+        "patterns / euclidean (Fig 2)": build_figure2(pattern_features, config),
+        "patterns / cosine (Fig 3)": build_figure3(pattern_features, config),
+        "patterns / jaccard (Fig 4)": build_figure4(pattern_features, config),
+        "authenticity (Fig 5)": build_figure5(corpus, config),
+        "FIHC (pattern overlap)": FIHCClustering().fit(mining_results).run,
+    }
+
+    rows = []
+    for name, run in trees.items():
+        comparison = compare_trees(run, geography, k_values=config.validation_k_values)
+        canada = canada_france_vs_us(run)
+        india = india_north_africa_affinity(run)
+        rows.append(
+            {
+                "tree": name,
+                "bakers_gamma": comparison.bakers_gamma,
+                "mean_fm": comparison.mean_fowlkes_mallows(),
+                "canada~france": canada.holds,
+                "india~n.africa": india.holds,
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            ["tree", "bakers_gamma", "mean_fm", "canada~france", "india~n.africa"],
+            title="Cuisine trees vs the geographic reference tree",
+        )
+    )
+
+    print("\nReference checks on the geography tree itself "
+          "(the claims should NOT hold there):")
+    for check in (canada_france_vs_us(geography), india_north_africa_affinity(geography)):
+        status = "holds" if check.holds else "does not hold"
+        print(f"  {check.claim}: {status}")
+
+    best = max(rows, key=lambda row: row["bakers_gamma"])
+    print(f"\nTree most similar to geography: {best['tree']} "
+          f"(Baker's gamma = {best['bakers_gamma']:.3f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments installing with ``python setup.py``/legacy pip."""
+from setuptools import setup
+
+setup()

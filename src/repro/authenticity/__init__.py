@@ -1,0 +1,24 @@
+"""Authenticity-based cuisine characterisation (Section V-B / Figure 5)."""
+
+from repro.authenticity.fingerprint import (
+    CuisineFingerprint,
+    cuisine_fingerprints,
+    fingerprint_overlap,
+)
+from repro.authenticity.prevalence import (
+    PrevalenceMatrix,
+    prevalence_from_transactions,
+    prevalence_matrix,
+)
+from repro.authenticity.relative import AuthenticityMatrix, relative_prevalence
+
+__all__ = [
+    "CuisineFingerprint",
+    "cuisine_fingerprints",
+    "fingerprint_overlap",
+    "PrevalenceMatrix",
+    "prevalence_from_transactions",
+    "prevalence_matrix",
+    "AuthenticityMatrix",
+    "relative_prevalence",
+]

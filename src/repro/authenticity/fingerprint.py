@@ -1,0 +1,74 @@
+"""Cuisine fingerprints: the most / least authentic items per cuisine.
+
+Section V-B argues that both tails of the authenticity distribution contribute
+to a cuisine's "culinary fingerprint": the most authentic items are the ones a
+cuisine relies on far more than the rest of the world, while the least
+authentic ones are conspicuously avoided.  :func:`cuisine_fingerprints`
+packages both tails per cuisine, and :func:`fingerprint_overlap` gives a
+simple item-overlap similarity between fingerprints that is useful for sanity
+checks (e.g. Korean and Japanese fingerprints should overlap more than Korean
+and Scandinavian ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FeatureError
+from repro.authenticity.relative import AuthenticityMatrix
+
+__all__ = ["CuisineFingerprint", "cuisine_fingerprints", "fingerprint_overlap"]
+
+
+@dataclass(frozen=True, slots=True)
+class CuisineFingerprint:
+    """The signature items of a single cuisine."""
+
+    cuisine: str
+    most_authentic: tuple[tuple[str, float], ...]
+    least_authentic: tuple[tuple[str, float], ...]
+
+    def positive_items(self) -> frozenset[str]:
+        return frozenset(item for item, _ in self.most_authentic)
+
+    def negative_items(self) -> frozenset[str]:
+        return frozenset(item for item, _ in self.least_authentic)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "cuisine": self.cuisine,
+            "most_authentic": [
+                {"item": item, "authenticity": value} for item, value in self.most_authentic
+            ],
+            "least_authentic": [
+                {"item": item, "authenticity": value} for item, value in self.least_authentic
+            ],
+        }
+
+
+def cuisine_fingerprints(
+    authenticity: AuthenticityMatrix, *, top_k: int = 10
+) -> dict[str, CuisineFingerprint]:
+    """Compute the fingerprint of every cuisine in an authenticity matrix."""
+    if top_k <= 0:
+        raise FeatureError("top_k must be positive")
+    fingerprints: dict[str, CuisineFingerprint] = {}
+    for cuisine in authenticity.cuisines:
+        fingerprints[cuisine] = CuisineFingerprint(
+            cuisine=cuisine,
+            most_authentic=tuple(authenticity.most_authentic(cuisine, top_k)),
+            least_authentic=tuple(authenticity.least_authentic(cuisine, top_k)),
+        )
+    return fingerprints
+
+
+def fingerprint_overlap(first: CuisineFingerprint, second: CuisineFingerprint) -> float:
+    """Jaccard overlap of the *positive* fingerprint items of two cuisines.
+
+    Returns 0 when either fingerprint is empty.
+    """
+    left = first.positive_items()
+    right = second.positive_items()
+    if not left or not right:
+        return 0.0
+    return len(left & right) / len(left | right)

@@ -1,0 +1,176 @@
+"""Item prevalence per cuisine (equation 1 of the paper).
+
+The paper defines the prevalence of an item *i* in a cuisine *c* as
+
+    P_i^c = n_i^c / N_c
+
+where ``n_i^c`` is the number of recipes of cuisine *c* containing *i* and
+``N_c`` is the number of recipes in that cuisine.  (The paper's equation
+writes ``N_C``; the accompanying description -- "number of recipes n_i^c in a
+cuisine over total number of recipes" -- and the original Ahn et al. (2011)
+definition both normalise by the cuisine size, which is what we implement.)
+
+:class:`PrevalenceMatrix` is a dense cuisines × items matrix wrapping a numpy
+array with the label bookkeeping needed by the downstream relative-prevalence
+(authenticity) computation and by the Figure 5 clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.recipedb.database import RecipeDatabase
+from repro.recipedb.models import EntityKind
+
+__all__ = ["PrevalenceMatrix", "prevalence_matrix", "prevalence_from_transactions"]
+
+
+@dataclass(frozen=True)
+class PrevalenceMatrix:
+    """Dense cuisine × item prevalence matrix with row/column labels."""
+
+    cuisines: tuple[str, ...]
+    items: tuple[str, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(self.cuisines), len(self.items)):
+            raise FeatureError(
+                f"prevalence matrix shape {self.values.shape} does not match "
+                f"{len(self.cuisines)} cuisines x {len(self.items)} items"
+            )
+        if np.any(self.values < -1e-12) or np.any(self.values > 1.0 + 1e-12):
+            raise FeatureError("prevalence values must lie in [0, 1]")
+
+    # -- lookups -----------------------------------------------------------------
+
+    def cuisine_index(self, cuisine: str) -> int:
+        try:
+            return self.cuisines.index(cuisine)
+        except ValueError as exc:
+            raise FeatureError(f"unknown cuisine: {cuisine!r}") from exc
+
+    def item_index(self, item: str) -> int:
+        try:
+            return self.items.index(item)
+        except ValueError as exc:
+            raise FeatureError(f"unknown item: {item!r}") from exc
+
+    def prevalence(self, cuisine: str, item: str) -> float:
+        """P_i^c for one (cuisine, item) pair."""
+        return float(self.values[self.cuisine_index(cuisine), self.item_index(item)])
+
+    def cuisine_vector(self, cuisine: str) -> np.ndarray:
+        """The prevalence row of one cuisine (copy)."""
+        return self.values[self.cuisine_index(cuisine)].copy()
+
+    def item_vector(self, item: str) -> np.ndarray:
+        """The prevalence column of one item across cuisines (copy)."""
+        return self.values[:, self.item_index(item)].copy()
+
+    def mean_item_prevalence(self) -> np.ndarray:
+        """Average prevalence of each item across cuisines ((P_i^k)_{c != k} base)."""
+        return self.values.mean(axis=0)
+
+    def top_items(self, cuisine: str, k: int = 10) -> list[tuple[str, float]]:
+        """The *k* most prevalent items of a cuisine."""
+        if k <= 0:
+            raise FeatureError("k must be positive")
+        row = self.values[self.cuisine_index(cuisine)]
+        order = np.argsort(-row, kind="stable")[:k]
+        return [(self.items[i], float(row[i])) for i in order]
+
+    def restrict_items(self, items: Sequence[str]) -> "PrevalenceMatrix":
+        """Project the matrix onto a subset of items (order preserved)."""
+        indices = [self.item_index(item) for item in items]
+        return PrevalenceMatrix(
+            cuisines=self.cuisines,
+            items=tuple(items),
+            values=self.values[:, indices].copy(),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "cuisines": list(self.cuisines),
+            "items": list(self.items),
+            "values": self.values.tolist(),
+        }
+
+
+def prevalence_from_transactions(
+    transactions_by_cuisine: Mapping[str, Sequence[Iterable[str]]],
+    *,
+    min_document_frequency: int = 1,
+) -> PrevalenceMatrix:
+    """Compute a prevalence matrix directly from per-cuisine transactions.
+
+    ``min_document_frequency`` drops items appearing in fewer than that many
+    recipes across the whole corpus, which keeps the authenticity matrix from
+    being dominated by hapax items at full corpus scale.
+    """
+    if not transactions_by_cuisine:
+        raise FeatureError("at least one cuisine is required")
+    if min_document_frequency < 1:
+        raise FeatureError("min_document_frequency must be at least 1")
+
+    cuisines = tuple(sorted(transactions_by_cuisine))
+    global_counts: dict[str, int] = {}
+    per_cuisine_counts: dict[str, dict[str, int]] = {}
+    cuisine_sizes: dict[str, int] = {}
+    for cuisine in cuisines:
+        transactions = transactions_by_cuisine[cuisine]
+        cuisine_sizes[cuisine] = len(transactions)
+        counts: dict[str, int] = {}
+        for transaction in transactions:
+            for item in set(transaction):
+                counts[item] = counts.get(item, 0) + 1
+                global_counts[item] = global_counts.get(item, 0) + 1
+        per_cuisine_counts[cuisine] = counts
+
+    items = tuple(
+        sorted(
+            item
+            for item, count in global_counts.items()
+            if count >= min_document_frequency
+        )
+    )
+    if not items:
+        raise FeatureError("no items survive the document-frequency filter")
+
+    item_index = {item: i for i, item in enumerate(items)}
+    values = np.zeros((len(cuisines), len(items)), dtype=np.float64)
+    for row, cuisine in enumerate(cuisines):
+        size = cuisine_sizes[cuisine]
+        if size == 0:
+            continue
+        for item, count in per_cuisine_counts[cuisine].items():
+            column = item_index.get(item)
+            if column is not None:
+                values[row, column] = count / size
+    return PrevalenceMatrix(cuisines=cuisines, items=items, values=values)
+
+
+def prevalence_matrix(
+    database: RecipeDatabase,
+    *,
+    kinds: Iterable[EntityKind] | None = (EntityKind.INGREDIENT,),
+    min_document_frequency: int = 1,
+) -> PrevalenceMatrix:
+    """Compute the prevalence matrix of a recipe database.
+
+    By default only ingredients are considered, matching Figure 5 of the paper
+    ("Hierarchical Agglomerative Clustering based on Authenticity of
+    Ingredients"); pass ``kinds=None`` to use the full item space.
+    """
+    kinds_tuple = tuple(kinds) if kinds is not None else None
+    transactions = {
+        region: database.transactions_for_region(region, kinds_tuple)
+        for region in database.region_names()
+    }
+    return prevalence_from_transactions(
+        transactions, min_document_frequency=min_document_frequency
+    )

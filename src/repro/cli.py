@@ -1,0 +1,216 @@
+"""Command-line interface for the reproduction library.
+
+Subcommands:
+
+* ``generate`` -- generate a synthetic RecipeDB corpus and write it to disk
+  (JSON, JSONL or CSV depending on the output file extension);
+* ``mine`` -- mine frequent patterns per cuisine and print the reproduced
+  Table I;
+* ``analyze`` -- run the full pipeline and write a markdown report;
+* ``figures`` -- print one figure artefact (elbow series or ASCII dendrogram).
+
+Example::
+
+    repro-cuisines analyze --scale 0.05 --report report.md
+    repro-cuisines figures --figure figure2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.config import AnalysisConfig
+from repro.core.pipeline import CuisineClusteringPipeline
+from repro.core.table1 import compare_with_paper
+from repro.errors import ReproError
+from repro.recipedb import load_csv, load_json, load_jsonl, save_csv, save_json, save_jsonl
+from repro.recipedb.database import RecipeDatabase
+from repro.viz.ascii_dendrogram import render_dendrogram
+from repro.viz.report import write_report
+from repro.viz.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cuisines",
+        description="Reproduction of 'Hierarchical Clustering of World Cuisines'",
+    )
+    parser.add_argument("--seed", type=int, default=2020, help="random seed (default 2020)")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="fraction of the paper's corpus size to generate (default 0.05)",
+    )
+    parser.add_argument(
+        "--min-support",
+        type=float,
+        default=0.20,
+        help="minimum pattern support (default 0.20, the paper's threshold)",
+    )
+    parser.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        help="optional path to an existing corpus (.json / .jsonl / .csv)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("output", type=Path, help="output path (.json / .jsonl / .csv)")
+
+    mine = subparsers.add_parser("mine", help="mine patterns and print Table I")
+    mine.add_argument(
+        "--compare-paper",
+        action="store_true",
+        help="also print the paper-vs-measured comparison",
+    )
+
+    analyze = subparsers.add_parser("analyze", help="run the full pipeline")
+    analyze.add_argument(
+        "--report", type=Path, default=None, help="write a markdown report to this path"
+    )
+    analyze.add_argument(
+        "--summary-json", type=Path, default=None, help="write the JSON summary to this path"
+    )
+
+    figures = subparsers.add_parser("figures", help="print a single figure artefact")
+    figures.add_argument(
+        "--figure",
+        choices=["figure1", "figure2", "figure3", "figure4", "figure5", "figure6"],
+        default="figure2",
+        help="which figure to print (default figure2)",
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
+    return AnalysisConfig(seed=args.seed, scale=args.scale, min_support=args.min_support)
+
+
+def _load_corpus(path: Path) -> RecipeDatabase:
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        return load_json(path)
+    if suffix == ".jsonl":
+        return load_jsonl(path)
+    if suffix == ".csv":
+        return load_csv(path)
+    raise ReproError(f"unsupported corpus format: {suffix!r} (use .json, .jsonl or .csv)")
+
+
+def _save_corpus(database: RecipeDatabase, path: Path) -> None:
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        save_json(database, path)
+    elif suffix == ".jsonl":
+        save_jsonl(database, path)
+    elif suffix == ".csv":
+        save_csv(database, path)
+    else:
+        raise ReproError(f"unsupported corpus format: {suffix!r} (use .json, .jsonl or .csv)")
+
+
+def _resolve_corpus(args: argparse.Namespace, pipeline: CuisineClusteringPipeline) -> RecipeDatabase:
+    if args.corpus is not None:
+        return _load_corpus(args.corpus)
+    return pipeline.build_corpus()
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    pipeline = CuisineClusteringPipeline(_config_from_args(args))
+    database = pipeline.build_corpus()
+    _save_corpus(database, args.output)
+    print(f"wrote {len(database)} recipes across {len(database.region_names())} cuisines "
+          f"to {args.output}")
+    return 0
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    pipeline = CuisineClusteringPipeline(_config_from_args(args))
+    database = _resolve_corpus(args, pipeline)
+    mining_results = pipeline.mine_patterns(database)
+    table = pipeline.build_table1(database, mining_results)
+    print(
+        format_table(
+            table.to_dicts(),
+            ["region", "n_recipes", "top_pattern", "support", "n_patterns"],
+            title="Table I (reproduced)",
+        )
+    )
+    if args.compare_paper:
+        print()
+        print(
+            format_table(
+                compare_with_paper(table),
+                [
+                    "region",
+                    "paper_top_pattern",
+                    "measured_top_pattern",
+                    "paper_support",
+                    "measured_support",
+                    "headline_item_overlap",
+                ],
+                title="Paper vs measured",
+            )
+        )
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    pipeline = CuisineClusteringPipeline(_config_from_args(args))
+    database = _resolve_corpus(args, pipeline)
+    results = pipeline.run(database)
+    summary = results.summary()
+    print(json.dumps(summary, indent=2, default=str))
+    if args.report is not None:
+        path = write_report(results, args.report)
+        print(f"report written to {path}", file=sys.stderr)
+    if args.summary_json is not None:
+        args.summary_json.parent.mkdir(parents=True, exist_ok=True)
+        args.summary_json.write_text(json.dumps(summary, indent=2, default=str), encoding="utf-8")
+        print(f"summary written to {args.summary_json}", file=sys.stderr)
+    return 0
+
+
+def _command_figures(args: argparse.Namespace) -> int:
+    pipeline = CuisineClusteringPipeline(_config_from_args(args))
+    database = _resolve_corpus(args, pipeline)
+    results = pipeline.run(database)
+    if args.figure == "figure1":
+        print(format_table(results.elbow.to_rows(), ["k", "wcss"], title="Figure 1 — WCSS vs k"))
+    else:
+        run = results.run_for(args.figure)
+        print(f"{args.figure}: metric={run.metric}, linkage={run.method}")
+        print(render_dendrogram(run.dendrogram))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "mine": _command_mine,
+    "analyze": _command_analyze,
+    "figures": _command_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Clustering: hierarchical agglomerative, K-means/elbow, FIHC and validation."""
+
+from repro.cluster.dendrogram import Dendrogram, DendrogramNode
+from repro.cluster.elbow import ElbowAnalysis, ElbowPoint, detect_elbow, elbow_analysis
+from repro.cluster.fihc import FIHCClustering, FIHCResult
+from repro.cluster.hierarchy import (
+    ClusteringRun,
+    HierarchicalClustering,
+    cluster_distances,
+    cluster_features,
+)
+from repro.cluster.kmeans import KMeans, KMeansResult
+from repro.cluster.linkage import LINKAGE_METHODS, LinkageMatrix, linkage
+from repro.cluster.validation import (
+    adjusted_rand_index,
+    bakers_gamma,
+    cophenetic_correlation,
+    fowlkes_mallows,
+    pearson_correlation,
+    silhouette_score,
+    spearman_correlation,
+    within_cluster_sum_of_squares,
+)
+
+__all__ = [
+    "Dendrogram",
+    "DendrogramNode",
+    "ElbowAnalysis",
+    "ElbowPoint",
+    "detect_elbow",
+    "elbow_analysis",
+    "FIHCClustering",
+    "FIHCResult",
+    "ClusteringRun",
+    "HierarchicalClustering",
+    "cluster_distances",
+    "cluster_features",
+    "KMeans",
+    "KMeansResult",
+    "LINKAGE_METHODS",
+    "LinkageMatrix",
+    "linkage",
+    "adjusted_rand_index",
+    "bakers_gamma",
+    "cophenetic_correlation",
+    "fowlkes_mallows",
+    "pearson_correlation",
+    "silhouette_score",
+    "spearman_correlation",
+    "within_cluster_sum_of_squares",
+]

@@ -1,0 +1,116 @@
+"""Elbow (WCSS) analysis for K-means (Figure 1 of the paper).
+
+Figure 1 plots the within-cluster sum of squares (WCSS, "inertia") against the
+number of clusters *k*; the paper's point is a *negative* result -- the curve
+has no sharp elbow, so K-means gives no natural cluster count for cuisine
+patterns and HAC is preferred.  :func:`elbow_analysis` regenerates that curve
+and :func:`detect_elbow` quantifies "how elbow-like" it is with the standard
+maximum-distance-to-chord criterion (the kneedle-style geometric test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.cluster.kmeans import KMeans
+from repro.features.matrix import FeatureMatrix
+
+__all__ = ["ElbowPoint", "ElbowAnalysis", "elbow_analysis", "detect_elbow"]
+
+
+@dataclass(frozen=True, slots=True)
+class ElbowPoint:
+    """One (k, WCSS) point of the elbow curve."""
+
+    n_clusters: int
+    wcss: float
+
+
+@dataclass(frozen=True)
+class ElbowAnalysis:
+    """The full elbow curve plus the elbow-sharpness diagnostics."""
+
+    points: tuple[ElbowPoint, ...]
+    elbow_k: int | None
+    elbow_strength: float
+
+    def k_values(self) -> list[int]:
+        return [point.n_clusters for point in self.points]
+
+    def wcss_values(self) -> list[float]:
+        return [point.wcss for point in self.points]
+
+    @property
+    def has_clear_elbow(self) -> bool:
+        """Whether the curve shows a pronounced elbow.
+
+        The threshold of 0.25 on the normalised chord-distance means the most
+        elbow-like point deviates from the straight line between the curve's
+        endpoints by more than 25% of the curve's dynamic range -- a genuinely
+        sharp knee.  Gently-bending curves below it are treated as elbow-free,
+        which is the paper's observed outcome on cuisine pattern features
+        (Figure 1: "no sharp edge or elbow like structure is obtained").
+        """
+        return self.elbow_strength > 0.25 and self.elbow_k is not None
+
+    def to_rows(self) -> list[dict[str, float]]:
+        """Figure-1-style series: one row per k."""
+        return [{"k": p.n_clusters, "wcss": p.wcss} for p in self.points]
+
+
+def detect_elbow(k_values: list[int], wcss_values: list[float]) -> tuple[int | None, float]:
+    """Locate the most elbow-like point of a WCSS curve.
+
+    Uses the maximum perpendicular distance from the (normalised) curve to the
+    chord connecting its endpoints.  Returns ``(k, strength)`` where strength
+    is that maximum distance in normalised units (0 = perfectly straight).
+    Returns ``(None, 0.0)`` for degenerate curves (fewer than three points or
+    no dynamic range).
+    """
+    if len(k_values) != len(wcss_values):
+        raise ClusteringError("k_values and wcss_values must have the same length")
+    if len(k_values) < 3:
+        return None, 0.0
+    k_arr = np.asarray(k_values, dtype=np.float64)
+    w_arr = np.asarray(wcss_values, dtype=np.float64)
+    k_range = k_arr[-1] - k_arr[0]
+    w_range = w_arr[0] - w_arr[-1]
+    if k_range <= 0 or w_range <= 0:
+        return None, 0.0
+    # Normalise both axes to [0, 1]; WCSS is flipped so the curve decreases.
+    x = (k_arr - k_arr[0]) / k_range
+    y = (w_arr - w_arr[-1]) / w_range
+    # Distance from each point to the chord between (0, y[0]) and (1, y[-1]).
+    x0, y0 = x[0], y[0]
+    x1, y1 = x[-1], y[-1]
+    chord_length = np.hypot(x1 - x0, y1 - y0)
+    distances = np.abs((y1 - y0) * x - (x1 - x0) * y + x1 * y0 - y1 * x0) / chord_length
+    best_index = int(np.argmax(distances[1:-1])) + 1  # exclude endpoints
+    return int(k_arr[best_index]), float(distances[best_index])
+
+
+def elbow_analysis(
+    features: FeatureMatrix,
+    *,
+    k_min: int = 1,
+    k_max: int = 15,
+    seed: int = 2020,
+    n_init: int = 5,
+) -> ElbowAnalysis:
+    """Run K-means over a range of *k* and return the WCSS elbow curve."""
+    if k_min < 1:
+        raise ClusteringError("k_min must be at least 1")
+    if k_max < k_min:
+        raise ClusteringError("k_max must be >= k_min")
+    upper = min(k_max, features.n_rows)
+    points: list[ElbowPoint] = []
+    for k in range(k_min, upper + 1):
+        result = KMeans(n_clusters=k, seed=seed + k, n_init=n_init).fit(features)
+        points.append(ElbowPoint(n_clusters=k, wcss=result.inertia))
+    elbow_k, strength = detect_elbow(
+        [p.n_clusters for p in points], [p.wcss for p in points]
+    )
+    return ElbowAnalysis(points=tuple(points), elbow_k=elbow_k, elbow_strength=strength)

@@ -1,0 +1,106 @@
+"""High-level hierarchical agglomerative clustering front-end.
+
+:class:`HierarchicalClustering` combines the three building blocks the paper
+chains in Section VI-A -- feature matrix → condensed distance matrix (pdist)
+→ agglomerative linkage → dendrogram -- behind one call, and
+:class:`ClusteringRun` bundles every intermediate artefact so the figure
+builders, validation metrics and reports can access whichever view they need
+without recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusteringError
+from repro.cluster.dendrogram import Dendrogram
+from repro.cluster.linkage import LINKAGE_METHODS, LinkageMatrix, linkage
+from repro.distances.pdist import CondensedDistanceMatrix, pairwise_distances
+from repro.features.matrix import FeatureMatrix
+
+__all__ = ["ClusteringRun", "HierarchicalClustering", "cluster_features", "cluster_distances"]
+
+
+@dataclass(frozen=True)
+class ClusteringRun:
+    """Everything produced by one hierarchical clustering run."""
+
+    features: FeatureMatrix | None
+    distances: CondensedDistanceMatrix
+    linkage_matrix: LinkageMatrix
+    dendrogram: Dendrogram
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self.distances.labels
+
+    @property
+    def metric(self) -> str:
+        return self.distances.metric
+
+    @property
+    def method(self) -> str:
+        return self.linkage_matrix.method
+
+    def flat_clusters(self, n_clusters: int) -> dict[str, int]:
+        """Cut the dendrogram into *n_clusters* flat clusters."""
+        return self.dendrogram.cut_into(n_clusters)
+
+    def summary(self) -> dict[str, object]:
+        """Compact description of the run (used by reports)."""
+        return {
+            "n_observations": len(self.labels),
+            "metric": self.metric,
+            "method": self.method,
+            "max_height": self.dendrogram.max_height(),
+            "leaf_order": self.dendrogram.leaf_order(),
+        }
+
+
+class HierarchicalClustering:
+    """Configurable HAC runner (metric + linkage method)."""
+
+    def __init__(self, metric: str = "euclidean", method: str = "average") -> None:
+        if method.strip().lower() not in LINKAGE_METHODS:
+            raise ClusteringError(
+                f"unknown linkage method {method!r}; available: {LINKAGE_METHODS}"
+            )
+        self.metric = metric
+        self.method = method.strip().lower()
+
+    def fit_features(self, features: FeatureMatrix) -> ClusteringRun:
+        """Cluster the rows of a feature matrix."""
+        if features.n_rows < 2:
+            raise ClusteringError("clustering requires at least two observations")
+        distances = pairwise_distances(features, metric=self.metric)
+        return self.fit_distances(distances, features=features)
+
+    def fit_distances(
+        self,
+        distances: CondensedDistanceMatrix,
+        *,
+        features: FeatureMatrix | None = None,
+    ) -> ClusteringRun:
+        """Cluster a precomputed condensed distance matrix."""
+        linkage_matrix = linkage(distances, method=self.method)
+        dendrogram = Dendrogram(linkage_matrix)
+        return ClusteringRun(
+            features=features,
+            distances=distances,
+            linkage_matrix=linkage_matrix,
+            dendrogram=dendrogram,
+        )
+
+
+def cluster_features(
+    features: FeatureMatrix, *, metric: str = "euclidean", method: str = "average"
+) -> ClusteringRun:
+    """One-call HAC over a feature matrix."""
+    return HierarchicalClustering(metric=metric, method=method).fit_features(features)
+
+
+def cluster_distances(
+    distances: CondensedDistanceMatrix, *, method: str = "average"
+) -> ClusteringRun:
+    """One-call HAC over a precomputed condensed distance matrix."""
+    return HierarchicalClustering(method=method).fit_distances(distances)

@@ -1,0 +1,181 @@
+"""K-means clustering with k-means++ initialisation (Section VI-B).
+
+The paper applies K-means to the same cuisine feature vectors and uses the
+elbow method on the within-cluster sum of squares (WCSS) to argue that no
+clear cluster count emerges (Figure 1), which motivates preferring HAC.  The
+reproduction implements Lloyd's algorithm with k-means++ seeding, multiple
+restarts and deterministic seeding, so the WCSS curve of Figure 1 can be
+regenerated exactly for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.features.matrix import FeatureMatrix
+
+__all__ = ["KMeansResult", "KMeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one K-means fit."""
+
+    n_clusters: int
+    labels: tuple[int, ...]
+    centroids: np.ndarray
+    inertia: float
+    n_iterations: int
+    converged: bool
+    row_labels: tuple[str, ...] = ()
+
+    def assignments(self) -> dict[str, int]:
+        """Row label -> cluster id (requires labelled input)."""
+        if not self.row_labels:
+            raise ClusteringError("this result was fitted on an unlabelled array")
+        return dict(zip(self.row_labels, self.labels))
+
+    def cluster_sizes(self) -> dict[int, int]:
+        sizes: dict[int, int] = {c: 0 for c in range(self.n_clusters)}
+        for label in self.labels:
+            sizes[label] += 1
+        return sizes
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters *k*.
+    n_init:
+        Number of independent restarts; the best (lowest-inertia) run wins.
+    max_iterations:
+        Iteration cap per restart.
+    tolerance:
+        Relative centroid-movement threshold for convergence.
+    seed:
+        Seed of the deterministic random generator.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        n_init: int = 10,
+        max_iterations: int = 300,
+        tolerance: float = 1e-6,
+        seed: int = 2020,
+    ) -> None:
+        if n_clusters < 1:
+            raise ClusteringError("n_clusters must be at least 1")
+        if n_init < 1:
+            raise ClusteringError("n_init must be at least 1")
+        if max_iterations < 1:
+            raise ClusteringError("max_iterations must be at least 1")
+        if tolerance < 0:
+            raise ClusteringError("tolerance must be non-negative")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+
+    # -- public API ------------------------------------------------------------------
+
+    def fit(self, features: FeatureMatrix | np.ndarray) -> KMeansResult:
+        """Fit K-means and return the best run across restarts."""
+        if isinstance(features, FeatureMatrix):
+            data = features.values
+            row_labels = features.row_labels
+        else:
+            data = np.asarray(features, dtype=np.float64)
+            row_labels = ()
+        if data.ndim != 2:
+            raise ClusteringError("K-means requires a two-dimensional feature array")
+        n_samples = data.shape[0]
+        if n_samples == 0:
+            raise ClusteringError("K-means requires at least one observation")
+        if self.n_clusters > n_samples:
+            raise ClusteringError(
+                f"n_clusters={self.n_clusters} exceeds number of observations {n_samples}"
+            )
+
+        rng = np.random.default_rng(self.seed)
+        best: KMeansResult | None = None
+        for _restart in range(self.n_init):
+            result = self._fit_once(data, rng, row_labels)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    # -- internals --------------------------------------------------------------------
+
+    def _fit_once(
+        self, data: np.ndarray, rng: np.random.Generator, row_labels: tuple[str, ...]
+    ) -> KMeansResult:
+        centroids = self._kmeans_plus_plus(data, rng)
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            distances = self._distances_to_centroids(data, centroids)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(self.n_clusters):
+                members = data[labels == cluster]
+                if len(members):
+                    new_centroids[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the point farthest from its centroid.
+                    farthest = int(np.argmax(np.min(distances, axis=1)))
+                    new_centroids[cluster] = data[farthest]
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            scale = float(np.linalg.norm(centroids)) or 1.0
+            if shift / scale <= self.tolerance:
+                converged = True
+                break
+        distances = self._distances_to_centroids(data, centroids)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.sum(np.min(distances, axis=1) ** 2))
+        return KMeansResult(
+            n_clusters=self.n_clusters,
+            labels=tuple(int(l) for l in labels),
+            centroids=centroids,
+            inertia=inertia,
+            n_iterations=iteration,
+            converged=converged,
+            row_labels=row_labels,
+        )
+
+    def _kmeans_plus_plus(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids proportionally to D^2."""
+        n_samples = data.shape[0]
+        centroids = np.empty((self.n_clusters, data.shape[1]), dtype=np.float64)
+        first = int(rng.integers(n_samples))
+        centroids[0] = data[first]
+        closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+        for index in range(1, self.n_clusters):
+            total = float(closest_sq.sum())
+            if total <= 0.0:
+                # All points coincide with chosen centroids; pick uniformly.
+                choice = int(rng.integers(n_samples))
+            else:
+                probabilities = closest_sq / total
+                choice = int(rng.choice(n_samples, p=probabilities))
+            centroids[index] = data[choice]
+            new_sq = np.sum((data - centroids[index]) ** 2, axis=1)
+            closest_sq = np.minimum(closest_sq, new_sq)
+        return centroids
+
+    @staticmethod
+    def _distances_to_centroids(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Euclidean distances of every point to every centroid."""
+        diffs = data[:, np.newaxis, :] - centroids[np.newaxis, :, :]
+        return np.sqrt(np.sum(diffs**2, axis=2))

@@ -1,0 +1,34 @@
+"""Core: configuration, figure builders, Table I, pipeline and result bundle."""
+
+from repro.core.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.core.figures import (
+    FIGURE_NAMES,
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    build_figure6,
+)
+from repro.core.pipeline import CuisineClusteringPipeline, run_full_analysis
+from repro.core.results import AnalysisResults
+from repro.core.table1 import Table1, Table1Row, build_table1, compare_with_paper
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "AnalysisConfig",
+    "FIGURE_NAMES",
+    "build_figure1",
+    "build_figure2",
+    "build_figure3",
+    "build_figure4",
+    "build_figure5",
+    "build_figure6",
+    "CuisineClusteringPipeline",
+    "run_full_analysis",
+    "AnalysisResults",
+    "Table1",
+    "Table1Row",
+    "build_table1",
+    "compare_with_paper",
+]

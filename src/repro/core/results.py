@@ -1,0 +1,107 @@
+"""Result container for a full analysis run.
+
+:class:`AnalysisResults` bundles every artefact the pipeline produces — the
+corpus statistics, the per-cuisine mining results, the reproduced Table I, the
+pattern feature matrix, the elbow analysis and the five dendrogram runs —
+together with the validation scores and qualitative-claim checks.  It is the
+single object the report writer, the examples and the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.authenticity.fingerprint import CuisineFingerprint
+from repro.cluster.elbow import ElbowAnalysis
+from repro.cluster.fihc import FIHCResult
+from repro.cluster.hierarchy import ClusteringRun
+from repro.core.config import AnalysisConfig
+from repro.core.table1 import Table1
+from repro.errors import PipelineError
+from repro.features.matrix import FeatureMatrix
+from repro.geo.comparison import ClaimCheck, TreeComparison
+from repro.mining.itemsets import MiningResult
+from repro.recipedb.stats import CorpusStatistics
+
+__all__ = ["AnalysisResults"]
+
+
+@dataclass(frozen=True)
+class AnalysisResults:
+    """Every artefact of one end-to-end cuisine-clustering analysis."""
+
+    config: AnalysisConfig
+    corpus_stats: CorpusStatistics
+    mining_results: Mapping[str, MiningResult]
+    table1: Table1
+    pattern_features: FeatureMatrix
+    elbow: ElbowAnalysis
+    figure2_euclidean: ClusteringRun
+    figure3_cosine: ClusteringRun
+    figure4_jaccard: ClusteringRun
+    figure5_authenticity: ClusteringRun
+    figure6_geography: ClusteringRun
+    fihc: FIHCResult
+    fingerprints: Mapping[str, CuisineFingerprint]
+    geography_validation: Mapping[str, TreeComparison]
+    claim_checks: Mapping[str, tuple[ClaimCheck, ...]] = field(default_factory=dict)
+
+    # -- views -------------------------------------------------------------------
+
+    def clustering_runs(self) -> dict[str, ClusteringRun]:
+        """Every dendrogram run, keyed by a human-readable figure name."""
+        return {
+            "Figure 2 — patterns / Euclidean": self.figure2_euclidean,
+            "Figure 3 — patterns / Cosine": self.figure3_cosine,
+            "Figure 4 — patterns / Jaccard": self.figure4_jaccard,
+            "Figure 5 — ingredient authenticity": self.figure5_authenticity,
+            "Figure 6 — geography": self.figure6_geography,
+        }
+
+    def run_for(self, figure: str) -> ClusteringRun:
+        """Look up a clustering run by short key (``figure2`` ... ``figure6``)."""
+        mapping = {
+            "figure2": self.figure2_euclidean,
+            "figure3": self.figure3_cosine,
+            "figure4": self.figure4_jaccard,
+            "figure5": self.figure5_authenticity,
+            "figure6": self.figure6_geography,
+        }
+        try:
+            return mapping[figure.strip().lower()]
+        except KeyError as exc:
+            raise PipelineError(
+                f"unknown figure key {figure!r}; expected one of {sorted(mapping)}"
+            ) from exc
+
+    def regions(self) -> list[str]:
+        return sorted(self.mining_results)
+
+    def best_geography_match(self) -> tuple[str, TreeComparison]:
+        """The cuisine tree that agrees most with geography (by Baker's gamma)."""
+        if not self.geography_validation:
+            raise PipelineError("no geography validation results available")
+        name = max(
+            self.geography_validation,
+            key=lambda key: self.geography_validation[key].bakers_gamma,
+        )
+        return name, self.geography_validation[name]
+
+    def summary(self) -> dict[str, object]:
+        """Compact dictionary summary (used by the CLI and tests)."""
+        return {
+            "config": self.config.to_dict(),
+            "n_recipes": self.corpus_stats.n_recipes,
+            "n_regions": self.corpus_stats.n_regions,
+            "total_patterns": sum(len(r) for r in self.mining_results.values()),
+            "elbow_has_clear_elbow": self.elbow.has_clear_elbow,
+            "geography_validation": {
+                name: comparison.to_dict()
+                for name, comparison in self.geography_validation.items()
+            },
+            "claims": {
+                name: [check.to_dict() for check in checks]
+                for name, checks in self.claim_checks.items()
+            },
+        }

@@ -1,0 +1,127 @@
+"""Reproduction of Table I: significant patterns mined per cuisine.
+
+Table I of the paper reports, for each of the 26 cuisines: the number of
+recipes, the topmost significant pattern(s), that pattern's support and the
+total number of patterns mined at support 0.20.  :func:`build_table1`
+recomputes the same rows from a recipe database and per-cuisine mining
+results, and :func:`compare_with_paper` lines the measured rows up against the
+values transcribed from the paper so EXPERIMENTS.md (and the benchmark output)
+can show paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import PipelineError
+from repro.datagen.profiles import PAPER_TABLE1_ROWS
+from repro.mining.itemsets import MiningResult
+from repro.recipedb.database import RecipeDatabase
+
+__all__ = ["Table1Row", "Table1", "build_table1", "compare_with_paper"]
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One cuisine row of the reproduced Table I."""
+
+    region: str
+    n_recipes: int
+    top_pattern: str
+    support: float
+    n_patterns: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "region": self.region,
+            "n_recipes": self.n_recipes,
+            "top_pattern": self.top_pattern,
+            "support": round(self.support, 3),
+            "n_patterns": self.n_patterns,
+        }
+
+
+@dataclass(frozen=True)
+class Table1:
+    """The full reproduced Table I."""
+
+    rows: tuple[Table1Row, ...]
+    min_support: float
+
+    def row_for(self, region: str) -> Table1Row:
+        for row in self.rows:
+            if row.region == region:
+                return row
+        raise PipelineError(f"no Table I row for region {region!r}")
+
+    def regions(self) -> list[str]:
+        return [row.region for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [row.to_dict() for row in self.rows]
+
+
+def build_table1(
+    database: RecipeDatabase,
+    results_by_cuisine: Mapping[str, MiningResult],
+    *,
+    prefer_compound: bool = False,
+) -> Table1:
+    """Build the reproduced Table I.
+
+    ``prefer_compound=True`` reports the highest-support multi-item pattern
+    when one exists (several of the paper's headline patterns are compound);
+    the default reports the overall highest-support pattern.
+    """
+    if not results_by_cuisine:
+        raise PipelineError("at least one cuisine mining result is required")
+    counts = database.region_recipe_counts()
+    rows: list[Table1Row] = []
+    min_support = None
+    for region in sorted(results_by_cuisine):
+        result = results_by_cuisine[region]
+        min_support = result.min_support if min_support is None else min_support
+        top = result.top_pattern(prefer_compound=prefer_compound)
+        rows.append(
+            Table1Row(
+                region=region,
+                n_recipes=counts.get(region, 0),
+                top_pattern=top.as_string() if top is not None else "(none)",
+                support=top.support if top is not None else 0.0,
+                n_patterns=len(result),
+            )
+        )
+    return Table1(rows=tuple(rows), min_support=min_support or 0.0)
+
+
+def compare_with_paper(table: Table1) -> list[dict[str, object]]:
+    """Line the reproduced rows up against the paper's published Table I.
+
+    Regions present in only one of the two tables are skipped (e.g. when the
+    analysis is run on a subset of cuisines).
+    """
+    paper_rows = {row[0]: row for row in PAPER_TABLE1_ROWS}
+    comparison: list[dict[str, object]] = []
+    for row in table.rows:
+        paper = paper_rows.get(row.region)
+        if paper is None:
+            continue
+        _region, paper_count, paper_pattern, paper_support, paper_n_patterns = paper
+        paper_items = {part.strip().lower() for part in paper_pattern.split("+")}
+        measured_items = {part.strip().lower() for part in row.top_pattern.split("+")}
+        comparison.append(
+            {
+                "region": row.region,
+                "paper_n_recipes": paper_count,
+                "measured_n_recipes": row.n_recipes,
+                "paper_top_pattern": paper_pattern,
+                "measured_top_pattern": row.top_pattern,
+                "paper_support": paper_support,
+                "measured_support": round(row.support, 3),
+                "paper_n_patterns": paper_n_patterns,
+                "measured_n_patterns": row.n_patterns,
+                "headline_item_overlap": bool(paper_items & measured_items),
+            }
+        )
+    return comparison

@@ -1,0 +1,53 @@
+"""Synthetic RecipeDB corpus generation calibrated to the paper's statistics."""
+
+from repro.datagen.generator import (
+    GeneratorConfig,
+    SyntheticRecipeDBGenerator,
+    generate_corpus,
+)
+from repro.datagen.pantry import (
+    CORE_INGREDIENTS,
+    PROCESSES,
+    SIGNATURE_INGREDIENTS,
+    UTENSILS,
+    expanded_ingredient_pool,
+    expanded_process_pool,
+    expanded_utensil_pool,
+)
+from repro.datagen.profiles import (
+    PAPER_REGION_NAMES,
+    PAPER_TABLE1_ROWS,
+    CuisineProfile,
+    default_profiles,
+    profile_for,
+)
+from repro.datagen.random_utils import (
+    bernoulli,
+    make_rng,
+    poisson_clamped,
+    sample_without_replacement,
+    zipf_weights,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "SyntheticRecipeDBGenerator",
+    "generate_corpus",
+    "CORE_INGREDIENTS",
+    "PROCESSES",
+    "SIGNATURE_INGREDIENTS",
+    "UTENSILS",
+    "expanded_ingredient_pool",
+    "expanded_process_pool",
+    "expanded_utensil_pool",
+    "PAPER_REGION_NAMES",
+    "PAPER_TABLE1_ROWS",
+    "CuisineProfile",
+    "default_profiles",
+    "profile_for",
+    "bernoulli",
+    "make_rng",
+    "poisson_clamped",
+    "sample_without_replacement",
+    "zipf_weights",
+]

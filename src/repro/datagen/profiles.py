@@ -1,0 +1,379 @@
+"""Per-cuisine generation profiles calibrated to Table I of the paper.
+
+Each :class:`CuisineProfile` describes one of the paper's 26 geo-cultural
+cuisines:
+
+* ``paper_recipe_count`` -- the recipe count reported in Table I;
+* ``signature_items`` -- item -> target within-cuisine support; these are the
+  headline patterns of Table I (e.g. ``soy sauce`` at 0.45 for Japanese) plus
+  a few additional flavour-defining items that drive the authenticity analysis
+  of Figure 5 and the qualitative claims of Section VII (Canada ~ France,
+  Indian Subcontinent ~ Northern Africa);
+* ``signature_processes`` / ``signature_utensils`` -- analogous targets for
+  processes and utensils (Table I contains mixed patterns such as
+  ``bake + preheat + oven + bowl`` for the US);
+* ``continent`` and ``latitude`` / ``longitude`` hints used for the
+  geographic clustering reference (the authoritative coordinates live in
+  :mod:`repro.geo.regions`; the profile copy keeps datagen self-contained).
+
+The profiles are *data*, not code: tweak them to explore counterfactual
+cuisines without touching the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import GenerationError
+
+__all__ = [
+    "CuisineProfile",
+    "PAPER_TABLE1_ROWS",
+    "default_profiles",
+    "profile_for",
+    "PAPER_REGION_NAMES",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CuisineProfile:
+    """Generation profile for a single cuisine."""
+
+    name: str
+    continent: str
+    paper_recipe_count: int
+    signature_items: Mapping[str, float] = field(default_factory=dict)
+    signature_processes: Mapping[str, float] = field(default_factory=dict)
+    signature_utensils: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.paper_recipe_count <= 0:
+            raise GenerationError(
+                f"{self.name}: paper_recipe_count must be positive"
+            )
+        for mapping_name in ("signature_items", "signature_processes", "signature_utensils"):
+            mapping = getattr(self, mapping_name)
+            for item, probability in mapping.items():
+                if not 0.0 < probability <= 1.0:
+                    raise GenerationError(
+                        f"{self.name}: {mapping_name}[{item!r}] = {probability} "
+                        "must be in (0, 1]"
+                    )
+
+    def scaled_recipe_count(self, scale: float) -> int:
+        """Recipe count at a given corpus scale (≥ 20 so mining stays sane)."""
+        if scale <= 0:
+            raise GenerationError("scale must be positive")
+        return max(20, round(self.paper_recipe_count * scale))
+
+    def all_signatures(self) -> dict[str, float]:
+        """Union of item / process / utensil signature targets."""
+        merged: dict[str, float] = {}
+        merged.update(self.signature_items)
+        merged.update(self.signature_processes)
+        merged.update(self.signature_utensils)
+        return merged
+
+
+# (region, paper recipe count, headline pattern, headline support, n_patterns)
+# transcribed from Table I; used by EXPERIMENTS.md and the Table I benchmark
+# for paper-vs-measured comparison.
+PAPER_TABLE1_ROWS: tuple[tuple[str, int, str, float, int], ...] = (
+    ("Australian", 5823, "butter", 0.24, 29),
+    ("Belgian", 1060, "butter + salt", 0.24, 51),
+    ("Canadian", 6700, "onion", 0.20, 31),
+    ("Caribbean", 3026, "garlic clove", 0.24, 32),
+    ("Central American", 460, "onion", 0.30, 38),
+    ("Chinese and Mongolian", 5896, "soy sauce + add + heat", 0.27, 88),
+    ("Deutschland", 4323, "onion", 0.29, 54),
+    ("Eastern European", 2503, "cream", 0.30, 60),
+    ("French", 6381, "skillet", 0.21, 60),
+    ("Greek", 4185, "olive oil", 0.40, 43),
+    ("Indian Subcontinent", 6464, "onion + add + heat + salt", 0.22, 119),
+    ("Irish", 2532, "butter", 0.32, 41),
+    ("Italian", 16582, "parmesan cheese", 0.31, 63),
+    ("Japanese", 2041, "soy sauce", 0.45, 45),
+    ("Mexican", 14463, "cilantro", 0.25, 33),
+    ("Rest Africa", 2740, "onion + add + heat", 0.20, 51),
+    ("South American", 7176, "onion + salt", 0.21, 62),
+    ("Southeast Asian", 1940, "fish sauce", 0.24, 69),
+    ("Spanish and Portuguese", 2844, "olive oil", 0.31, 67),
+    ("Thai", 2605, "fish sauce + add + heat", 0.23, 73),
+    ("Korean", 668, "soy sauce + sesame oil", 0.34, 85),
+    ("Middle Eastern", 3905, "salt + bowl", 0.22, 46),
+    ("Northern Africa", 1611, "cumin + cinnamon", 0.21, 134),
+    ("Scandinavian", 2811, "butter + salt", 0.22, 52),
+    ("UK", 4401, "butter", 0.37, 45),
+    ("US", 5031, "oven", 0.46, 67),
+)
+
+PAPER_REGION_NAMES: tuple[str, ...] = tuple(row[0] for row in PAPER_TABLE1_ROWS)
+
+
+def _profiles() -> dict[str, CuisineProfile]:
+    """Construct the 26 default cuisine profiles."""
+
+    def profile(
+        name: str,
+        continent: str,
+        items: Mapping[str, float],
+        processes: Mapping[str, float] | None = None,
+        utensils: Mapping[str, float] | None = None,
+    ) -> CuisineProfile:
+        counts = {row[0]: row[1] for row in PAPER_TABLE1_ROWS}
+        # Generic cooking verbs (add, heat, mix, ...) are frequent everywhere
+        # but never exceed the headline supports of Table I (max 0.46); cap
+        # them so the distinctive signature *items* win each cuisine's top
+        # pattern, as in the paper.
+        capped_processes = {
+            name_: min(0.38, probability)
+            for name_, probability in (processes or {}).items()
+        }
+        return CuisineProfile(
+            name=name,
+            continent=continent,
+            paper_recipe_count=counts[name],
+            signature_items=dict(items),
+            signature_processes=capped_processes,
+            signature_utensils=dict(utensils or {}),
+        )
+
+    profiles = [
+        # -- Anglosphere / Western Europe (butter, oven, onion cluster) -----
+        profile(
+            "Australian", "Oceania",
+            {"butter": 0.46, "salt": 0.40, "sugar": 0.30, "flour": 0.28,
+             "egg": 0.26, "onion": 0.24, "lamb": 0.12, "macadamia nut": 0.06},
+            {"bake": 0.34, "preheat": 0.30, "add": 0.55, "mix": 0.40},
+            {"oven": 0.36, "bowl": 0.42},
+        ),
+        profile(
+            "Belgian", "Europe",
+            {"butter": 0.46, "salt": 0.44, "sugar": 0.30, "flour": 0.32,
+             "egg": 0.30, "cream": 0.20, "beer": 0.12, "leek": 0.10},
+            {"bake": 0.30, "melt": 0.24, "add": 0.55, "mix": 0.38},
+            {"oven": 0.32, "bowl": 0.40, "saucepan": 0.22},
+        ),
+        profile(
+            "Canadian", "North America",
+            {"onion": 0.44, "butter": 0.34, "salt": 0.38, "flour": 0.28,
+             "maple syrup": 0.14, "cream": 0.18, "garlic clove": 0.22,
+             "cranberry": 0.07},
+            {"bake": 0.28, "add": 0.55, "heat": 0.40, "preheat": 0.24},
+            {"oven": 0.30, "bowl": 0.38, "skillet": 0.22},
+        ),
+        profile(
+            "Caribbean", "Caribbean",
+            {"garlic clove": 0.44, "onion": 0.34, "salt": 0.38, "lime juice": 0.22,
+             "scotch bonnet": 0.14, "allspice": 0.14, "coconut milk": 0.16,
+             "plantain": 0.10, "jerk seasoning": 0.08},
+            {"add": 0.50, "heat": 0.40, "marinate": 0.20, "simmer": 0.24},
+            {"pot": 0.26, "bowl": 0.32},
+        ),
+        profile(
+            "Central American", "North America",
+            {"onion": 0.46, "salt": 0.44, "garlic clove": 0.32, "tomato": 0.28,
+             "corn": 0.20, "black bean": 0.18, "cilantro": 0.22, "tortilla": 0.14},
+            {"add": 0.52, "heat": 0.42, "cook": 0.36, "simmer": 0.22},
+            {"pot": 0.24, "skillet": 0.24},
+        ),
+        # -- East Asia (soy sauce cluster) -----------------------------------
+        profile(
+            "Chinese and Mongolian", "Asia",
+            {"soy sauce": 0.48, "garlic clove": 0.34, "ginger": 0.30,
+             "sesame oil": 0.24, "green onion": 0.26, "rice vinegar": 0.14,
+             "hoisin sauce": 0.10, "oyster sauce": 0.12, "white rice": 0.20,
+             "cornstarch": 0.18, "five spice powder": 0.06},
+            {"add": 0.56, "heat": 0.50, "stir fry": 0.28, "stir": 0.34},
+            {"wok": 0.30, "bowl": 0.34},
+        ),
+        profile(
+            "Deutschland", "Europe",
+            {"onion": 0.46, "butter": 0.34, "salt": 0.40, "flour": 0.30,
+             "potato": 0.24, "sauerkraut": 0.10, "caraway": 0.08,
+             "bratwurst": 0.07, "mustard seed": 0.10},
+            {"add": 0.52, "cook": 0.38, "bake": 0.24, "simmer": 0.22},
+            {"pot": 0.26, "oven": 0.24, "bowl": 0.34},
+        ),
+        profile(
+            "Eastern European", "Europe",
+            {"cream": 0.46, "onion": 0.38, "butter": 0.32, "salt": 0.40,
+             "potato": 0.24, "beet": 0.12, "cabbage": 0.16, "dill": 0.16,
+             "sour cream": 0.22, "kefir": 0.05},
+            {"add": 0.52, "cook": 0.36, "boil": 0.26, "simmer": 0.24},
+            {"pot": 0.28, "bowl": 0.34},
+        ),
+        profile(
+            "French", "Europe",
+            {"butter": 0.42, "salt": 0.46, "cream": 0.24, "onion": 0.26,
+             "garlic clove": 0.26, "white wine": 0.16, "shallot": 0.16,
+             "thyme": 0.14, "dijon mustard": 0.10, "creme fraiche": 0.08},
+            {"add": 0.52, "heat": 0.40, "saute": 0.22, "reduce": 0.14},
+            {"skillet": 0.34, "saucepan": 0.26, "oven": 0.24, "bowl": 0.30},
+        ),
+        profile(
+            "Greek", "Europe",
+            {"olive oil": 0.55, "salt": 0.44, "lemon juice": 0.26, "oregano": 0.24,
+             "feta cheese": 0.22, "garlic clove": 0.28, "onion": 0.26,
+             "kalamata olive": 0.14, "eggplant": 0.10, "yogurt": 0.14},
+            {"add": 0.50, "bake": 0.24, "mix": 0.34, "drizzle": 0.16},
+            {"bowl": 0.36, "oven": 0.26, "baking dish": 0.16},
+        ),
+        profile(
+            "Indian Subcontinent", "Asia",
+            {"onion": 0.44, "salt": 0.46, "cumin": 0.34, "turmeric": 0.30,
+             "ginger": 0.28, "garlic clove": 0.32, "coriander seed": 0.22,
+             "garam masala": 0.20, "red chili": 0.22, "ghee": 0.14,
+             "cinnamon": 0.16, "cardamom": 0.14, "curry leaf": 0.10,
+             "yogurt": 0.16, "lentil": 0.12, "basmati rice": 0.12},
+            {"add": 0.56, "heat": 0.48, "cook": 0.38, "fry": 0.26, "simmer": 0.26},
+            {"pan": 0.28, "pot": 0.24, "bowl": 0.30},
+        ),
+        profile(
+            "Irish", "Europe",
+            {"butter": 0.48, "salt": 0.46, "potato": 0.30, "flour": 0.30,
+             "onion": 0.26, "cream": 0.18, "guinness": 0.08, "irish butter": 0.07,
+             "cabbage": 0.12, "lamb shoulder": 0.08},
+            {"add": 0.50, "bake": 0.26, "boil": 0.24, "mash": 0.14},
+            {"oven": 0.28, "pot": 0.26, "bowl": 0.34},
+        ),
+        profile(
+            "Italian", "Europe",
+            {"parmesan cheese": 0.46, "olive oil": 0.38, "garlic clove": 0.34,
+             "salt": 0.40, "tomato": 0.28, "basil": 0.22, "pasta": 0.26,
+             "onion": 0.26, "mozzarella": 0.14, "oregano": 0.14, "red wine": 0.08},
+            {"add": 0.52, "cook": 0.38, "boil": 0.24, "simmer": 0.24, "saute": 0.20},
+            {"pot": 0.26, "skillet": 0.24, "bowl": 0.30},
+        ),
+        profile(
+            "Japanese", "Asia",
+            {"soy sauce": 0.52, "mirin": 0.26, "sake": 0.20, "sugar": 0.28,
+             "sesame oil": 0.18, "ginger": 0.22, "green onion": 0.22,
+             "dashi": 0.16, "miso paste": 0.14, "rice vinegar": 0.14,
+             "white rice": 0.22, "nori": 0.10, "wasabi": 0.06},
+            {"add": 0.50, "heat": 0.40, "simmer": 0.26, "mix": 0.30},
+            {"saucepan": 0.24, "bowl": 0.34, "pan": 0.22},
+        ),
+        profile(
+            "Mexican", "North America",
+            {"cilantro": 0.46, "onion": 0.38, "salt": 0.40, "garlic clove": 0.32,
+             "lime juice": 0.26, "jalapeno": 0.22, "tomato": 0.26, "cumin": 0.22,
+             "tortilla": 0.18, "avocado": 0.16, "chipotle": 0.10,
+             "queso fresco": 0.08, "tomatillo": 0.08},
+            {"add": 0.52, "heat": 0.42, "cook": 0.36, "chop": 0.30},
+            {"skillet": 0.26, "bowl": 0.34},
+        ),
+        profile(
+            "Rest Africa", "Africa",
+            {"onion": 0.44, "salt": 0.40, "tomato": 0.28, "garlic clove": 0.28,
+             "ginger": 0.18, "peanut oil": 0.12, "palm oil": 0.10, "okra": 0.10,
+             "berbere": 0.07, "cassava": 0.07, "scotch bonnet": 0.08},
+            {"add": 0.52, "heat": 0.44, "cook": 0.38, "simmer": 0.26},
+            {"pot": 0.30, "bowl": 0.28},
+        ),
+        profile(
+            "South American", "South America",
+            {"onion": 0.40, "salt": 0.44, "garlic clove": 0.30, "tomato": 0.24,
+             "cilantro": 0.20, "lime juice": 0.18, "corn": 0.14, "beef": 0.18,
+             "aji amarillo": 0.08, "manioc flour": 0.06, "dulce de leche": 0.05},
+            {"add": 0.52, "heat": 0.40, "cook": 0.36, "grill": 0.16},
+            {"pot": 0.26, "bowl": 0.30, "grill": 0.14},
+        ),
+        profile(
+            "Southeast Asian", "Asia",
+            {"fish sauce": 0.42, "garlic clove": 0.34, "lime juice": 0.24,
+             "coconut milk": 0.24, "lemongrass": 0.18, "ginger": 0.20,
+             "soy sauce": 0.22, "palm sugar": 0.14, "shrimp paste": 0.10,
+             "rice noodles": 0.16, "sambal": 0.08, "kecap manis": 0.06,
+             "kaffir lime leaf": 0.10},
+            {"add": 0.52, "heat": 0.44, "stir fry": 0.24, "simmer": 0.22},
+            {"wok": 0.26, "bowl": 0.30},
+        ),
+        profile(
+            "Spanish and Portuguese", "Europe",
+            {"olive oil": 0.46, "garlic clove": 0.36, "salt": 0.44, "onion": 0.32,
+             "tomato": 0.26, "smoked paprika": 0.18, "sherry": 0.10,
+             "chorizo": 0.12, "saffron": 0.10, "manchego cheese": 0.06,
+             "serrano ham": 0.06, "piri piri": 0.05},
+            {"add": 0.50, "heat": 0.42, "saute": 0.22, "simmer": 0.22},
+            {"skillet": 0.26, "pot": 0.22, "bowl": 0.28},
+        ),
+        profile(
+            "Thai", "Asia",
+            {"fish sauce": 0.44, "garlic clove": 0.34, "lime juice": 0.28,
+             "coconut milk": 0.26, "lemongrass": 0.22, "thai basil": 0.16,
+             "palm sugar": 0.18, "galangal": 0.12, "kaffir lime leaf": 0.14,
+             "red chili": 0.24, "shrimp paste": 0.10, "rice noodles": 0.14},
+            {"add": 0.54, "heat": 0.46, "stir fry": 0.26, "pound": 0.12},
+            {"wok": 0.28, "mortar and pestle": 0.12, "bowl": 0.28},
+        ),
+        profile(
+            "Korean", "Asia",
+            {"soy sauce": 0.50, "sesame oil": 0.42, "green onion": 0.40,
+             "garlic clove": 0.38, "sugar": 0.28, "sesame seed": 0.24,
+             "gochujang": 0.22, "kimchi": 0.16, "ginger": 0.20, "white rice": 0.18},
+            {"add": 0.52, "mix": 0.38, "heat": 0.42, "marinate": 0.18},
+            {"bowl": 0.36, "pan": 0.24},
+        ),
+        profile(
+            "Middle Eastern", "Middle East",
+            {"salt": 0.46, "lemon juice": 0.36, "olive oil": 0.34, "garlic clove": 0.30,
+             "onion": 0.30, "cumin": 0.26, "tahini": 0.16, "chickpea": 0.18,
+             "parsley": 0.20, "sumac": 0.08, "za'atar": 0.08, "mint": 0.14,
+             "yogurt": 0.16},
+            {"add": 0.50, "mix": 0.36, "heat": 0.36, "chop": 0.26},
+            {"bowl": 0.40, "pan": 0.22, "food processor": 0.12},
+        ),
+        profile(
+            "Northern Africa", "Africa",
+            {"cumin": 0.46, "cinnamon": 0.32, "olive oil": 0.38, "salt": 0.38,
+             "onion": 0.34, "garlic clove": 0.28, "ginger": 0.20, "paprika": 0.20,
+             "coriander seed": 0.18, "harissa": 0.12, "preserved lemon": 0.10,
+             "couscous": 0.14, "date": 0.10, "apricot": 0.08, "saffron": 0.08,
+             "turmeric": 0.16},
+            {"add": 0.52, "heat": 0.42, "simmer": 0.26, "stew": 0.14},
+            {"pot": 0.26, "dutch oven": 0.10, "bowl": 0.30},
+        ),
+        profile(
+            "Scandinavian", "Europe",
+            {"butter": 0.42, "salt": 0.46, "sugar": 0.34, "flour": 0.30,
+             "egg": 0.26, "cream": 0.22, "dill": 0.18, "rye flour": 0.10,
+             "pickled herring": 0.06, "lingonberry": 0.07, "cardamom": 0.10},
+            {"add": 0.50, "bake": 0.28, "mix": 0.36, "whisk": 0.22},
+            {"oven": 0.30, "bowl": 0.38, "saucepan": 0.20},
+        ),
+        profile(
+            "UK", "Europe",
+            {"butter": 0.46, "salt": 0.42, "flour": 0.34, "sugar": 0.32,
+             "egg": 0.30, "milk": 0.24, "onion": 0.24, "cheddar": 0.12,
+             "golden syrup": 0.07, "suet": 0.05, "malt vinegar": 0.05},
+            {"bake": 0.32, "add": 0.52, "mix": 0.38, "preheat": 0.26},
+            {"oven": 0.38, "bowl": 0.40, "baking dish": 0.16},
+        ),
+        profile(
+            "US", "North America",
+            {"butter": 0.38, "salt": 0.40, "sugar": 0.34, "flour": 0.32,
+             "egg": 0.30, "onion": 0.28, "garlic clove": 0.24, "cheddar cheese": 0.16,
+             "bacon": 0.12, "ketchup": 0.08, "mayonnaise": 0.10},
+            {"bake": 0.36, "preheat": 0.34, "add": 0.54, "mix": 0.40, "combine": 0.28},
+            {"oven": 0.53, "bowl": 0.44, "baking sheet": 0.18},
+        ),
+    ]
+    return {p.name: p for p in profiles}
+
+
+_DEFAULT_PROFILES = _profiles()
+
+
+def default_profiles() -> dict[str, CuisineProfile]:
+    """Return the 26 default cuisine profiles keyed by region name."""
+    return dict(_DEFAULT_PROFILES)
+
+
+def profile_for(region: str) -> CuisineProfile:
+    """Look up a default profile by region name."""
+    try:
+        return _DEFAULT_PROFILES[region]
+    except KeyError as exc:
+        raise GenerationError(f"no default profile for region {region!r}") from exc

@@ -1,0 +1,41 @@
+"""Distance metrics, condensed pairwise matrices and haversine geography."""
+
+from repro.distances.haversine import EARTH_RADIUS_KM, haversine_km, haversine_matrix
+from repro.distances.metrics import (
+    METRICS,
+    chebyshev,
+    cityblock,
+    cosine,
+    euclidean,
+    get_metric,
+    hamming,
+    jaccard,
+    squared_euclidean,
+)
+from repro.distances.pdist import (
+    CondensedDistanceMatrix,
+    condensed_index,
+    condensed_size,
+    pairwise_distances,
+    pdist_from_square,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "haversine_km",
+    "haversine_matrix",
+    "METRICS",
+    "chebyshev",
+    "cityblock",
+    "cosine",
+    "euclidean",
+    "get_metric",
+    "hamming",
+    "jaccard",
+    "squared_euclidean",
+    "CondensedDistanceMatrix",
+    "condensed_index",
+    "condensed_size",
+    "pairwise_distances",
+    "pdist_from_square",
+]

@@ -1,0 +1,80 @@
+"""Great-circle (haversine) distances between region centroids.
+
+Figure 6 of the paper clusters the 26 regions purely by geographical distance
+to obtain the reference tree the cuisine trees are validated against.  The
+haversine formula gives the great-circle distance between two
+latitude/longitude points on a sphere, which is the natural "geographical
+distance" between region centroids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import GeographyError
+
+__all__ = ["EARTH_RADIUS_KM", "haversine_km", "haversine_matrix"]
+
+EARTH_RADIUS_KM = 6371.0088  # mean Earth radius
+
+
+def _validate_coordinate(latitude: float, longitude: float) -> None:
+    if not -90.0 <= latitude <= 90.0:
+        raise GeographyError(f"latitude {latitude} out of range [-90, 90]")
+    if not -180.0 <= longitude <= 180.0:
+        raise GeographyError(f"longitude {longitude} out of range [-180, 180]")
+
+
+def haversine_km(
+    first: Sequence[float],
+    second: Sequence[float],
+    *,
+    radius_km: float = EARTH_RADIUS_KM,
+) -> float:
+    """Great-circle distance in kilometres between two (lat, lon) points."""
+    if len(first) != 2 or len(second) != 2:
+        raise GeographyError("coordinates must be (latitude, longitude) pairs")
+    if radius_km <= 0:
+        raise GeographyError("radius_km must be positive")
+    lat1, lon1 = float(first[0]), float(first[1])
+    lat2, lon2 = float(second[0]), float(second[1])
+    _validate_coordinate(lat1, lon1)
+    _validate_coordinate(lat2, lon2)
+
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    d_phi = math.radians(lat2 - lat1)
+    d_lambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(d_phi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(d_lambda / 2.0) ** 2
+    )
+    # Clamp for numerical safety before the arcsin.
+    a = min(1.0, max(0.0, a))
+    return 2.0 * radius_km * math.asin(math.sqrt(a))
+
+
+def haversine_matrix(
+    coordinates: Mapping[str, Sequence[float]],
+    *,
+    radius_km: float = EARTH_RADIUS_KM,
+) -> tuple[tuple[str, ...], np.ndarray]:
+    """Full symmetric distance matrix (km) between named coordinates.
+
+    Returns the sorted label tuple and the corresponding square matrix.
+    """
+    if not coordinates:
+        raise GeographyError("at least one coordinate is required")
+    labels = tuple(sorted(coordinates))
+    n = len(labels)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            distance = haversine_km(
+                coordinates[labels[i]], coordinates[labels[j]], radius_km=radius_km
+            )
+            matrix[i, j] = distance
+            matrix[j, i] = distance
+    return labels, matrix

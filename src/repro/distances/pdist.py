@@ -1,0 +1,190 @@
+"""Condensed pairwise distance matrices (the paper's ``pdist`` step).
+
+Section VI-A converts the cuisine feature matrix into a *condensed distance
+matrix* before feeding it to hierarchical clustering.  The condensed form
+stores the strict upper triangle of the symmetric n × n distance matrix as a
+flat vector of length ``n * (n - 1) / 2`` in row-major order -- the same
+layout scipy uses, which lets the test suite cross-check directly against
+``scipy.spatial.distance.pdist``.
+
+:class:`CondensedDistanceMatrix` keeps the row labels alongside the distances
+so the clustering output can name cuisines rather than indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DistanceError
+from repro.distances.metrics import Metric, get_metric
+from repro.features.matrix import FeatureMatrix
+
+__all__ = [
+    "CondensedDistanceMatrix",
+    "condensed_size",
+    "condensed_index",
+    "pairwise_distances",
+    "pdist_from_square",
+]
+
+
+def condensed_size(n: int) -> int:
+    """Length of the condensed vector for *n* observations."""
+    if n < 0:
+        raise DistanceError("n must be non-negative")
+    return n * (n - 1) // 2
+
+
+def condensed_index(n: int, i: int, j: int) -> int:
+    """Index of pair ``(i, j)`` (i != j) in a condensed matrix over *n* points."""
+    if i == j:
+        raise DistanceError("condensed matrices have no diagonal entries")
+    if not (0 <= i < n and 0 <= j < n):
+        raise DistanceError(f"indices ({i}, {j}) out of range for n={n}")
+    if i > j:
+        i, j = j, i
+    return n * i - (i * (i + 1)) // 2 + (j - i - 1)
+
+
+@dataclass(frozen=True)
+class CondensedDistanceMatrix:
+    """A condensed (upper-triangle) pairwise distance matrix with labels."""
+
+    labels: tuple[str, ...]
+    distances: np.ndarray
+    metric: str = "euclidean"
+
+    def __post_init__(self) -> None:
+        distances = np.asarray(self.distances, dtype=np.float64)
+        expected = condensed_size(len(self.labels))
+        if distances.ndim != 1 or distances.shape[0] != expected:
+            raise DistanceError(
+                f"condensed vector must have length {expected} for "
+                f"{len(self.labels)} observations, got shape {distances.shape}"
+            )
+        if expected and not np.all(np.isfinite(distances)):
+            raise DistanceError("distances must be finite")
+        if expected and np.any(distances < -1e-12):
+            raise DistanceError("distances must be non-negative")
+        object.__setattr__(self, "distances", np.maximum(distances, 0.0))
+        object.__setattr__(self, "labels", tuple(self.labels))
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def n_observations(self) -> int:
+        return len(self.labels)
+
+    def index_of(self, label: str) -> int:
+        try:
+            return self.labels.index(label)
+        except ValueError as exc:
+            raise DistanceError(f"unknown label: {label!r}") from exc
+
+    def distance(self, first: str | int, second: str | int) -> float:
+        """Distance between two observations, by label or index."""
+        i = first if isinstance(first, int) else self.index_of(first)
+        j = second if isinstance(second, int) else self.index_of(second)
+        if i == j:
+            return 0.0
+        return float(self.distances[condensed_index(self.n_observations, i, j)])
+
+    def to_square(self) -> np.ndarray:
+        """Expand to the full symmetric n × n matrix (zero diagonal)."""
+        n = self.n_observations
+        square = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = self.distances[condensed_index(n, i, j)]
+                square[i, j] = value
+                square[j, i] = value
+        return square
+
+    def nearest_pair(self) -> tuple[str, str, float]:
+        """The closest pair of observations (deterministic tie-breaking)."""
+        if self.n_observations < 2:
+            raise DistanceError("need at least two observations")
+        best_value = math.inf
+        best_pair = (0, 1)
+        n = self.n_observations
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = self.distances[condensed_index(n, i, j)]
+                if value < best_value - 1e-15:
+                    best_value = value
+                    best_pair = (i, j)
+        return self.labels[best_pair[0]], self.labels[best_pair[1]], float(best_value)
+
+    def ranked_pairs(self) -> list[tuple[str, str, float]]:
+        """All pairs sorted by ascending distance (ties broken by labels)."""
+        n = self.n_observations
+        pairs = [
+            (
+                self.labels[i],
+                self.labels[j],
+                float(self.distances[condensed_index(n, i, j)]),
+            )
+            for i in range(n)
+            for j in range(i + 1, n)
+        ]
+        return sorted(pairs, key=lambda p: (p[2], p[0], p[1]))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "labels": list(self.labels),
+            "metric": self.metric,
+            "distances": self.distances.tolist(),
+        }
+
+
+def pairwise_distances(
+    features: FeatureMatrix,
+    metric: str | Metric = "euclidean",
+) -> CondensedDistanceMatrix:
+    """Compute the condensed pairwise distance matrix of a feature matrix."""
+    if features.n_rows < 1:
+        raise DistanceError("feature matrix must contain at least one row")
+    metric_name = metric if isinstance(metric, str) else getattr(metric, "__name__", "custom")
+    metric_fn = get_metric(metric) if isinstance(metric, str) else metric
+    n = features.n_rows
+    values = features.values
+    distances = np.zeros(condensed_size(n), dtype=np.float64)
+    position = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            distances[position] = metric_fn(values[i], values[j])
+            position += 1
+    return CondensedDistanceMatrix(
+        labels=features.row_labels, distances=distances, metric=str(metric_name)
+    )
+
+
+def pdist_from_square(
+    square: np.ndarray,
+    labels: Sequence[str],
+    *,
+    metric: str = "precomputed",
+    atol: float = 1e-8,
+) -> CondensedDistanceMatrix:
+    """Condense a full symmetric distance matrix (e.g. haversine distances)."""
+    matrix = np.asarray(square, dtype=np.float64)
+    n = len(labels)
+    if matrix.shape != (n, n):
+        raise DistanceError(
+            f"square matrix shape {matrix.shape} does not match {n} labels"
+        )
+    if not np.allclose(matrix, matrix.T, atol=atol):
+        raise DistanceError("distance matrix must be symmetric")
+    if not np.allclose(np.diag(matrix), 0.0, atol=atol):
+        raise DistanceError("distance matrix must have a zero diagonal")
+    distances = np.zeros(condensed_size(n), dtype=np.float64)
+    position = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            distances[position] = matrix[i, j]
+            position += 1
+    return CondensedDistanceMatrix(labels=tuple(labels), distances=distances, metric=metric)

@@ -1,0 +1,86 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "ValidationError",
+    "DuplicateRecordError",
+    "UnknownRecordError",
+    "QueryError",
+    "SerializationError",
+    "GenerationError",
+    "MiningError",
+    "FeatureError",
+    "DistanceError",
+    "ClusteringError",
+    "GeographyError",
+    "PipelineError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A record does not conform to the RecipeDB schema."""
+
+
+class ValidationError(ReproError):
+    """A value failed a semantic validation check (range, emptiness, ...)."""
+
+
+class DuplicateRecordError(ReproError):
+    """An insert collided with an existing primary key."""
+
+
+class UnknownRecordError(ReproError, KeyError):
+    """A lookup referenced a primary key that is not present."""
+
+
+class QueryError(ReproError):
+    """A query was malformed (unknown field, bad operator, ...)."""
+
+
+class SerializationError(ReproError):
+    """Loading or saving a database failed."""
+
+
+class GenerationError(ReproError):
+    """The synthetic corpus generator was configured inconsistently."""
+
+
+class MiningError(ReproError):
+    """Frequent-pattern mining received invalid parameters or transactions."""
+
+
+class FeatureError(ReproError):
+    """Feature encoding / vectorisation failed."""
+
+
+class DistanceError(ReproError):
+    """A distance computation received incompatible or degenerate inputs."""
+
+
+class ClusteringError(ReproError):
+    """Hierarchical or partitional clustering failed."""
+
+
+class GeographyError(ReproError):
+    """Geographic data (region coordinates) is missing or invalid."""
+
+
+class PipelineError(ReproError):
+    """The end-to-end analysis pipeline could not complete a stage."""
+
+
+class ConfigurationError(ReproError):
+    """An :class:`~repro.core.config.AnalysisConfig` value is out of range."""

@@ -1,0 +1,19 @@
+"""Feature construction: label encoding, string patterns, feature matrices."""
+
+from repro.features.encoding import LabelEncoder, encode_cuisine_patterns, string_patterns
+from repro.features.matrix import FeatureMatrix
+from repro.features.vectorize import (
+    authenticity_feature_matrix,
+    coordinate_feature_matrix,
+    pattern_membership_matrix,
+)
+
+__all__ = [
+    "LabelEncoder",
+    "encode_cuisine_patterns",
+    "string_patterns",
+    "FeatureMatrix",
+    "authenticity_feature_matrix",
+    "coordinate_feature_matrix",
+    "pattern_membership_matrix",
+]

@@ -1,0 +1,132 @@
+"""Label encoding and "string pattern" construction (Section VI-A).
+
+The paper's feature pipeline is idiosyncratic but simple:
+
+1. every mined frozenset pattern is sorted and joined into a single
+   categorical "string pattern";
+2. the union of string patterns across all 26 cuisines is label-encoded
+   (each distinct string pattern gets an integer code);
+3. each cuisine is then represented in terms of the patterns it exhibits.
+
+:class:`LabelEncoder` reproduces step 2, and :func:`string_patterns` /
+:func:`encode_cuisine_patterns` reproduce steps 1 and 3.  The actual
+cuisine × pattern matrix is assembled in :mod:`repro.features.vectorize`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import FeatureError
+from repro.mining.itemsets import MiningResult
+
+__all__ = ["LabelEncoder", "string_patterns", "encode_cuisine_patterns"]
+
+
+class LabelEncoder:
+    """Encode hashable categorical values as dense integer codes.
+
+    Codes are assigned by sorted order of the fitted values (mirroring
+    scikit-learn's LabelEncoder, which the paper used), so the encoding is a
+    pure function of the fitted value set.
+    """
+
+    def __init__(self) -> None:
+        self._value_to_code: dict[str, int] = {}
+        self._code_to_value: list[str] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._code_to_value)
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        return tuple(self._code_to_value)
+
+    def fit(self, values: Iterable[str]) -> "LabelEncoder":
+        """Fit the encoder on the distinct values of *values*."""
+        distinct = sorted({str(v) for v in values})
+        if not distinct:
+            raise FeatureError("cannot fit a LabelEncoder on an empty value set")
+        self._code_to_value = distinct
+        self._value_to_code = {value: code for code, value in enumerate(distinct)}
+        return self
+
+    def transform(self, values: Iterable[str]) -> list[int]:
+        """Encode values; raises on values unseen during :meth:`fit`."""
+        self._require_fitted()
+        encoded = []
+        for value in values:
+            code = self._value_to_code.get(str(value))
+            if code is None:
+                raise FeatureError(f"value {value!r} was not seen during fit")
+            encoded.append(code)
+        return encoded
+
+    def fit_transform(self, values: Sequence[str]) -> list[int]:
+        """Fit on *values* and return their codes."""
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, codes: Iterable[int]) -> list[str]:
+        """Decode integer codes back to their original values."""
+        self._require_fitted()
+        decoded = []
+        for code in codes:
+            if not 0 <= code < len(self._code_to_value):
+                raise FeatureError(f"code {code} is out of range")
+            decoded.append(self._code_to_value[code])
+        return decoded
+
+    def __len__(self) -> int:
+        return len(self._code_to_value)
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, str) and value in self._value_to_code
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._code_to_value)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise FeatureError("LabelEncoder is not fitted; call fit() first")
+
+
+def string_patterns(result: MiningResult, separator: str = " + ") -> list[str]:
+    """Sorted-and-joined "string pattern" form of every mined itemset.
+
+    Duplicates cannot occur within one result (itemsets are unique), so the
+    returned list has one entry per mined pattern, in the result's
+    deterministic order.
+    """
+    return result.string_patterns(separator)
+
+
+def encode_cuisine_patterns(
+    results_by_cuisine: Mapping[str, MiningResult],
+    *,
+    separator: str = " + ",
+) -> tuple[LabelEncoder, dict[str, list[int]]]:
+    """Label-encode the union of string patterns across cuisines.
+
+    Returns the fitted encoder together with, per cuisine, the sorted list of
+    pattern codes that cuisine exhibits.  This is exactly the intermediate
+    representation the paper vectorises before clustering.
+    """
+    if not results_by_cuisine:
+        raise FeatureError("at least one cuisine mining result is required")
+    universe: set[str] = set()
+    per_cuisine_strings: dict[str, list[str]] = {}
+    for cuisine, result in results_by_cuisine.items():
+        strings = string_patterns(result, separator)
+        per_cuisine_strings[cuisine] = strings
+        universe.update(strings)
+    if not universe:
+        raise FeatureError(
+            "no patterns were mined for any cuisine; lower the support threshold"
+        )
+    encoder = LabelEncoder().fit(universe)
+    encoded = {
+        cuisine: sorted(encoder.transform(strings))
+        for cuisine, strings in per_cuisine_strings.items()
+    }
+    return encoder, encoded

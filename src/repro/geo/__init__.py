@@ -1,0 +1,34 @@
+"""Geography: region centroids, geographic clustering, tree validation."""
+
+from repro.geo.comparison import (
+    ClaimCheck,
+    TreeComparison,
+    canada_france_vs_us,
+    compare_to_geography,
+    compare_trees,
+    india_north_africa_affinity,
+)
+from repro.geo.geocluster import geographic_clustering, geographic_distance_matrix
+from repro.geo.regions import (
+    REGION_GEOGRAPHY,
+    RegionGeography,
+    continent_assignment,
+    region_continents,
+    region_coordinates,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "TreeComparison",
+    "canada_france_vs_us",
+    "compare_to_geography",
+    "compare_trees",
+    "india_north_africa_affinity",
+    "geographic_clustering",
+    "geographic_distance_matrix",
+    "REGION_GEOGRAPHY",
+    "RegionGeography",
+    "continent_assignment",
+    "region_continents",
+    "region_coordinates",
+]

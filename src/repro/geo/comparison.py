@@ -1,0 +1,140 @@
+"""Tree-vs-geography comparison (the paper's Section VII validation).
+
+The paper validates cuisine trees qualitatively against the geographic tree;
+this module quantifies the comparison and extracts the specific qualitative
+claims as checkable propositions:
+
+* :func:`compare_to_geography` -- Baker's gamma between a cuisine tree and the
+  geographic tree, plus Fowlkes–Mallows / ARI at a range of flat cuts;
+* :func:`canada_france_vs_us` -- "Canadian and French cuisines are closer than
+  Canadian and US" measured as cophenetic distances in a cuisine tree;
+* :func:`india_north_africa_affinity` -- "the Indian Subcontinent is closer to
+  Northern Africa than to its geographic neighbours (Thai / Southeast Asian)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import GeographyError
+from repro.cluster.hierarchy import ClusteringRun
+from repro.cluster.validation import adjusted_rand_index, bakers_gamma, fowlkes_mallows
+from repro.geo.geocluster import geographic_clustering
+
+__all__ = [
+    "TreeComparison",
+    "compare_to_geography",
+    "compare_trees",
+    "ClaimCheck",
+    "canada_france_vs_us",
+    "india_north_africa_affinity",
+]
+
+
+@dataclass(frozen=True)
+class TreeComparison:
+    """Quantified similarity between two hierarchical clusterings."""
+
+    bakers_gamma: float
+    fowlkes_mallows_by_k: dict[int, float]
+    adjusted_rand_by_k: dict[int, float]
+
+    def mean_fowlkes_mallows(self) -> float:
+        values = list(self.fowlkes_mallows_by_k.values())
+        return sum(values) / len(values) if values else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "bakers_gamma": self.bakers_gamma,
+            "fowlkes_mallows_by_k": dict(self.fowlkes_mallows_by_k),
+            "adjusted_rand_by_k": dict(self.adjusted_rand_by_k),
+            "mean_fowlkes_mallows": self.mean_fowlkes_mallows(),
+        }
+
+
+def compare_trees(
+    first: ClusteringRun,
+    second: ClusteringRun,
+    *,
+    k_values: Sequence[int] = (3, 5, 8),
+) -> TreeComparison:
+    """Compare two clustering runs over the same label set."""
+    if set(first.labels) != set(second.labels):
+        raise GeographyError("both clustering runs must cover the same regions")
+    gamma = bakers_gamma(first.dendrogram, second.dendrogram)
+    fm: dict[int, float] = {}
+    ari: dict[int, float] = {}
+    max_k = len(first.labels)
+    for k in k_values:
+        if not 2 <= k <= max_k:
+            continue
+        first_cut = first.flat_clusters(k)
+        second_cut = second.flat_clusters(k)
+        fm[k] = fowlkes_mallows(first_cut, second_cut)
+        ari[k] = adjusted_rand_index(first_cut, second_cut)
+    return TreeComparison(bakers_gamma=gamma, fowlkes_mallows_by_k=fm, adjusted_rand_by_k=ari)
+
+
+def compare_to_geography(
+    run: ClusteringRun,
+    *,
+    method: str = "average",
+    k_values: Sequence[int] = (3, 5, 8),
+) -> TreeComparison:
+    """Compare a cuisine clustering run against the geographic reference tree."""
+    geographic = geographic_clustering(list(run.labels), method=method)
+    return compare_trees(run, geographic, k_values=k_values)
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimCheck:
+    """A checkable qualitative claim with the distances supporting it."""
+
+    claim: str
+    holds: bool
+    details: dict[str, float]
+
+    def to_dict(self) -> dict[str, object]:
+        return {"claim": self.claim, "holds": self.holds, "details": dict(self.details)}
+
+
+def _cophenetic(run: ClusteringRun, first: str, second: str) -> float:
+    return run.dendrogram.cophenetic_distances().distance(first, second)
+
+
+def canada_france_vs_us(run: ClusteringRun) -> ClaimCheck:
+    """Check the paper's Canada–France vs Canada–US claim on a cuisine tree."""
+    required = {"Canadian", "French", "US"}
+    if not required <= set(run.labels):
+        raise GeographyError(f"run must contain the regions {sorted(required)}")
+    canada_france = _cophenetic(run, "Canadian", "French")
+    canada_us = _cophenetic(run, "Canadian", "US")
+    return ClaimCheck(
+        claim="Canadian cuisine is closer to French than to US cuisine",
+        holds=canada_france <= canada_us,
+        details={"canada_france": canada_france, "canada_us": canada_us},
+    )
+
+
+def india_north_africa_affinity(run: ClusteringRun) -> ClaimCheck:
+    """Check the Indian Subcontinent / Northern Africa affinity claim."""
+    required = {"Indian Subcontinent", "Northern Africa", "Thai", "Southeast Asian"}
+    if not required <= set(run.labels):
+        raise GeographyError(f"run must contain the regions {sorted(required)}")
+    india_africa = _cophenetic(run, "Indian Subcontinent", "Northern Africa")
+    india_thai = _cophenetic(run, "Indian Subcontinent", "Thai")
+    india_sea = _cophenetic(run, "Indian Subcontinent", "Southeast Asian")
+    nearest_neighbour = min(india_thai, india_sea)
+    return ClaimCheck(
+        claim=(
+            "Indian Subcontinent cuisine is closer to Northern Africa than to its "
+            "geographic neighbours (Thai / Southeast Asian)"
+        ),
+        holds=india_africa <= nearest_neighbour,
+        details={
+            "india_northern_africa": india_africa,
+            "india_thai": india_thai,
+            "india_southeast_asian": india_sea,
+        },
+    )

@@ -1,0 +1,50 @@
+"""Geographic reference clustering (Figure 6 of the paper).
+
+Builds the hierarchical clustering of regions from great-circle distances
+between their centroids.  This tree is the paper's validation reference: the
+pattern-based and authenticity-based cuisine trees are judged by how well they
+recover the geographic arrangement (plus the interesting deviations discussed
+in Section VII).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import GeographyError
+from repro.cluster.hierarchy import ClusteringRun, cluster_distances
+from repro.distances.haversine import haversine_matrix
+from repro.distances.pdist import pdist_from_square
+from repro.geo.regions import region_coordinates
+
+__all__ = ["geographic_clustering", "geographic_distance_matrix"]
+
+
+def geographic_distance_matrix(
+    regions: Sequence[str] | None = None,
+    *,
+    coordinates: Mapping[str, Sequence[float]] | None = None,
+):
+    """Condensed haversine distance matrix (km) between region centroids."""
+    if coordinates is None:
+        coordinates = region_coordinates(list(regions) if regions is not None else None)
+    elif regions is not None:
+        missing = [r for r in regions if r not in coordinates]
+        if missing:
+            raise GeographyError(f"missing coordinates for regions: {missing}")
+        coordinates = {r: coordinates[r] for r in regions}
+    if len(coordinates) < 2:
+        raise GeographyError("geographic clustering requires at least two regions")
+    labels, matrix = haversine_matrix(coordinates)
+    return pdist_from_square(matrix, labels, metric="haversine-km")
+
+
+def geographic_clustering(
+    regions: Sequence[str] | None = None,
+    *,
+    coordinates: Mapping[str, Sequence[float]] | None = None,
+    method: str = "average",
+) -> ClusteringRun:
+    """Hierarchical clustering of regions by geographic distance (Figure 6)."""
+    distances = geographic_distance_matrix(regions, coordinates=coordinates)
+    return cluster_distances(distances, method=method)

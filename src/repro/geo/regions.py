@@ -1,0 +1,103 @@
+"""Geographic centroids for the paper's 26 regions (Figure 6 input).
+
+The paper's geographic reference clustering uses "the geographical distance of
+regions".  Several regions are multi-country aggregates ("Rest Africa",
+"South American", ...), so each region is represented by a representative
+centroid of its core culinary area.  The values are approximate by nature --
+what matters for the reference tree is the *relative* arrangement (Europe
+close to Europe, East Asia close to East Asia, the Americas together), which
+is robust to centroid choices of a few hundred kilometres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import GeographyError
+
+__all__ = ["RegionGeography", "REGION_GEOGRAPHY", "region_coordinates", "region_continents"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegionGeography:
+    """Geographic descriptor of one cuisine region."""
+
+    name: str
+    latitude: float
+    longitude: float
+    continent: str
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise GeographyError(f"{self.name}: latitude out of range")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise GeographyError(f"{self.name}: longitude out of range")
+
+    @property
+    def coordinate(self) -> tuple[float, float]:
+        return (self.latitude, self.longitude)
+
+
+# Representative culinary-centroid coordinates per region.
+REGION_GEOGRAPHY: dict[str, RegionGeography] = {
+    geography.name: geography
+    for geography in (
+        RegionGeography("Australian", -25.0, 134.0, "Oceania"),
+        RegionGeography("Belgian", 50.6, 4.7, "Europe"),
+        RegionGeography("Canadian", 52.0, -95.0, "North America"),
+        RegionGeography("Caribbean", 18.2, -72.0, "Caribbean"),
+        RegionGeography("Central American", 14.6, -88.0, "North America"),
+        RegionGeography("Chinese and Mongolian", 38.0, 105.0, "Asia"),
+        RegionGeography("Deutschland", 51.0, 10.0, "Europe"),
+        RegionGeography("Eastern European", 50.0, 25.0, "Europe"),
+        RegionGeography("French", 46.6, 2.4, "Europe"),
+        RegionGeography("Greek", 39.0, 22.0, "Europe"),
+        RegionGeography("Indian Subcontinent", 22.0, 79.0, "Asia"),
+        RegionGeography("Irish", 53.3, -8.0, "Europe"),
+        RegionGeography("Italian", 42.5, 12.5, "Europe"),
+        RegionGeography("Japanese", 36.0, 138.0, "Asia"),
+        RegionGeography("Mexican", 23.6, -102.5, "North America"),
+        RegionGeography("Rest Africa", 2.0, 22.0, "Africa"),
+        RegionGeography("South American", -15.0, -60.0, "South America"),
+        RegionGeography("Southeast Asian", 5.0, 110.0, "Asia"),
+        RegionGeography("Spanish and Portuguese", 40.0, -4.5, "Europe"),
+        RegionGeography("Thai", 15.0, 101.0, "Asia"),
+        RegionGeography("Korean", 36.5, 127.8, "Asia"),
+        RegionGeography("Middle Eastern", 31.0, 40.0, "Middle East"),
+        RegionGeography("Northern Africa", 30.0, 10.0, "Africa"),
+        RegionGeography("Scandinavian", 61.0, 15.0, "Europe"),
+        RegionGeography("UK", 54.0, -2.5, "Europe"),
+        RegionGeography("US", 39.8, -98.6, "North America"),
+    )
+}
+
+
+def region_coordinates(
+    regions: list[str] | tuple[str, ...] | None = None,
+) -> dict[str, tuple[float, float]]:
+    """Return (lat, lon) per region; defaults to all 26 paper regions.
+
+    Raises :class:`GeographyError` when an unknown region is requested so that
+    typos surface immediately rather than silently producing a smaller tree.
+    """
+    names = tuple(regions) if regions is not None else tuple(sorted(REGION_GEOGRAPHY))
+    coordinates: dict[str, tuple[float, float]] = {}
+    for name in names:
+        geography = REGION_GEOGRAPHY.get(name)
+        if geography is None:
+            raise GeographyError(f"no geographic data for region {name!r}")
+        coordinates[name] = geography.coordinate
+    return coordinates
+
+
+def region_continents() -> dict[str, str]:
+    """Continent label of every known region (used as a coarse ground truth)."""
+    return {name: geography.continent for name, geography in sorted(REGION_GEOGRAPHY.items())}
+
+
+def continent_assignment(regions: Mapping[str, str] | None = None) -> dict[str, int]:
+    """Flat clustering induced by continents (region -> continent id)."""
+    continents = dict(regions) if regions is not None else region_continents()
+    continent_ids = {name: i for i, name in enumerate(sorted(set(continents.values())))}
+    return {region: continent_ids[continent] for region, continent in continents.items()}

@@ -1,0 +1,28 @@
+"""Frequent-pattern mining: FP-Growth (primary), Apriori and Eclat baselines."""
+
+from repro.mining.apriori import AprioriMiner, apriori
+from repro.mining.closed import closed_patterns, maximal_patterns, redundancy_ratio
+from repro.mining.eclat import EclatMiner, eclat
+from repro.mining.fpgrowth import FPGrowthMiner, fpgrowth
+from repro.mining.fptree import FPNode, FPTree
+from repro.mining.itemsets import MiningResult, Pattern, TransactionDatabase
+from repro.mining.rules import AssociationRule, generate_rules
+
+__all__ = [
+    "AprioriMiner",
+    "apriori",
+    "closed_patterns",
+    "maximal_patterns",
+    "redundancy_ratio",
+    "EclatMiner",
+    "eclat",
+    "FPGrowthMiner",
+    "fpgrowth",
+    "FPNode",
+    "FPTree",
+    "MiningResult",
+    "Pattern",
+    "TransactionDatabase",
+    "AssociationRule",
+    "generate_rules",
+]

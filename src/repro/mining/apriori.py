@@ -1,0 +1,127 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+
+The paper cites Apriori as the foundational association-rule miner and uses
+FP-Growth for efficiency; the reproduction implements both so the
+E10 ablation benchmark can verify they produce identical pattern sets while
+differing in runtime.
+
+The implementation is the classic level-wise algorithm:
+
+1. count 1-itemsets, keep the frequent ones (L1);
+2. generate candidate k-itemsets by joining frequent (k-1)-itemsets that share
+   a (k-2)-prefix, prune candidates with an infrequent subset;
+3. count candidates in one pass over the transactions; repeat until no
+   candidates survive.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.errors import MiningError
+from repro.mining.itemsets import MiningResult, Pattern, TransactionDatabase
+
+__all__ = ["AprioriMiner", "apriori"]
+
+
+class AprioriMiner:
+    """Level-wise Apriori miner with prefix-join candidate generation."""
+
+    def __init__(self, min_support: float = 0.2, max_length: int | None = 4) -> None:
+        if not 0.0 < min_support <= 1.0:
+            raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+        if max_length is not None and max_length < 1:
+            raise MiningError("max_length must be at least 1 when provided")
+        self.min_support = min_support
+        self.max_length = max_length
+
+    def mine(self, transactions: TransactionDatabase | Iterable[Iterable[str]]) -> MiningResult:
+        """Mine all frequent itemsets from *transactions*."""
+        database = (
+            transactions
+            if isinstance(transactions, TransactionDatabase)
+            else TransactionDatabase(transactions)
+        )
+        n = len(database)
+        if n == 0:
+            return MiningResult(
+                [], n_transactions=0, min_support=self.min_support, algorithm="apriori"
+            )
+        min_count = database.minimum_count(self.min_support)
+
+        # L1
+        item_counts = database.item_counts()
+        current_level: dict[frozenset[str], int] = {
+            frozenset([item]): count
+            for item, count in item_counts.items()
+            if count >= min_count
+        }
+        all_frequent: dict[frozenset[str], int] = dict(current_level)
+
+        k = 2
+        while current_level and (self.max_length is None or k <= self.max_length):
+            candidates = self._generate_candidates(set(current_level), k)
+            if not candidates:
+                break
+            counts = self._count_candidates(database, candidates)
+            current_level = {
+                itemset: count for itemset, count in counts.items() if count >= min_count
+            }
+            all_frequent.update(current_level)
+            k += 1
+
+        patterns = [
+            Pattern(items=items, support=count / n, absolute_support=count)
+            for items, count in all_frequent.items()
+        ]
+        return MiningResult(
+            patterns, n_transactions=n, min_support=self.min_support, algorithm="apriori"
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _generate_candidates(
+        previous_level: set[frozenset[str]], k: int
+    ) -> set[frozenset[str]]:
+        """Join frequent (k-1)-itemsets sharing a (k-2)-prefix, then prune."""
+        sorted_itemsets = sorted(tuple(sorted(s)) for s in previous_level)
+        candidates: set[frozenset[str]] = set()
+        for i, left in enumerate(sorted_itemsets):
+            for right in sorted_itemsets[i + 1 :]:
+                if left[: k - 2] != right[: k - 2]:
+                    # The join prefix no longer matches; later itemsets cannot
+                    # match either because the list is sorted.
+                    break
+                union = frozenset(left) | frozenset(right)
+                if len(union) != k:
+                    continue
+                # Apriori pruning: every (k-1)-subset must be frequent.
+                if all(
+                    frozenset(subset) in previous_level
+                    for subset in combinations(sorted(union), k - 1)
+                ):
+                    candidates.add(union)
+        return candidates
+
+    @staticmethod
+    def _count_candidates(
+        database: TransactionDatabase, candidates: set[frozenset[str]]
+    ) -> dict[frozenset[str], int]:
+        """Count candidate supports in a single pass over the transactions."""
+        counts: dict[frozenset[str], int] = {candidate: 0 for candidate in candidates}
+        for transaction in database:
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        return counts
+
+
+def apriori(
+    transactions: TransactionDatabase | Iterable[Iterable[str]],
+    min_support: float = 0.2,
+    max_length: int | None = 4,
+) -> MiningResult:
+    """Functional convenience wrapper around :class:`AprioriMiner`."""
+    return AprioriMiner(min_support=min_support, max_length=max_length).mine(transactions)

@@ -1,0 +1,78 @@
+"""Closed and maximal itemset filtering.
+
+The paper stores mined patterns as ``frozenset``s "to remove redundant
+patterns" (Section VI-A).  Closed-itemset filtering is the standard
+formalisation of that redundancy removal:
+
+* an itemset is **closed** when no proper superset has the same support;
+* an itemset is **maximal** when no proper superset is frequent at all.
+
+Both filters operate on a :class:`~repro.mining.itemsets.MiningResult` and
+return a new result, so they compose with any miner.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.mining.itemsets import MiningResult
+
+__all__ = ["closed_patterns", "maximal_patterns", "redundancy_ratio"]
+
+
+def closed_patterns(result: MiningResult) -> MiningResult:
+    """Keep only closed itemsets (no superset with identical support)."""
+    patterns = list(result)
+    # Group by absolute support; a pattern can only be "closed away" by a
+    # superset with the same support, so comparisons stay within groups.
+    by_support: dict[int, list] = defaultdict(list)
+    for pattern in patterns:
+        by_support[pattern.absolute_support].append(pattern)
+
+    closed = []
+    for pattern in patterns:
+        group = by_support[pattern.absolute_support]
+        is_closed = not any(
+            pattern.items < other.items for other in group if other is not pattern
+        )
+        if is_closed:
+            closed.append(pattern)
+    return MiningResult(
+        closed,
+        n_transactions=result.n_transactions,
+        min_support=result.min_support,
+        algorithm=f"{result.algorithm}+closed",
+    )
+
+
+def maximal_patterns(result: MiningResult) -> MiningResult:
+    """Keep only maximal itemsets (no frequent proper superset)."""
+    patterns = list(result)
+    # Sort by descending length so any potential superset is seen before its
+    # subsets; then a pattern is maximal iff no already-accepted itemset (or
+    # any frequent itemset) strictly contains it.
+    all_itemsets = [p.items for p in patterns]
+    maximal = []
+    for pattern in patterns:
+        if not any(pattern.items < other for other in all_itemsets):
+            maximal.append(pattern)
+    return MiningResult(
+        maximal,
+        n_transactions=result.n_transactions,
+        min_support=result.min_support,
+        algorithm=f"{result.algorithm}+maximal",
+    )
+
+
+def redundancy_ratio(result: MiningResult) -> float:
+    """Fraction of mined patterns that are *not* closed (0 when result is empty).
+
+    A high ratio means the raw pattern list is dominated by redundant subsets
+    of equally-supported supersets -- the situation the paper's frozenset
+    de-duplication is meant to address.
+    """
+    total = len(result)
+    if total == 0:
+        return 0.0
+    closed = len(closed_patterns(result))
+    return (total - closed) / total

@@ -1,0 +1,146 @@
+"""Association-rule generation from mined frequent itemsets.
+
+The paper frames its pattern analysis as "association rule discovery and
+frequent pattern mining" (Section II); Table I only reports itemsets, but the
+rule layer is part of the cited methodology (Agrawal & Srikant 1994), so the
+reproduction provides it: every frequent itemset is split into
+antecedent ⇒ consequent rules whose confidence, lift, leverage and conviction
+are computed from the itemset supports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.errors import MiningError
+from repro.mining.itemsets import MiningResult
+
+__all__ = ["AssociationRule", "generate_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """A single association rule ``antecedent ⇒ consequent`` with its metrics."""
+
+    antecedent: frozenset[str]
+    consequent: frozenset[str]
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+    def __post_init__(self) -> None:
+        if not self.antecedent or not self.consequent:
+            raise MiningError("rule antecedent and consequent must be non-empty")
+        if self.antecedent & self.consequent:
+            raise MiningError("rule antecedent and consequent must be disjoint")
+
+    @property
+    def items(self) -> frozenset[str]:
+        return self.antecedent | self.consequent
+
+    def as_string(self) -> str:
+        lhs = " + ".join(sorted(self.antecedent))
+        rhs = " + ".join(sorted(self.consequent))
+        return f"{lhs} => {rhs}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "antecedent": sorted(self.antecedent),
+            "consequent": sorted(self.consequent),
+            "support": self.support,
+            "confidence": self.confidence,
+            "lift": self.lift,
+            "leverage": self.leverage,
+            "conviction": self.conviction,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.as_string()} "
+            f"(support={self.support:.3f}, confidence={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def _iter_splits(items: frozenset[str]) -> Iterator[tuple[frozenset[str], frozenset[str]]]:
+    """Yield every (antecedent, consequent) split of an itemset."""
+    sorted_items = sorted(items)
+    for antecedent_size in range(1, len(sorted_items)):
+        for antecedent in combinations(sorted_items, antecedent_size):
+            antecedent_set = frozenset(antecedent)
+            consequent_set = items - antecedent_set
+            yield antecedent_set, consequent_set
+
+
+def generate_rules(
+    result: MiningResult,
+    *,
+    min_confidence: float = 0.5,
+    min_lift: float | None = None,
+) -> list[AssociationRule]:
+    """Generate association rules from a :class:`MiningResult`.
+
+    Rules are only generated when the supports of both the antecedent and the
+    consequent are themselves available in *result* (which is always the case
+    for the downward-closed outputs of the miners in this package).
+
+    Parameters
+    ----------
+    result:
+        Mined frequent itemsets (from FP-Growth, Apriori or Eclat).
+    min_confidence:
+        Minimum rule confidence in ``[0, 1]``.
+    min_lift:
+        Optional minimum lift filter (e.g. ``1.0`` keeps only positively
+        correlated rules).
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise MiningError("min_confidence must be in [0, 1]")
+    if min_lift is not None and min_lift < 0:
+        raise MiningError("min_lift must be non-negative when provided")
+
+    supports = result.support_map()
+    rules: list[AssociationRule] = []
+    for pattern in result:
+        if pattern.is_singleton:
+            continue
+        itemset_support = pattern.support
+        for antecedent, consequent in _iter_splits(pattern.items):
+            antecedent_support = supports.get(antecedent)
+            consequent_support = supports.get(consequent)
+            if antecedent_support is None or consequent_support is None:
+                continue
+            confidence = itemset_support / antecedent_support
+            if confidence < min_confidence:
+                continue
+            lift = confidence / consequent_support
+            if min_lift is not None and lift < min_lift:
+                continue
+            leverage = itemset_support - antecedent_support * consequent_support
+            if math.isclose(confidence, 1.0):
+                conviction = math.inf
+            else:
+                conviction = (1.0 - consequent_support) / (1.0 - confidence)
+            rules.append(
+                AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=itemset_support,
+                    confidence=confidence,
+                    lift=lift,
+                    leverage=leverage,
+                    conviction=conviction,
+                )
+            )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, r.as_string()))
+    return rules
+
+
+def rules_to_dicts(rules: Iterable[AssociationRule]) -> list[dict[str, object]]:
+    """Serialise rules for reports / JSON export."""
+    return [rule.to_dict() for rule in rules]

@@ -1,0 +1,71 @@
+"""RecipeDB-like substrate: models, in-memory store, indexes, persistence.
+
+This subpackage reproduces the *data* layer of the paper: a structured recipe
+store grouped into geo-cultural cuisines, exposing exactly the views the
+analysis layers need (per-cuisine transactions, item supports, vocabularies,
+corpus statistics).
+"""
+
+from repro.recipedb.database import RecipeDatabase
+from repro.recipedb.index import InvertedIndex, RegionIndex, build_entity_indexes
+from repro.recipedb.io_csv import iter_csv, load_csv, save_csv
+from repro.recipedb.io_json import iter_jsonl, load_json, load_jsonl, save_json, save_jsonl
+from repro.recipedb.io_sqlite import corpus_summary, load_sqlite, save_sqlite
+from repro.recipedb.models import (
+    EntityKind,
+    Ingredient,
+    Process,
+    Recipe,
+    Region,
+    Utensil,
+    normalize_name,
+    recipes_to_transactions,
+)
+from repro.recipedb.query import QueryResult, RecipeQuery
+from repro.recipedb.schema import RecipeSchema, SchemaLimits, SchemaViolation
+from repro.recipedb.stats import (
+    CorpusStatistics,
+    RegionStatistics,
+    corpus_statistics,
+    region_statistics,
+    summarise_distribution,
+)
+from repro.recipedb.vocabulary import EntityVocabularies, Vocabulary
+
+__all__ = [
+    "RecipeDatabase",
+    "InvertedIndex",
+    "RegionIndex",
+    "build_entity_indexes",
+    "EntityKind",
+    "Ingredient",
+    "Process",
+    "Recipe",
+    "Region",
+    "Utensil",
+    "normalize_name",
+    "recipes_to_transactions",
+    "QueryResult",
+    "RecipeQuery",
+    "RecipeSchema",
+    "SchemaLimits",
+    "SchemaViolation",
+    "CorpusStatistics",
+    "RegionStatistics",
+    "corpus_statistics",
+    "region_statistics",
+    "summarise_distribution",
+    "EntityVocabularies",
+    "Vocabulary",
+    "iter_csv",
+    "load_csv",
+    "save_csv",
+    "iter_jsonl",
+    "load_json",
+    "load_jsonl",
+    "save_json",
+    "save_jsonl",
+    "corpus_summary",
+    "load_sqlite",
+    "save_sqlite",
+]

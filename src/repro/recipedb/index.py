@@ -1,0 +1,186 @@
+"""Secondary indexes for the in-memory recipe store.
+
+Two index structures back the database's query layer:
+
+* :class:`InvertedIndex` -- maps an entity name to the sorted set of recipe
+  ids containing it (one index per entity kind plus one over the combined
+  item space).  Supports the boolean set algebra (AND / OR / NOT) needed for
+  support counting and interactive queries.
+* :class:`RegionIndex` -- maps a region name to its recipe ids; this is the
+  grouping used throughout the paper ("26 cuisines").
+
+Postings are kept as Python ``set`` objects internally and materialised to
+sorted lists lazily; the corpora involved (≤ ~120k recipes) comfortably fit
+in memory, which is the same regime the paper operates in.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import QueryError
+from repro.recipedb.models import EntityKind, Recipe
+
+__all__ = ["InvertedIndex", "RegionIndex", "build_entity_indexes"]
+
+
+class InvertedIndex:
+    """Entity-name -> recipe-id postings with boolean set algebra."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, set[int]] = defaultdict(set)
+        self._all_ids: set[int] = set()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def add(self, recipe_id: int, items: Iterable[str]) -> None:
+        """Index *recipe_id* under every item name in *items*."""
+        self._all_ids.add(recipe_id)
+        for item in items:
+            self._postings[item].add(recipe_id)
+
+    def remove(self, recipe_id: int, items: Iterable[str]) -> None:
+        """Remove *recipe_id* from the postings of *items*."""
+        self._all_ids.discard(recipe_id)
+        for item in items:
+            postings = self._postings.get(item)
+            if postings is None:
+                continue
+            postings.discard(recipe_id)
+            if not postings:
+                del self._postings[item]
+
+    def clear(self) -> None:
+        self._postings.clear()
+        self._all_ids.clear()
+
+    # -- lookups -------------------------------------------------------------
+
+    def postings(self, item: str) -> frozenset[int]:
+        """Recipe ids containing *item* (empty set when the item is unknown)."""
+        return frozenset(self._postings.get(item, ()))
+
+    def document_frequency(self, item: str) -> int:
+        """Number of indexed recipes containing *item*."""
+        return len(self._postings.get(item, ()))
+
+    def support(self, item: str) -> float:
+        """Fraction of indexed recipes containing *item* (0 when index empty)."""
+        if not self._all_ids:
+            return 0.0
+        return self.document_frequency(item) / len(self._all_ids)
+
+    def items(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._postings
+
+    @property
+    def indexed_ids(self) -> frozenset[int]:
+        return frozenset(self._all_ids)
+
+    # -- boolean algebra -------------------------------------------------------
+
+    def all_of(self, items: Iterable[str]) -> frozenset[int]:
+        """Recipe ids containing *every* item (conjunctive query)."""
+        item_list = list(items)
+        if not item_list:
+            return frozenset(self._all_ids)
+        # Intersect smallest postings first to keep intermediate sets small.
+        sorted_items = sorted(item_list, key=self.document_frequency)
+        result = set(self._postings.get(sorted_items[0], ()))
+        for item in sorted_items[1:]:
+            if not result:
+                break
+            result &= self._postings.get(item, set())
+        return frozenset(result)
+
+    def any_of(self, items: Iterable[str]) -> frozenset[int]:
+        """Recipe ids containing *at least one* item (disjunctive query)."""
+        result: set[int] = set()
+        for item in items:
+            result |= self._postings.get(item, set())
+        return frozenset(result)
+
+    def none_of(self, items: Iterable[str]) -> frozenset[int]:
+        """Recipe ids containing *none* of the items."""
+        return frozenset(self._all_ids - set(self.any_of(items)))
+
+    def itemset_support(self, items: Iterable[str]) -> float:
+        """Joint support of an itemset, i.e. ``|all_of(items)| / N``."""
+        if not self._all_ids:
+            return 0.0
+        return len(self.all_of(items)) / len(self._all_ids)
+
+    def top_items(self, k: int = 10) -> list[tuple[str, int]]:
+        """Return the *k* most frequent items with their document frequencies."""
+        if k <= 0:
+            raise QueryError("k must be positive")
+        ranked = sorted(
+            self._postings.items(), key=lambda kv: (-len(kv[1]), kv[0])
+        )
+        return [(item, len(postings)) for item, postings in ranked[:k]]
+
+
+class RegionIndex:
+    """Region (cuisine) name -> recipe-id index."""
+
+    def __init__(self) -> None:
+        self._by_region: dict[str, set[int]] = defaultdict(set)
+
+    def add(self, recipe_id: int, region: str) -> None:
+        self._by_region[region].add(recipe_id)
+
+    def remove(self, recipe_id: int, region: str) -> None:
+        postings = self._by_region.get(region)
+        if postings is None:
+            return
+        postings.discard(recipe_id)
+        if not postings:
+            del self._by_region[region]
+
+    def clear(self) -> None:
+        self._by_region.clear()
+
+    def recipe_ids(self, region: str) -> frozenset[int]:
+        return frozenset(self._by_region.get(region, ()))
+
+    def regions(self) -> list[str]:
+        return sorted(self._by_region)
+
+    def counts(self) -> dict[str, int]:
+        """Recipe count per region -- the second column of Table I."""
+        return {region: len(ids) for region, ids in sorted(self._by_region.items())}
+
+    def __contains__(self, region: object) -> bool:
+        return region in self._by_region
+
+    def __len__(self) -> int:
+        return len(self._by_region)
+
+
+def build_entity_indexes(
+    recipes: Mapping[int, Recipe] | Iterable[Recipe],
+) -> dict[EntityKind | str, InvertedIndex]:
+    """Build one inverted index per entity kind plus a ``"combined"`` index."""
+    if isinstance(recipes, Mapping):
+        iterator: Iterable[Recipe] = recipes.values()
+    else:
+        iterator = recipes
+    indexes: dict[EntityKind | str, InvertedIndex] = {
+        EntityKind.INGREDIENT: InvertedIndex(),
+        EntityKind.PROCESS: InvertedIndex(),
+        EntityKind.UTENSIL: InvertedIndex(),
+        "combined": InvertedIndex(),
+    }
+    for recipe in iterator:
+        indexes[EntityKind.INGREDIENT].add(recipe.recipe_id, recipe.ingredients)
+        indexes[EntityKind.PROCESS].add(recipe.recipe_id, recipe.processes)
+        indexes[EntityKind.UTENSIL].add(recipe.recipe_id, recipe.utensils)
+        indexes["combined"].add(recipe.recipe_id, recipe.items())
+    return indexes

@@ -1,0 +1,129 @@
+"""JSON / JSON-Lines persistence for :class:`~repro.recipedb.database.RecipeDatabase`.
+
+Two formats are supported:
+
+* **JSON** -- a single document with a small header (format version, region
+  metadata) plus the recipe list; best for small corpora and round-tripping
+  with external tools.
+* **JSONL** -- one recipe per line; best for streaming large corpora and what
+  the benchmark harness uses when it materialises synthetic corpora on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import SerializationError, ValidationError
+from repro.recipedb.database import RecipeDatabase
+from repro.recipedb.models import Recipe, Region
+
+__all__ = [
+    "FORMAT_VERSION",
+    "save_json",
+    "load_json",
+    "save_jsonl",
+    "load_jsonl",
+    "iter_jsonl",
+]
+
+FORMAT_VERSION = 1
+
+
+def _database_header(database: RecipeDatabase) -> dict[str, object]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "n_recipes": len(database),
+        "regions": [
+            {"name": region.name, "continent": region.continent}
+            for region in database.regions()
+        ],
+    }
+
+
+def save_json(database: RecipeDatabase, path: str | Path, *, indent: int | None = None) -> Path:
+    """Write the whole database to a single JSON document; returns the path."""
+    target = Path(path)
+    payload = {
+        **_database_header(database),
+        "recipes": database.to_dicts(),
+    }
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=False)
+    except OSError as exc:
+        raise SerializationError(f"could not write database to {target}: {exc}") from exc
+    return target
+
+
+def load_json(path: str | Path) -> RecipeDatabase:
+    """Load a database previously written by :func:`save_json`."""
+    source = Path(path)
+    try:
+        with source.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise SerializationError(f"could not read database from {source}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{source} is not valid JSON: {exc}") from exc
+
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported database format version {version!r}; expected {FORMAT_VERSION}"
+        )
+    regions = [
+        Region(str(entry["name"]), continent=str(entry.get("continent", "unknown")))
+        for entry in payload.get("regions", [])
+    ]
+    try:
+        recipes = [Recipe.from_dict(entry) for entry in payload.get("recipes", [])]
+    except (TypeError, KeyError, ValidationError) as exc:
+        raise SerializationError(f"malformed recipe entry in {source}: {exc}") from exc
+    return RecipeDatabase.from_recipes(recipes, regions=regions)
+
+
+def save_jsonl(
+    recipes_or_database: RecipeDatabase | Iterable[Recipe], path: str | Path
+) -> Path:
+    """Write recipes as JSON-Lines (one recipe object per line)."""
+    target = Path(path)
+    if isinstance(recipes_or_database, RecipeDatabase):
+        recipes: Iterable[Recipe] = recipes_or_database.recipes()
+    else:
+        recipes = recipes_or_database
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for recipe in recipes:
+                handle.write(json.dumps(recipe.to_dict(), sort_keys=True))
+                handle.write("\n")
+    except OSError as exc:
+        raise SerializationError(f"could not write recipes to {target}: {exc}") from exc
+    return target
+
+
+def iter_jsonl(path: str | Path) -> Iterator[Recipe]:
+    """Stream recipes from a JSONL file, one at a time."""
+    source = Path(path)
+    try:
+        with source.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield Recipe.from_dict(json.loads(line))
+                except (json.JSONDecodeError, TypeError, KeyError, ValidationError) as exc:
+                    raise SerializationError(
+                        f"{source}:{line_number}: malformed recipe line: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise SerializationError(f"could not read recipes from {source}: {exc}") from exc
+
+
+def load_jsonl(path: str | Path) -> RecipeDatabase:
+    """Load a JSONL recipe file into a fresh database (regions auto-registered)."""
+    return RecipeDatabase.from_recipes(iter_jsonl(path))

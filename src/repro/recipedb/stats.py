@@ -1,0 +1,177 @@
+"""Corpus statistics mirroring Section III of the paper.
+
+The paper characterises its RecipeDB extract with a handful of headline
+numbers: 118,071 recipes, 26 cuisines, 20,280 unique ingredients, 268 unique
+processes, 69 unique utensils, ~10 ingredients / ~12 processes / ~3 utensils
+per recipe and 14,601 recipes with no utensil information.
+:func:`corpus_statistics` computes the same summary for any
+:class:`~repro.recipedb.database.RecipeDatabase`, and
+:func:`region_statistics` produces the per-cuisine breakdown used when
+building Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.recipedb.database import RecipeDatabase
+from repro.recipedb.models import EntityKind
+
+__all__ = [
+    "CorpusStatistics",
+    "RegionStatistics",
+    "corpus_statistics",
+    "region_statistics",
+    "summarise_distribution",
+]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+
+
+def summarise_distribution(values: Sequence[float]) -> dict[str, float]:
+    """Return mean / std / min / max of a numeric sample (0s when empty)."""
+    if not values:
+        return {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": _mean(values),
+        "std": _std(values),
+        "min": float(min(values)),
+        "max": float(max(values)),
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class RegionStatistics:
+    """Per-cuisine corpus statistics."""
+
+    region: str
+    n_recipes: int
+    n_unique_ingredients: int
+    n_unique_processes: int
+    n_unique_utensils: int
+    mean_ingredients_per_recipe: float
+    mean_processes_per_recipe: float
+    mean_utensils_per_recipe: float
+    recipes_without_utensils: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "region": self.region,
+            "n_recipes": self.n_recipes,
+            "n_unique_ingredients": self.n_unique_ingredients,
+            "n_unique_processes": self.n_unique_processes,
+            "n_unique_utensils": self.n_unique_utensils,
+            "mean_ingredients_per_recipe": self.mean_ingredients_per_recipe,
+            "mean_processes_per_recipe": self.mean_processes_per_recipe,
+            "mean_utensils_per_recipe": self.mean_utensils_per_recipe,
+            "recipes_without_utensils": self.recipes_without_utensils,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusStatistics:
+    """Whole-corpus statistics (the Section III headline numbers)."""
+
+    n_recipes: int
+    n_regions: int
+    n_unique_ingredients: int
+    n_unique_processes: int
+    n_unique_utensils: int
+    mean_ingredients_per_recipe: float
+    mean_processes_per_recipe: float
+    mean_utensils_per_recipe: float
+    recipes_without_utensils: int
+    region_recipe_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def utensil_sparsity(self) -> float:
+        """Fraction of recipes that carry no utensil information."""
+        if self.n_recipes == 0:
+            return 0.0
+        return self.recipes_without_utensils / self.n_recipes
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "n_recipes": self.n_recipes,
+            "n_regions": self.n_regions,
+            "n_unique_ingredients": self.n_unique_ingredients,
+            "n_unique_processes": self.n_unique_processes,
+            "n_unique_utensils": self.n_unique_utensils,
+            "mean_ingredients_per_recipe": self.mean_ingredients_per_recipe,
+            "mean_processes_per_recipe": self.mean_processes_per_recipe,
+            "mean_utensils_per_recipe": self.mean_utensils_per_recipe,
+            "recipes_without_utensils": self.recipes_without_utensils,
+            "utensil_sparsity": self.utensil_sparsity,
+            "region_recipe_counts": dict(self.region_recipe_counts),
+        }
+
+    def paper_comparison(self) -> dict[str, dict[str, float]]:
+        """Side-by-side of paper-reported vs measured headline numbers."""
+        paper = {
+            "n_recipes": 118071,
+            "n_regions": 26,
+            "n_unique_ingredients": 20280,
+            "n_unique_processes": 268,
+            "n_unique_utensils": 69,
+            "mean_ingredients_per_recipe": 10.0,
+            "mean_processes_per_recipe": 12.0,
+            "mean_utensils_per_recipe": 3.0,
+            "recipes_without_utensils": 14601,
+        }
+        measured = self.to_dict()
+        return {
+            key: {"paper": float(paper_value), "measured": float(measured[key])}
+            for key, paper_value in paper.items()
+        }
+
+
+def corpus_statistics(database: RecipeDatabase) -> CorpusStatistics:
+    """Compute whole-corpus statistics for *database*."""
+    recipes = database.recipes()
+    ingredient_counts = [r.n_ingredients for r in recipes]
+    process_counts = [r.n_processes for r in recipes]
+    utensil_counts = [r.n_utensils for r in recipes]
+    sizes = database.vocabularies.sizes()
+    return CorpusStatistics(
+        n_recipes=len(recipes),
+        n_regions=len(database.region_names()),
+        n_unique_ingredients=sizes["ingredients"],
+        n_unique_processes=sizes["processes"],
+        n_unique_utensils=sizes["utensils"],
+        mean_ingredients_per_recipe=_mean(ingredient_counts),
+        mean_processes_per_recipe=_mean(process_counts),
+        mean_utensils_per_recipe=_mean(utensil_counts),
+        recipes_without_utensils=sum(1 for r in recipes if not r.has_utensils),
+        region_recipe_counts=database.region_recipe_counts(),
+    )
+
+
+def region_statistics(database: RecipeDatabase, region: str) -> RegionStatistics:
+    """Compute the per-cuisine breakdown used for Table I rows."""
+    recipes = database.recipes_in_region(region)
+    unique: dict[EntityKind, set[str]] = {kind: set() for kind in EntityKind}
+    for recipe in recipes:
+        for kind in EntityKind:
+            unique[kind].update(recipe.entities_of(kind))
+    return RegionStatistics(
+        region=region,
+        n_recipes=len(recipes),
+        n_unique_ingredients=len(unique[EntityKind.INGREDIENT]),
+        n_unique_processes=len(unique[EntityKind.PROCESS]),
+        n_unique_utensils=len(unique[EntityKind.UTENSIL]),
+        mean_ingredients_per_recipe=_mean([r.n_ingredients for r in recipes]),
+        mean_processes_per_recipe=_mean([r.n_processes for r in recipes]),
+        mean_utensils_per_recipe=_mean([r.n_utensils for r in recipes]),
+        recipes_without_utensils=sum(1 for r in recipes if not r.has_utensils),
+    )

@@ -1,0 +1,16 @@
+"""Text rendering: ASCII dendrograms, tables and markdown reports."""
+
+from repro.viz.ascii_dendrogram import render_dendrogram, render_horizontal
+from repro.viz.report import build_report, write_report
+from repro.viz.tables import format_csv, format_markdown_table, format_table, format_value
+
+__all__ = [
+    "render_dendrogram",
+    "render_horizontal",
+    "build_report",
+    "write_report",
+    "format_csv",
+    "format_markdown_table",
+    "format_table",
+    "format_value",
+]

@@ -1,0 +1,83 @@
+"""Plain-text dendrogram rendering.
+
+The paper's Figures 2-6 are matplotlib dendrograms; this module renders the
+same trees as text so the benchmark harness and the examples can show them in
+a terminal or a log file without any plotting dependency.  Two renderings are
+provided:
+
+* :func:`render_dendrogram` -- an indented tree with merge heights, leaf
+  labels at the bottom level;
+* :func:`render_horizontal` -- a horizontal "bracket" rendering close to the
+  look of a scipy dendrogram rotated 90°, where the column position encodes
+  the merge height.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.dendrogram import Dendrogram, DendrogramNode
+
+__all__ = ["render_dendrogram", "render_horizontal"]
+
+
+def render_dendrogram(dendrogram: Dendrogram, *, precision: int = 3) -> str:
+    """Indented text rendering of a dendrogram.
+
+    Internal nodes show their merge height; leaves show their label.  Children
+    are rendered top-to-bottom in dendrogram order.
+    """
+    lines: list[str] = []
+
+    def visit(node: DendrogramNode, prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        if node.is_leaf:
+            lines.append(f"{prefix}{connector}{node.label}")
+            return
+        lines.append(f"{prefix}{connector}[h={node.height:.{precision}f}]")
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        assert node.left is not None and node.right is not None
+        visit(node.left, child_prefix, is_last=False)
+        visit(node.right, child_prefix, is_last=True)
+
+    root = dendrogram.root
+    if root.is_leaf:
+        return str(root.label)
+    lines.append(f"[h={root.height:.{precision}f}]  (root)")
+    assert root.left is not None and root.right is not None
+    visit(root.left, "", is_last=False)
+    visit(root.right, "", is_last=True)
+    return "\n".join(lines)
+
+
+def render_horizontal(
+    dendrogram: Dendrogram, *, width: int = 60, label_width: int | None = None
+) -> str:
+    """Horizontal rendering: one row per leaf, bar length encodes merge height.
+
+    Each leaf row shows the label followed by a bar whose length is
+    proportional to the height at which that leaf last merges before the root
+    (its cophenetic distance to the rest of the tree at the final join).  It
+    is a compact visual proxy for the figure layout in the paper: leaves that
+    join early have short bars, outliers have long ones.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    labels = dendrogram.leaf_order()
+    if label_width is None:
+        label_width = max(len(label) for label in labels) if labels else 0
+    max_height = dendrogram.max_height() or 1.0
+
+    # For each leaf, find the height of its first merge (the height at which it
+    # stops being a singleton).
+    first_merge_height: dict[str, float] = {}
+    for node in dendrogram.internal_nodes():
+        assert node.left is not None and node.right is not None
+        for child in (node.left, node.right):
+            if child.is_leaf and child.label is not None:
+                first_merge_height[child.label] = node.height
+    lines = []
+    for label in labels:
+        height = first_merge_height.get(label, max_height)
+        bar_length = max(1, int(round(width * height / max_height)))
+        bar = "#" * bar_length
+        lines.append(f"{label.ljust(label_width)} |{bar} {height:.3f}")
+    return "\n".join(lines)

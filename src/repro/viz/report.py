@@ -1,0 +1,116 @@
+"""Markdown report writer for full analysis runs.
+
+:func:`write_report` turns a :class:`~repro.core.results.AnalysisResults`
+bundle into a single self-contained markdown document: corpus statistics,
+the reproduced Table I, the elbow series, one section per dendrogram figure
+(leaf order, ASCII tree, Newick string) and the geography-validation scores.
+The examples and the CLI both use it, so a user can regenerate "the paper as a
+text file" with one command.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.viz.ascii_dendrogram import render_dendrogram
+from repro.viz.tables import format_markdown_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.results import AnalysisResults
+
+__all__ = ["build_report", "write_report"]
+
+
+def build_report(results: "AnalysisResults") -> str:
+    """Render the full analysis as a markdown string."""
+    sections: list[str] = []
+    sections.append("# Hierarchical Clustering of World Cuisines — reproduction report\n")
+
+    # Corpus statistics.
+    stats = results.corpus_stats
+    sections.append("## Corpus\n")
+    sections.append(
+        format_markdown_table(
+            [
+                {"statistic": key, "value": value}
+                for key, value in stats.to_dict().items()
+                if key != "region_recipe_counts"
+            ],
+            ["statistic", "value"],
+        )
+    )
+    sections.append("")
+
+    # Table I.
+    sections.append("## Table I — significant patterns per cuisine\n")
+    sections.append(
+        format_markdown_table(
+            [row.to_dict() for row in results.table1.rows],
+            ["region", "n_recipes", "top_pattern", "support", "n_patterns"],
+        )
+    )
+    sections.append("")
+
+    # Figure 1.
+    sections.append("## Figure 1 — elbow analysis (WCSS vs k)\n")
+    sections.append(
+        format_markdown_table(results.elbow.to_rows(), ["k", "wcss"])
+    )
+    sections.append(
+        f"\nElbow strength: {results.elbow.elbow_strength:.3f} "
+        f"(clear elbow: {'yes' if results.elbow.has_clear_elbow else 'no'})\n"
+    )
+
+    # Dendrogram figures.
+    for name, run in results.clustering_runs().items():
+        sections.append(f"## {name}\n")
+        sections.append(f"Metric: `{run.metric}`, linkage: `{run.method}`\n")
+        sections.append("Leaf order: " + ", ".join(run.dendrogram.leaf_order()) + "\n")
+        sections.append("```text")
+        sections.append(render_dendrogram(run.dendrogram))
+        sections.append("```")
+        sections.append("")
+        sections.append(f"Newick: `{run.dendrogram.to_newick()}`\n")
+
+    # Validation.
+    sections.append("## Validation against geography\n")
+    validation_rows = [
+        {"tree": name, **comparison.to_dict()}
+        for name, comparison in results.geography_validation.items()
+    ]
+    if validation_rows:
+        sections.append(
+            format_markdown_table(
+                [
+                    {
+                        "tree": row["tree"],
+                        "bakers_gamma": row["bakers_gamma"],
+                        "mean_fowlkes_mallows": row["mean_fowlkes_mallows"],
+                    }
+                    for row in validation_rows
+                ],
+                ["tree", "bakers_gamma", "mean_fowlkes_mallows"],
+            )
+        )
+    sections.append("")
+
+    # Qualitative claims.
+    sections.append("## Qualitative claims (Section VII)\n")
+    claim_rows = [
+        {"tree": tree, "claim": check.claim, "holds": check.holds}
+        for tree, checks in results.claim_checks.items()
+        for check in checks
+    ]
+    if claim_rows:
+        sections.append(format_markdown_table(claim_rows, ["tree", "claim", "holds"]))
+    sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(results: "AnalysisResults", path: str | Path) -> Path:
+    """Write the markdown report to *path* and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(build_report(results), encoding="utf-8")
+    return target

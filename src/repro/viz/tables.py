@@ -1,0 +1,98 @@
+"""Plain-text and markdown table rendering for reports and benchmarks.
+
+The benchmark harness prints the reproduced Table I and figure series in a
+layout close to the paper's tables; this module contains the shared
+formatting code: fixed-width text tables, GitHub-flavoured markdown tables and
+CSV rows.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_csv", "format_value"]
+
+
+def format_value(value: object, *, float_precision: int = 3) -> str:
+    """Render one cell value (floats are rounded, None becomes an empty cell)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_precision}f}"
+    return str(value)
+
+
+def _normalise_rows(
+    rows: Iterable[Mapping[str, object] | Sequence[object]],
+    columns: Sequence[str],
+) -> list[list[str]]:
+    normalised: list[list[str]] = []
+    for row in rows:
+        if isinstance(row, Mapping):
+            normalised.append([format_value(row.get(column)) for column in columns])
+        else:
+            cells = list(row)
+            if len(cells) != len(columns):
+                raise ValueError(
+                    f"row has {len(cells)} cells but table has {len(columns)} columns"
+                )
+            normalised.append([format_value(cell) for cell in cells])
+    return normalised
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object] | Sequence[object]],
+    columns: Sequence[str],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table with a header rule."""
+    body = _normalise_rows(rows, columns)
+    widths = [len(column) for column in columns]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(columns)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Iterable[Mapping[str, object] | Sequence[object]],
+    columns: Sequence[str],
+) -> str:
+    """GitHub-flavoured markdown table."""
+    body = _normalise_rows(rows, columns)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in body)
+    return "\n".join(lines)
+
+
+def format_csv(
+    rows: Iterable[Mapping[str, object] | Sequence[object]],
+    columns: Sequence[str],
+) -> str:
+    """CSV text (header + rows) using the standard library's csv quoting."""
+    import csv
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(columns)
+    for row in _normalise_rows(rows, columns):
+        writer.writerow(row)
+    return buffer.getvalue()

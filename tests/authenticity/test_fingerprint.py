@@ -1,0 +1,73 @@
+"""Unit tests for cuisine fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FeatureError
+from repro.authenticity.fingerprint import (
+    cuisine_fingerprints,
+    fingerprint_overlap,
+)
+from repro.authenticity.prevalence import prevalence_matrix
+from repro.authenticity.relative import relative_prevalence
+
+
+@pytest.fixture()
+def fingerprints(toy_db):
+    authenticity = relative_prevalence(prevalence_matrix(toy_db))
+    return cuisine_fingerprints(authenticity, top_k=3)
+
+
+class TestCuisineFingerprints:
+    def test_one_fingerprint_per_cuisine(self, fingerprints, toy_db):
+        assert set(fingerprints) == set(toy_db.region_names())
+
+    def test_signature_items_in_positive_tail(self, fingerprints):
+        assert "soy sauce" in fingerprints["Japanese"].positive_items()
+        assert "butter" in fingerprints["UK"].positive_items()
+        assert "olive oil" in fingerprints["Italian"].positive_items()
+
+    def test_tails_have_requested_size(self, fingerprints):
+        for fingerprint in fingerprints.values():
+            assert len(fingerprint.most_authentic) == 3
+            assert len(fingerprint.least_authentic) == 3
+
+    def test_negative_tail_is_non_positive(self, fingerprints):
+        for fingerprint in fingerprints.values():
+            assert all(value <= 0 for _, value in fingerprint.least_authentic)
+
+    def test_to_dict(self, fingerprints):
+        payload = fingerprints["Japanese"].to_dict()
+        assert payload["cuisine"] == "Japanese"
+        assert len(payload["most_authentic"]) == 3
+
+    def test_invalid_top_k(self, toy_db):
+        authenticity = relative_prevalence(prevalence_matrix(toy_db))
+        with pytest.raises(FeatureError):
+            cuisine_fingerprints(authenticity, top_k=0)
+
+
+class TestFingerprintOverlap:
+    def test_self_overlap_is_one(self, fingerprints):
+        japan = fingerprints["Japanese"]
+        assert fingerprint_overlap(japan, japan) == 1.0
+
+    def test_distinct_cuisines_have_low_overlap(self, fingerprints):
+        overlap = fingerprint_overlap(fingerprints["Japanese"], fingerprints["UK"])
+        assert 0.0 <= overlap < 0.5
+
+    def test_symmetric(self, fingerprints):
+        ab = fingerprint_overlap(fingerprints["Japanese"], fingerprints["Italian"])
+        ba = fingerprint_overlap(fingerprints["Italian"], fingerprints["Japanese"])
+        assert ab == ba
+
+    def test_mini_corpus_related_cuisines_overlap_more(self, mini_corpus):
+        """Korean and Japanese fingerprints share more items than Korean and UK."""
+        authenticity = relative_prevalence(
+            prevalence_matrix(mini_corpus, min_document_frequency=2)
+        )
+        fingerprints = cuisine_fingerprints(authenticity, top_k=10)
+        close = fingerprint_overlap(fingerprints["Korean"], fingerprints["Japanese"])
+        far = fingerprint_overlap(fingerprints["Korean"], fingerprints["UK"])
+        assert close >= far

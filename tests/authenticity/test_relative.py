@@ -1,0 +1,83 @@
+"""Unit and property tests for relative prevalence (authenticity, equation 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import FeatureError
+from repro.authenticity.prevalence import PrevalenceMatrix, prevalence_matrix
+from repro.authenticity.relative import AuthenticityMatrix, relative_prevalence
+
+
+def _prevalence(values: np.ndarray) -> PrevalenceMatrix:
+    cuisines = tuple(f"c{i}" for i in range(values.shape[0]))
+    items = tuple(f"i{j}" for j in range(values.shape[1]))
+    return PrevalenceMatrix(cuisines=cuisines, items=items, values=values)
+
+
+class TestRelativePrevalence:
+    def test_known_values(self):
+        prevalence = _prevalence(np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]]))
+        authenticity = relative_prevalence(prevalence)
+        # c0, item i0: own 1.0, others mean (0 + 0.5)/2 = 0.25 -> 0.75.
+        assert authenticity.authenticity("c0", "i0") == pytest.approx(0.75)
+        assert authenticity.authenticity("c1", "i0") == pytest.approx(0.0 - 0.75)
+        assert authenticity.authenticity("c2", "i0") == pytest.approx(0.0)
+
+    def test_single_cuisine_degenerates_to_prevalence(self):
+        prevalence = _prevalence(np.array([[0.3, 0.7]]))
+        authenticity = relative_prevalence(prevalence)
+        np.testing.assert_allclose(authenticity.values, prevalence.values)
+
+    def test_signature_items_have_positive_authenticity(self, toy_db):
+        authenticity = relative_prevalence(prevalence_matrix(toy_db))
+        assert authenticity.authenticity("Japanese", "soy sauce") > 0.5
+        assert authenticity.authenticity("UK", "soy sauce") < 0.0
+        assert authenticity.authenticity("Italian", "olive oil") > 0.5
+
+    def test_most_and_least_authentic(self, toy_db):
+        authenticity = relative_prevalence(prevalence_matrix(toy_db))
+        most = [item for item, _ in authenticity.most_authentic("Japanese", 3)]
+        assert "soy sauce" in most
+        least_values = [v for _, v in authenticity.least_authentic("Japanese", 3)]
+        assert all(v <= 0 for v in least_values)
+        with pytest.raises(FeatureError):
+            authenticity.most_authentic("Japanese", 0)
+
+    def test_unknown_labels_rejected(self, toy_db):
+        authenticity = relative_prevalence(prevalence_matrix(toy_db))
+        with pytest.raises(FeatureError):
+            authenticity.authenticity("Atlantis", "soy sauce")
+        with pytest.raises(FeatureError):
+            authenticity.authenticity("Japanese", "unobtainium")
+
+    def test_feature_matrix_is_copy(self, toy_db):
+        authenticity = relative_prevalence(prevalence_matrix(toy_db))
+        features = authenticity.feature_matrix()
+        features[0, 0] = 123.0
+        assert authenticity.values[0, 0] != 123.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 6), st.integers(1, 8)),
+            elements=st.floats(min_value=0.0, max_value=1.0),
+        )
+    )
+    def test_property_columns_sum_to_zero(self, values):
+        """Leave-one-out relative prevalence sums to zero over cuisines."""
+        authenticity = relative_prevalence(_prevalence(values))
+        column_sums = authenticity.values.sum(axis=0)
+        np.testing.assert_allclose(column_sums, 0.0, atol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(FeatureError):
+            AuthenticityMatrix(("a",), ("x", "y"), np.zeros((2, 2)))
+
+    def test_to_dict(self, toy_db):
+        payload = relative_prevalence(prevalence_matrix(toy_db)).to_dict()
+        assert set(payload) == {"cuisines", "items", "values"}

@@ -1,0 +1,124 @@
+"""Unit tests for the dendrogram tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.dendrogram import Dendrogram
+from repro.cluster.linkage import linkage
+from repro.distances.pdist import pairwise_distances
+from repro.features.matrix import FeatureMatrix
+
+
+@pytest.fixture()
+def two_cluster_dendrogram() -> Dendrogram:
+    points = np.array(
+        [[0.0, 0.0], [0.2, 0.0], [0.0, 0.2], [10.0, 10.0], [10.2, 10.0], [10.0, 10.2]]
+    )
+    labels = ("a1", "a2", "a3", "b1", "b2", "b3")
+    features = FeatureMatrix(labels, ("x", "y"), points)
+    return Dendrogram(linkage(pairwise_distances(features), method="average"))
+
+
+class TestStructure:
+    def test_leaf_order_is_permutation(self, two_cluster_dendrogram):
+        order = two_cluster_dendrogram.leaf_order()
+        assert sorted(order) == ["a1", "a2", "a3", "b1", "b2", "b3"]
+
+    def test_root_covers_all_leaves(self, two_cluster_dendrogram):
+        assert two_cluster_dendrogram.root.size() == 6
+        assert two_cluster_dendrogram.root.depth() >= 2
+
+    def test_merge_heights_and_max(self, two_cluster_dendrogram):
+        heights = two_cluster_dendrogram.merge_heights()
+        assert len(heights) == 5
+        assert two_cluster_dendrogram.max_height() == pytest.approx(max(heights))
+
+    def test_internal_nodes_count(self, two_cluster_dendrogram):
+        assert len(list(two_cluster_dendrogram.internal_nodes())) == 5
+
+    def test_node_lookup(self, two_cluster_dendrogram):
+        assert two_cluster_dendrogram.node(0).is_leaf
+        with pytest.raises(ClusteringError):
+            two_cluster_dendrogram.node(999)
+
+    def test_merge_table(self, two_cluster_dendrogram):
+        table = two_cluster_dendrogram.merge_table()
+        assert len(table) == 5
+        assert table[-1]["size"] == 6
+        assert set(table[-1]["left"] + table[-1]["right"]) == set(
+            two_cluster_dendrogram.labels
+        )
+
+
+class TestCutting:
+    def test_cut_into_two_recovers_ground_truth(self, two_cluster_dendrogram):
+        assignment = two_cluster_dendrogram.cut_into(2)
+        groups = {}
+        for label, cluster in assignment.items():
+            groups.setdefault(cluster, set()).add(label)
+        assert {frozenset(g) for g in groups.values()} == {
+            frozenset({"a1", "a2", "a3"}),
+            frozenset({"b1", "b2", "b3"}),
+        }
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_cut_into_k_produces_k_clusters(self, two_cluster_dendrogram, k):
+        assignment = two_cluster_dendrogram.cut_into(k)
+        assert len(set(assignment.values())) == k
+        assert set(assignment) == set(two_cluster_dendrogram.labels)
+
+    def test_cut_into_bounds(self, two_cluster_dendrogram):
+        with pytest.raises(ClusteringError):
+            two_cluster_dendrogram.cut_into(0)
+        with pytest.raises(ClusteringError):
+            two_cluster_dendrogram.cut_into(7)
+
+    def test_cut_at_height_zero_gives_singletons(self, two_cluster_dendrogram):
+        assignment = two_cluster_dendrogram.cut_at_height(0.0)
+        assert len(set(assignment.values())) == 6
+
+    def test_cut_at_max_height_gives_one_cluster(self, two_cluster_dendrogram):
+        height = two_cluster_dendrogram.max_height()
+        assignment = two_cluster_dendrogram.cut_at_height(height)
+        assert len(set(assignment.values())) == 1
+
+    def test_cut_at_negative_height_rejected(self, two_cluster_dendrogram):
+        with pytest.raises(ClusteringError):
+            two_cluster_dendrogram.cut_at_height(-1.0)
+
+
+class TestCophenetic:
+    def test_within_cluster_distances_smaller(self, two_cluster_dendrogram):
+        cophenetic = two_cluster_dendrogram.cophenetic_distances()
+        within = cophenetic.distance("a1", "a2")
+        across = cophenetic.distance("a1", "b1")
+        assert within < across
+        # Every cross-cluster pair has the same cophenetic distance (the root height).
+        assert across == pytest.approx(two_cluster_dendrogram.max_height())
+
+    def test_labels_preserved_in_original_order(self, two_cluster_dendrogram):
+        cophenetic = two_cluster_dendrogram.cophenetic_distances()
+        assert cophenetic.labels == two_cluster_dendrogram.labels
+
+
+class TestExports:
+    def test_newick_contains_all_labels_and_is_terminated(self, two_cluster_dendrogram):
+        newick = two_cluster_dendrogram.to_newick()
+        assert newick.endswith(";")
+        for label in two_cluster_dendrogram.labels:
+            assert label in newick
+
+    def test_to_dict_roundtrips_structure(self, two_cluster_dendrogram):
+        payload = two_cluster_dendrogram.to_dict()
+        assert payload["labels"] == list(two_cluster_dendrogram.labels)
+        assert payload["method"] == "average"
+
+        def count_leaves(node):
+            if "left" not in node:
+                return 1
+            return count_leaves(node["left"]) + count_leaves(node["right"])
+
+        assert count_leaves(payload["root"]) == 6

@@ -1,0 +1,75 @@
+"""Unit tests for the HAC front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.hierarchy import (
+    HierarchicalClustering,
+    cluster_distances,
+    cluster_features,
+)
+from repro.distances.pdist import pairwise_distances
+from repro.features.matrix import FeatureMatrix
+
+
+@pytest.fixture()
+def features() -> FeatureMatrix:
+    rng = np.random.default_rng(3)
+    cluster_a = rng.normal(loc=0.0, scale=0.1, size=(4, 3))
+    cluster_b = rng.normal(loc=5.0, scale=0.1, size=(4, 3))
+    values = np.vstack([cluster_a, cluster_b])
+    labels = tuple(f"a{i}" for i in range(4)) + tuple(f"b{i}" for i in range(4))
+    return FeatureMatrix(labels, ("x", "y", "z"), values)
+
+
+class TestHierarchicalClustering:
+    def test_fit_features_produces_complete_run(self, features):
+        run = cluster_features(features, metric="euclidean", method="average")
+        assert run.labels == features.row_labels
+        assert run.metric == "euclidean"
+        assert run.method == "average"
+        assert run.features is features
+        assert len(run.linkage_matrix) == 7
+        assert sorted(run.dendrogram.leaf_order()) == sorted(features.row_labels)
+
+    def test_flat_clusters_recover_structure(self, features):
+        run = cluster_features(features)
+        clusters = run.flat_clusters(2)
+        a_ids = {clusters[f"a{i}"] for i in range(4)}
+        b_ids = {clusters[f"b{i}"] for i in range(4)}
+        assert len(a_ids) == 1
+        assert len(b_ids) == 1
+        assert a_ids != b_ids
+
+    def test_fit_distances_directly(self, features):
+        distances = pairwise_distances(features, metric="cosine")
+        run = cluster_distances(distances, method="complete")
+        assert run.metric == "cosine"
+        assert run.method == "complete"
+        assert run.features is None
+
+    def test_summary(self, features):
+        summary = cluster_features(features).summary()
+        assert summary["n_observations"] == 8
+        assert summary["metric"] == "euclidean"
+        assert len(summary["leaf_order"]) == 8
+
+    def test_invalid_method_rejected_early(self):
+        with pytest.raises(ClusteringError):
+            HierarchicalClustering(method="kmeans")
+
+    def test_single_row_rejected(self):
+        single = FeatureMatrix(("A",), ("x",), np.array([[1.0]]))
+        with pytest.raises(ClusteringError):
+            cluster_features(single)
+
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine", "jaccard"])
+    @pytest.mark.parametrize("method", ["single", "complete", "average", "ward"])
+    def test_all_metric_method_combinations(self, features, metric, method):
+        source = features.binarized() if metric == "jaccard" else features
+        run = cluster_features(source, metric=metric, method=method)
+        assert len(run.dendrogram.leaf_order()) == 8
+        assert run.dendrogram.max_height() >= 0.0

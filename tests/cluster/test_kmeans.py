@@ -1,0 +1,152 @@
+"""Unit tests for K-means and the elbow analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.cluster.elbow import ElbowAnalysis, ElbowPoint, detect_elbow, elbow_analysis
+from repro.cluster.kmeans import KMeans
+from repro.features.matrix import FeatureMatrix
+
+
+@pytest.fixture()
+def blobs() -> FeatureMatrix:
+    rng = np.random.default_rng(0)
+    centres = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    points = np.vstack([rng.normal(loc=c, scale=0.3, size=(10, 2)) for c in centres])
+    labels = tuple(f"p{i}" for i in range(30))
+    return FeatureMatrix(labels, ("x", "y"), points)
+
+
+class TestKMeans:
+    def test_recovers_three_blobs(self, blobs):
+        result = KMeans(n_clusters=3, seed=1).fit(blobs)
+        assert result.n_clusters == 3
+        assert result.converged
+        sizes = sorted(result.cluster_sizes().values())
+        assert sizes == [10, 10, 10]
+        assert result.inertia < 30 * 0.3**2 * 10  # well below a loose bound
+
+    def test_assignments_by_label(self, blobs):
+        result = KMeans(n_clusters=3, seed=1).fit(blobs)
+        assignments = result.assignments()
+        assert set(assignments) == set(blobs.row_labels)
+        # Points from the same blob share a cluster.
+        assert assignments["p0"] == assignments["p5"]
+        assert assignments["p0"] != assignments["p15"]
+
+    def test_accepts_raw_array(self, blobs):
+        result = KMeans(n_clusters=2, seed=0).fit(blobs.values)
+        assert len(result.labels) == 30
+        with pytest.raises(ClusteringError):
+            result.assignments()
+
+    def test_k_equals_one(self, blobs):
+        result = KMeans(n_clusters=1, seed=0).fit(blobs)
+        assert set(result.labels) == {0}
+        centroid = blobs.values.mean(axis=0)
+        expected = float(np.sum((blobs.values - centroid) ** 2))
+        assert result.inertia == pytest.approx(expected, rel=1e-6)
+
+    def test_k_equals_n(self, blobs):
+        result = KMeans(n_clusters=30, seed=0, n_init=1).fit(blobs)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_for_fixed_seed(self, blobs):
+        first = KMeans(n_clusters=3, seed=5).fit(blobs)
+        second = KMeans(n_clusters=3, seed=5).fit(blobs)
+        assert first.labels == second.labels
+        assert first.inertia == pytest.approx(second.inertia)
+
+    def test_validation(self, blobs):
+        with pytest.raises(ClusteringError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ClusteringError):
+            KMeans(n_clusters=2, n_init=0)
+        with pytest.raises(ClusteringError):
+            KMeans(n_clusters=2, max_iterations=0)
+        with pytest.raises(ClusteringError):
+            KMeans(n_clusters=2, tolerance=-1)
+        with pytest.raises(ClusteringError):
+            KMeans(n_clusters=31).fit(blobs)
+        with pytest.raises(ClusteringError):
+            KMeans(n_clusters=2).fit(np.zeros((0, 2)))
+        with pytest.raises(ClusteringError):
+            KMeans(n_clusters=2).fit(np.zeros(5))
+
+    def test_identical_points(self):
+        features = FeatureMatrix(("a", "b", "c"), ("x",), np.ones((3, 1)))
+        result = KMeans(n_clusters=2, seed=0).fit(features)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestElbow:
+    def test_wcss_decreases_with_k(self, blobs):
+        analysis = elbow_analysis(blobs, k_min=1, k_max=6, seed=0)
+        wcss = analysis.wcss_values()
+        assert all(earlier >= later - 1e-9 for earlier, later in zip(wcss, wcss[1:]))
+        assert analysis.k_values() == [1, 2, 3, 4, 5, 6]
+
+    def test_clear_elbow_on_blobs(self, blobs):
+        analysis = elbow_analysis(blobs, k_min=1, k_max=8, seed=0)
+        assert analysis.has_clear_elbow
+        assert analysis.elbow_k == 3
+
+    def test_noise_is_less_elbow_like_than_blobs(self, blobs):
+        rng = np.random.default_rng(2)
+        features = FeatureMatrix(
+            tuple(f"p{i}" for i in range(24)),
+            tuple(f"d{j}" for j in range(8)),
+            rng.uniform(size=(24, 8)),
+        )
+        noise_analysis = elbow_analysis(features, k_min=1, k_max=8, seed=0)
+        blob_analysis = elbow_analysis(blobs, k_min=1, k_max=8, seed=0)
+        assert noise_analysis.elbow_strength < blob_analysis.elbow_strength
+
+    def test_k_max_clamped_to_n_rows(self):
+        features = FeatureMatrix(("a", "b", "c"), ("x",), np.array([[0.0], [1.0], [5.0]]))
+        analysis = elbow_analysis(features, k_min=1, k_max=10, seed=0)
+        assert analysis.k_values() == [1, 2, 3]
+
+    def test_to_rows(self, blobs):
+        analysis = elbow_analysis(blobs, k_min=1, k_max=4, seed=0)
+        rows = analysis.to_rows()
+        assert rows[0]["k"] == 1
+        assert all(set(row) == {"k", "wcss"} for row in rows)
+
+    def test_validation(self, blobs):
+        with pytest.raises(ClusteringError):
+            elbow_analysis(blobs, k_min=0)
+        with pytest.raises(ClusteringError):
+            elbow_analysis(blobs, k_min=5, k_max=2)
+
+
+class TestDetectElbow:
+    def test_sharp_elbow_detected(self):
+        k_values = [1, 2, 3, 4, 5, 6]
+        wcss = [100.0, 40.0, 10.0, 9.0, 8.5, 8.0]
+        elbow_k, strength = detect_elbow(k_values, wcss)
+        assert elbow_k == 3
+        assert strength > 0.25
+
+    def test_straight_line_has_no_elbow(self):
+        k_values = [1, 2, 3, 4, 5]
+        wcss = [100.0, 80.0, 60.0, 40.0, 20.0]
+        _elbow_k, strength = detect_elbow(k_values, wcss)
+        assert strength == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_curves(self):
+        assert detect_elbow([1, 2], [5.0, 4.0]) == (None, 0.0)
+        assert detect_elbow([1, 2, 3], [5.0, 5.0, 5.0]) == (None, 0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ClusteringError):
+            detect_elbow([1, 2, 3], [1.0, 2.0])
+
+    def test_analysis_dataclass(self):
+        analysis = ElbowAnalysis(
+            points=(ElbowPoint(1, 10.0), ElbowPoint(2, 5.0)), elbow_k=None, elbow_strength=0.0
+        )
+        assert not analysis.has_clear_elbow

@@ -1,0 +1,108 @@
+"""Unit tests for agglomerative linkage, cross-checked against scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.cluster import hierarchy as scipy_hierarchy
+from scipy.spatial.distance import pdist as scipy_pdist, squareform
+
+from repro.errors import ClusteringError
+from repro.cluster.linkage import LINKAGE_METHODS, LinkageMatrix, linkage
+from repro.distances.pdist import CondensedDistanceMatrix, pairwise_distances
+from repro.features.matrix import FeatureMatrix
+
+
+def _condensed_from_points(points: np.ndarray) -> CondensedDistanceMatrix:
+    labels = tuple(f"p{i}" for i in range(points.shape[0]))
+    features = FeatureMatrix(labels, tuple(f"d{j}" for j in range(points.shape[1])), points)
+    return pairwise_distances(features, metric="euclidean")
+
+
+class TestLinkageBasics:
+    def test_two_points(self):
+        condensed = CondensedDistanceMatrix(("A", "B"), np.array([2.5]))
+        result = linkage(condensed, method="single")
+        assert len(result) == 1
+        left, right, height, size = result.merges[0]
+        assert {int(left), int(right)} == {0, 1}
+        assert height == pytest.approx(2.5)
+        assert size == 2
+
+    def test_unknown_method_rejected(self):
+        condensed = CondensedDistanceMatrix(("A", "B"), np.array([1.0]))
+        with pytest.raises(ClusteringError):
+            linkage(condensed, method="centroid")
+
+    def test_single_observation_rejected(self):
+        condensed = CondensedDistanceMatrix(("A",), np.array([]))
+        with pytest.raises(ClusteringError):
+            linkage(condensed)
+
+    def test_linkage_matrix_shape_validation(self):
+        with pytest.raises(ClusteringError):
+            LinkageMatrix(np.zeros((3, 4)), ("A", "B"), "average", "euclidean")
+
+    def test_monotone_heights(self):
+        rng = np.random.default_rng(0)
+        condensed = _condensed_from_points(rng.normal(size=(12, 3)))
+        for method in LINKAGE_METHODS:
+            result = linkage(condensed, method=method)
+            heights = result.heights
+            assert np.all(np.diff(heights) >= -1e-9), method
+
+    def test_final_cluster_contains_everything(self):
+        rng = np.random.default_rng(1)
+        condensed = _condensed_from_points(rng.normal(size=(8, 2)))
+        result = linkage(condensed, method="average")
+        assert result.merges[-1, 3] == 8
+
+    def test_obvious_two_cluster_structure(self):
+        points = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [10.0, 10.0], [10.1, 10.0], [10.0, 10.1]]
+        )
+        condensed = _condensed_from_points(points)
+        result = linkage(condensed, method="average")
+        # The final merge height must be much larger than all earlier ones.
+        heights = result.heights
+        assert heights[-1] > 10 * heights[-2]
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("method", ["single", "complete", "average", "weighted", "ward"])
+    def test_heights_match_scipy(self, method):
+        rng = np.random.default_rng(42)
+        points = rng.normal(size=(15, 4))
+        condensed = _condensed_from_points(points)
+        ours = linkage(condensed, method=method)
+        reference = scipy_hierarchy.linkage(scipy_pdist(points), method=method)
+        # Merge order can differ under ties, but the sorted height profile and
+        # the cophenetic distances must match.
+        np.testing.assert_allclose(
+            np.sort(ours.heights), np.sort(reference[:, 2]), rtol=1e-8, atol=1e-10
+        )
+
+    @pytest.mark.parametrize("method", ["single", "complete", "average", "ward"])
+    def test_cophenetic_matrix_matches_scipy(self, method):
+        from repro.cluster.dendrogram import Dendrogram
+
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(12, 3))
+        condensed = _condensed_from_points(points)
+        ours = Dendrogram(linkage(condensed, method=method)).cophenetic_distances()
+        reference = scipy_hierarchy.linkage(scipy_pdist(points), method=method)
+        reference_cophenetic = scipy_hierarchy.cophenet(reference)
+        np.testing.assert_allclose(ours.distances, reference_cophenetic, rtol=1e-8, atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 12), st.sampled_from(["single", "complete", "average"]))
+    def test_property_heights_match_scipy(self, seed, n_points, method):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n_points, 3))
+        condensed = _condensed_from_points(points)
+        ours = linkage(condensed, method=method)
+        reference = scipy_hierarchy.linkage(scipy_pdist(points), method=method)
+        np.testing.assert_allclose(
+            np.sort(ours.heights), np.sort(reference[:, 2]), rtol=1e-8, atol=1e-10
+        )

@@ -1,0 +1,186 @@
+"""Unit tests for cluster / dendrogram validation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+from scipy.cluster import hierarchy as scipy_hierarchy
+from scipy.spatial.distance import pdist as scipy_pdist
+
+from repro.errors import ClusteringError
+from repro.cluster.dendrogram import Dendrogram
+from repro.cluster.hierarchy import cluster_features
+from repro.cluster.linkage import linkage
+from repro.cluster.validation import (
+    adjusted_rand_index,
+    bakers_gamma,
+    cophenetic_correlation,
+    fowlkes_mallows,
+    pearson_correlation,
+    silhouette_score,
+    spearman_correlation,
+    within_cluster_sum_of_squares,
+)
+from repro.distances.pdist import pairwise_distances
+from repro.features.matrix import FeatureMatrix
+
+
+def _blobs(seed: int = 0) -> FeatureMatrix:
+    rng = np.random.default_rng(seed)
+    points = np.vstack(
+        [
+            rng.normal(loc=0.0, scale=0.2, size=(5, 2)),
+            rng.normal(loc=6.0, scale=0.2, size=(5, 2)),
+        ]
+    )
+    labels = tuple(f"a{i}" for i in range(5)) + tuple(f"b{i}" for i in range(5))
+    return FeatureMatrix(labels, ("x", "y"), points)
+
+
+class TestCorrelations:
+    def test_pearson_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=30)
+        y = 2 * x + rng.normal(scale=0.1, size=30)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_spearman_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=25)
+        y = rng.normal(size=25)
+        expected = scipy_stats.spearmanr(x, y).statistic
+        assert spearman_correlation(x, y) == pytest.approx(expected, abs=1e-10)
+
+    def test_spearman_handles_ties(self):
+        x = [1.0, 1.0, 2.0, 3.0, 3.0, 3.0]
+        y = [2.0, 2.0, 1.0, 5.0, 5.0, 6.0]
+        expected = scipy_stats.spearmanr(x, y).statistic
+        assert spearman_correlation(x, y) == pytest.approx(expected, abs=1e-10)
+
+    def test_degenerate_inputs(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+        with pytest.raises(ClusteringError):
+            pearson_correlation([1.0], [2.0])
+        with pytest.raises(ClusteringError):
+            pearson_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestCopheneticCorrelation:
+    def test_matches_scipy(self):
+        features = _blobs()
+        distances = pairwise_distances(features)
+        dendrogram = Dendrogram(linkage(distances, method="average"))
+        ours = cophenetic_correlation(dendrogram, distances)
+        reference_linkage = scipy_hierarchy.linkage(
+            scipy_pdist(features.values), method="average"
+        )
+        reference, _ = scipy_hierarchy.cophenet(reference_linkage, scipy_pdist(features.values))
+        assert ours == pytest.approx(reference, abs=1e-10)
+        assert ours > 0.8  # well-separated blobs preserve distances well
+
+    def test_label_mismatch_rejected(self):
+        features = _blobs()
+        distances = pairwise_distances(features)
+        dendrogram = Dendrogram(linkage(distances))
+        other = pairwise_distances(features.select_rows(list(features.row_labels[::-1])))
+        with pytest.raises(ClusteringError):
+            cophenetic_correlation(dendrogram, other)
+
+
+class TestBakersGamma:
+    def test_identical_trees_score_near_one(self):
+        features = _blobs()
+        run = cluster_features(features)
+        assert bakers_gamma(run.dendrogram, run.dendrogram) == pytest.approx(1.0, abs=1e-9)
+
+    def test_similar_trees_score_higher_than_shuffled(self):
+        features = _blobs()
+        euclidean_run = cluster_features(features, metric="euclidean")
+        cosine_run = cluster_features(features, metric="cosine")
+        # Shuffled labels destroy the structure.
+        rng = np.random.default_rng(0)
+        shuffled_values = features.values.copy()
+        rng.shuffle(shuffled_values)
+        shuffled = FeatureMatrix(features.row_labels, features.column_labels, shuffled_values)
+        shuffled_run = cluster_features(shuffled)
+        related = bakers_gamma(euclidean_run.dendrogram, cosine_run.dendrogram)
+        unrelated = bakers_gamma(euclidean_run.dendrogram, shuffled_run.dendrogram)
+        assert related > unrelated
+
+    def test_label_set_mismatch_rejected(self):
+        features = _blobs()
+        run = cluster_features(features)
+        smaller = cluster_features(features.select_rows(list(features.row_labels[:4])))
+        with pytest.raises(ClusteringError):
+            bakers_gamma(run.dendrogram, smaller.dendrogram)
+
+
+class TestFlatClusteringAgreement:
+    def test_perfect_agreement(self):
+        first = {"a": 0, "b": 0, "c": 1, "d": 1}
+        relabelled = {"a": 5, "b": 5, "c": 9, "d": 9}
+        assert fowlkes_mallows(first, relabelled) == pytest.approx(1.0)
+        assert adjusted_rand_index(first, relabelled) == pytest.approx(1.0)
+
+    def test_disagreement_scores_lower(self):
+        first = {"a": 0, "b": 0, "c": 1, "d": 1}
+        second = {"a": 0, "b": 1, "c": 0, "d": 1}
+        assert fowlkes_mallows(first, second) < 0.6
+        assert adjusted_rand_index(first, second) < 0.1
+
+    def test_ari_near_zero_for_random_labels(self):
+        rng = np.random.default_rng(0)
+        labels = [f"x{i}" for i in range(40)]
+        first = {l: int(rng.integers(3)) for l in labels}
+        second = {l: int(rng.integers(3)) for l in labels}
+        assert abs(adjusted_rand_index(first, second)) < 0.25
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ClusteringError):
+            fowlkes_mallows({"a": 0}, {"b": 0})
+        with pytest.raises(ClusteringError):
+            adjusted_rand_index({"a": 0}, {"b": 0})
+        with pytest.raises(ClusteringError):
+            adjusted_rand_index({"a": 0}, {"a": 0})
+
+
+class TestSilhouetteAndWcss:
+    def test_good_clustering_has_high_silhouette(self):
+        features = _blobs()
+        distances = pairwise_distances(features)
+        good = {label: 0 if label.startswith("a") else 1 for label in features.row_labels}
+        bad = {label: i % 2 for i, label in enumerate(features.row_labels)}
+        assert silhouette_score(distances, good) > 0.8
+        assert silhouette_score(distances, good) > silhouette_score(distances, bad)
+
+    def test_singleton_clusters_contribute_zero(self):
+        features = _blobs()
+        distances = pairwise_distances(features)
+        assignment = {label: i for i, label in enumerate(features.row_labels)}
+        assert silhouette_score(distances, assignment) == pytest.approx(0.0)
+
+    def test_silhouette_validation(self):
+        features = _blobs()
+        distances = pairwise_distances(features)
+        with pytest.raises(ClusteringError):
+            silhouette_score(distances, {"a0": 0})
+        with pytest.raises(ClusteringError):
+            silhouette_score(distances, {label: 0 for label in features.row_labels})
+
+    def test_wcss_matches_manual_computation(self):
+        features = _blobs()
+        assignment = {label: 0 if label.startswith("a") else 1 for label in features.row_labels}
+        wcss = within_cluster_sum_of_squares(features, assignment)
+        manual = 0.0
+        for cluster in (0, 1):
+            rows = np.stack(
+                [features.row(l) for l in features.row_labels if assignment[l] == cluster]
+            )
+            manual += float(np.sum((rows - rows.mean(axis=0)) ** 2))
+        assert wcss == pytest.approx(manual)
+
+    def test_wcss_validation(self):
+        features = _blobs()
+        with pytest.raises(ClusteringError):
+            within_cluster_sum_of_squares(features, {"a0": 0})

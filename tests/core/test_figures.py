@@ -1,0 +1,95 @@
+"""Unit tests for the per-figure builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.figures import (
+    FIGURE_NAMES,
+    build_figure1,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    build_figure6,
+)
+from repro.core.pipeline import CuisineClusteringPipeline
+
+
+@pytest.fixture(scope="module")
+def pattern_features(mini_corpus_module):
+    pipeline = CuisineClusteringPipeline(AnalysisConfig(scale=0.02, seed=7))
+    mining = pipeline.mine_patterns(mini_corpus_module)
+    return pipeline.build_pattern_features(mining)
+
+
+@pytest.fixture(scope="module")
+def mini_corpus_module(request):
+    # Reuse the session-scoped mini corpus through the request mechanism so
+    # this module-scoped fixture stays cheap.
+    return request.getfixturevalue("mini_corpus")
+
+
+class TestFigureNames:
+    def test_all_six_figures_registered(self):
+        assert set(FIGURE_NAMES) == {
+            "figure1", "figure2", "figure3", "figure4", "figure5", "figure6"
+        }
+
+
+class TestFigure1:
+    def test_elbow_series(self, pattern_features):
+        config = AnalysisConfig(elbow_k_min=1, elbow_k_max=5)
+        analysis = build_figure1(pattern_features, config)
+        assert analysis.k_values()[0] == 1
+        assert len(analysis.k_values()) == 5
+        wcss = analysis.wcss_values()
+        assert all(a >= b - 1e-9 for a, b in zip(wcss, wcss[1:]))
+
+
+class TestPatternFigures:
+    def test_figure2_euclidean(self, pattern_features):
+        run = build_figure2(pattern_features)
+        assert run.metric == "euclidean"
+        assert sorted(run.labels) == sorted(pattern_features.row_labels)
+
+    def test_figure3_cosine(self, pattern_features):
+        assert build_figure3(pattern_features).metric == "cosine"
+
+    def test_figure4_jaccard_binarizes(self, pattern_features):
+        run = build_figure4(pattern_features)
+        assert run.metric == "jaccard"
+        assert set(run.features.values.flatten()) <= {0.0, 1.0}
+
+    def test_figures_differ_across_metrics(self, pattern_features):
+        euclidean = build_figure2(pattern_features)
+        cosine = build_figure3(pattern_features)
+        assert euclidean.distances.distances.tolist() != cosine.distances.distances.tolist()
+
+
+class TestFigure5And6:
+    def test_figure5_authenticity(self, mini_corpus_module):
+        run = build_figure5(mini_corpus_module, AnalysisConfig(scale=0.02))
+        assert sorted(run.labels) == sorted(mini_corpus_module.region_names())
+        cophenetic = run.dendrogram.cophenetic_distances()
+        # Culinarily close pairs should merge earlier than distant ones.
+        assert cophenetic.distance("Japanese", "Korean") < cophenetic.distance(
+            "Japanese", "UK"
+        )
+
+    def test_figure6_geography(self):
+        run = build_figure6(["Japanese", "Korean", "UK", "Irish"])
+        cophenetic = run.dendrogram.cophenetic_distances()
+        assert cophenetic.distance("Japanese", "Korean") < cophenetic.distance(
+            "Japanese", "UK"
+        )
+        assert cophenetic.distance("UK", "Irish") < cophenetic.distance("UK", "Korean")
+
+    def test_figure6_custom_coordinates(self):
+        run = build_figure6(
+            ["A", "B", "C"],
+            coordinates={"A": (0.0, 0.0), "B": (1.0, 1.0), "C": (50.0, 50.0)},
+        )
+        cophenetic = run.dendrogram.cophenetic_distances()
+        assert cophenetic.distance("A", "B") < cophenetic.distance("A", "C")

@@ -1,0 +1,82 @@
+"""Unit tests for the entity pools."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GenerationError
+from repro.datagen.pantry import (
+    CORE_INGREDIENTS,
+    PROCESSES,
+    SIGNATURE_INGREDIENTS,
+    UTENSILS,
+    expanded_ingredient_pool,
+    expanded_process_pool,
+    expanded_utensil_pool,
+)
+
+
+class TestBasePools:
+    def test_signature_ingredients_are_core(self):
+        assert set(SIGNATURE_INGREDIENTS) <= set(CORE_INGREDIENTS)
+
+    def test_no_duplicates_in_base_pools(self):
+        assert len(set(CORE_INGREDIENTS)) == len(CORE_INGREDIENTS)
+        assert len(set(PROCESSES)) == len(PROCESSES)
+        assert len(set(UTENSILS)) == len(UTENSILS)
+
+    def test_table1_headline_entities_present(self):
+        # Every entity appearing in a Table I headline pattern must exist.
+        for item in ("butter", "salt", "onion", "garlic clove", "soy sauce", "cream",
+                     "olive oil", "parmesan cheese", "cilantro", "fish sauce",
+                     "sesame oil", "green onion", "lemon juice", "cumin", "cinnamon",
+                     "sugar"):
+            assert item in CORE_INGREDIENTS
+        for process in ("add", "heat", "bake", "preheat"):
+            assert process in PROCESSES
+        for utensil in ("oven", "bowl", "skillet"):
+            assert utensil in UTENSILS
+
+
+class TestExpandedPools:
+    @pytest.mark.parametrize("size", [220, 500, 1000, 5000])
+    def test_ingredient_pool_exact_size_and_unique(self, size):
+        pool = expanded_ingredient_pool(size)
+        assert len(pool) == size
+        assert len(set(pool)) == size
+
+    def test_ingredient_pool_truncation_keeps_signatures(self):
+        pool = expanded_ingredient_pool(len(SIGNATURE_INGREDIENTS))
+        assert set(pool) == set(SIGNATURE_INGREDIENTS)
+
+    def test_ingredient_pool_too_small_rejected(self):
+        with pytest.raises(GenerationError):
+            expanded_ingredient_pool(3)
+        with pytest.raises(GenerationError):
+            expanded_ingredient_pool(0)
+
+    @pytest.mark.parametrize("size", [50, 115, 268, 600])
+    def test_process_pool_sizes(self, size):
+        pool = expanded_process_pool(size)
+        assert len(pool) == size
+        assert len(set(pool)) == size
+
+    @pytest.mark.parametrize("size", [10, 40, 69, 120])
+    def test_utensil_pool_sizes(self, size):
+        pool = expanded_utensil_pool(size)
+        assert len(pool) == size
+        assert len(set(pool)) == size
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(GenerationError):
+            expanded_process_pool(0)
+        with pytest.raises(GenerationError):
+            expanded_utensil_pool(-2)
+
+    @given(st.integers(min_value=len(CORE_INGREDIENTS), max_value=4000))
+    def test_expansion_is_prefix_stable(self, size):
+        """Growing the pool must not change the identity of earlier entries."""
+        small = expanded_ingredient_pool(size)
+        larger = expanded_ingredient_pool(size + 37)
+        assert larger[:size] == small

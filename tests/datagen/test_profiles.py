@@ -1,0 +1,103 @@
+"""Unit tests for the calibrated cuisine profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.datagen.pantry import CORE_INGREDIENTS, PROCESSES, UTENSILS
+from repro.datagen.profiles import (
+    PAPER_REGION_NAMES,
+    PAPER_TABLE1_ROWS,
+    CuisineProfile,
+    default_profiles,
+    profile_for,
+)
+
+
+class TestPaperTable:
+    def test_has_26_regions(self):
+        assert len(PAPER_TABLE1_ROWS) == 26
+        assert len(set(PAPER_REGION_NAMES)) == 26
+
+    def test_total_recipe_count_matches_paper(self):
+        # The abstract reports 118,071 recipes; the Table I rows as printed sum
+        # to 118,171 (a 100-recipe discrepancy in the paper itself).  Accept
+        # the row sum within 0.2% of the abstract figure.
+        total = sum(row[1] for row in PAPER_TABLE1_ROWS)
+        assert abs(total - 118_071) / 118_071 < 0.002
+
+    def test_supports_in_published_range(self):
+        for _region, _count, _pattern, support, _n in PAPER_TABLE1_ROWS:
+            assert 0.20 <= support <= 0.46
+
+
+class TestDefaultProfiles:
+    def test_one_profile_per_paper_region(self):
+        profiles = default_profiles()
+        assert set(profiles) == set(PAPER_REGION_NAMES)
+
+    def test_recipe_counts_match_table1(self):
+        profiles = default_profiles()
+        for region, count, *_ in PAPER_TABLE1_ROWS:
+            assert profiles[region].paper_recipe_count == count
+
+    def test_headline_items_are_signatures(self):
+        """Every ingredient named in a cuisine's Table I headline pattern must
+        be a calibrated signature item of that cuisine's profile."""
+        profiles = default_profiles()
+        known_ingredients = set(CORE_INGREDIENTS)
+        for region, _count, pattern, _support, _n in PAPER_TABLE1_ROWS:
+            profile = profiles[region]
+            signature_names = set(profile.all_signatures())
+            for part in pattern.split("+"):
+                item = part.strip().lower()
+                if item in known_ingredients:
+                    assert item in signature_names, f"{region}: {item} missing"
+
+    def test_signature_entities_exist_in_pools(self):
+        pools = set(CORE_INGREDIENTS) | set(PROCESSES) | set(UTENSILS)
+        for profile in default_profiles().values():
+            for name in profile.all_signatures():
+                assert name in pools, f"{profile.name}: {name} not in any pool"
+
+    def test_probabilities_within_paper_band(self):
+        for profile in default_profiles().values():
+            for name, probability in profile.all_signatures().items():
+                assert 0.0 < probability <= 0.55, f"{profile.name}:{name}"
+
+    def test_processes_capped_below_headline_items(self):
+        for profile in default_profiles().values():
+            for probability in profile.signature_processes.values():
+                assert probability <= 0.38
+
+    def test_profile_for_lookup(self):
+        assert profile_for("Japanese").continent == "Asia"
+        with pytest.raises(GenerationError):
+            profile_for("Atlantis")
+
+
+class TestCuisineProfile:
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            CuisineProfile("X", "Y", paper_recipe_count=0)
+        with pytest.raises(GenerationError):
+            CuisineProfile("X", "Y", paper_recipe_count=10, signature_items={"salt": 1.5})
+        with pytest.raises(GenerationError):
+            CuisineProfile("X", "Y", paper_recipe_count=10, signature_items={"salt": 0.0})
+
+    def test_scaled_recipe_count(self):
+        profile = CuisineProfile("X", "Y", paper_recipe_count=1000)
+        assert profile.scaled_recipe_count(0.5) == 500
+        assert profile.scaled_recipe_count(0.001) == 20  # floor keeps mining sane
+        with pytest.raises(GenerationError):
+            profile.scaled_recipe_count(0)
+
+    def test_all_signatures_merges_kinds(self):
+        profile = CuisineProfile(
+            "X", "Y", paper_recipe_count=10,
+            signature_items={"salt": 0.4},
+            signature_processes={"add": 0.3},
+            signature_utensils={"bowl": 0.2},
+        )
+        assert profile.all_signatures() == {"salt": 0.4, "add": 0.3, "bowl": 0.2}

@@ -1,0 +1,116 @@
+"""Unit and property tests for the sampling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GenerationError
+from repro.datagen.random_utils import (
+    bernoulli,
+    make_rng,
+    poisson_clamped,
+    sample_without_replacement,
+    zipf_weights,
+)
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(GenerationError):
+            make_rng(-1)
+
+
+class TestZipfWeights:
+    def test_sums_to_one_and_decreasing(self):
+        weights = zipf_weights(100, exponent=1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) <= 0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GenerationError):
+            zipf_weights(0)
+        with pytest.raises(GenerationError):
+            zipf_weights(10, exponent=0)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.1, max_value=3.0))
+    def test_normalised_for_any_size(self, size, exponent):
+        weights = zipf_weights(size, exponent)
+        assert weights.shape == (size,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0)
+
+
+class TestSampleWithoutReplacement:
+    def test_returns_distinct_items(self):
+        rng = make_rng(1)
+        population = [f"item{i}" for i in range(50)]
+        weights = zipf_weights(50)
+        sample = sample_without_replacement(rng, population, weights, 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+        assert set(sample) <= set(population)
+
+    def test_count_larger_than_population_returns_all(self):
+        rng = make_rng(1)
+        population = ["a", "b", "c"]
+        sample = sample_without_replacement(rng, population, zipf_weights(3), 10)
+        assert sample == population
+
+    def test_zero_count(self):
+        rng = make_rng(1)
+        assert sample_without_replacement(rng, ["a"], zipf_weights(1), 0) == []
+
+    def test_mismatched_lengths_rejected(self):
+        rng = make_rng(1)
+        with pytest.raises(GenerationError):
+            sample_without_replacement(rng, ["a", "b"], zipf_weights(3), 1)
+
+    def test_negative_count_rejected(self):
+        rng = make_rng(1)
+        with pytest.raises(GenerationError):
+            sample_without_replacement(rng, ["a"], zipf_weights(1), -1)
+
+
+class TestPoissonClamped:
+    def test_within_bounds(self):
+        rng = make_rng(3)
+        for _ in range(200):
+            value = poisson_clamped(rng, mean=10.0, minimum=1, maximum=15)
+            assert 1 <= value <= 15
+
+    def test_mean_is_respected(self):
+        rng = make_rng(3)
+        values = [poisson_clamped(rng, 10.0, 0, 100) for _ in range(2000)]
+        assert 9.0 <= float(np.mean(values)) <= 11.0
+
+    def test_invalid_arguments(self):
+        rng = make_rng(0)
+        with pytest.raises(GenerationError):
+            poisson_clamped(rng, 0.0, 0, 10)
+        with pytest.raises(GenerationError):
+            poisson_clamped(rng, 5.0, 10, 5)
+        with pytest.raises(GenerationError):
+            poisson_clamped(rng, 5.0, -1, 5)
+
+
+class TestBernoulli:
+    def test_extremes(self):
+        rng = make_rng(0)
+        assert bernoulli(rng, 1.0) is True
+        assert bernoulli(rng, 0.0) is False
+
+    def test_frequency_tracks_probability(self):
+        rng = make_rng(11)
+        hits = sum(bernoulli(rng, 0.3) for _ in range(5000))
+        assert 0.25 <= hits / 5000 <= 0.35
+
+    def test_invalid_probability(self):
+        rng = make_rng(0)
+        with pytest.raises(GenerationError):
+            bernoulli(rng, 1.2)

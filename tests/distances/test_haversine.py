@@ -1,0 +1,69 @@
+"""Unit tests for haversine distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeographyError
+from repro.distances.haversine import EARTH_RADIUS_KM, haversine_km, haversine_matrix
+
+latitudes = st.floats(min_value=-90, max_value=90, allow_nan=False)
+longitudes = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestHaversineKm:
+    def test_zero_distance(self):
+        assert haversine_km((48.85, 2.35), (48.85, 2.35)) == pytest.approx(0.0)
+
+    def test_known_city_pairs(self):
+        paris = (48.8566, 2.3522)
+        london = (51.5074, -0.1278)
+        tokyo = (35.6762, 139.6503)
+        assert haversine_km(paris, london) == pytest.approx(344, rel=0.02)
+        assert haversine_km(paris, tokyo) == pytest.approx(9710, rel=0.02)
+
+    def test_antipodal_points(self):
+        distance = haversine_km((0.0, 0.0), (0.0, 180.0))
+        assert distance == pytest.approx(np.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(GeographyError):
+            haversine_km((100.0, 0.0), (0.0, 0.0))
+        with pytest.raises(GeographyError):
+            haversine_km((0.0, 200.0), (0.0, 0.0))
+        with pytest.raises(GeographyError):
+            haversine_km((0.0,), (0.0, 0.0))
+        with pytest.raises(GeographyError):
+            haversine_km((0.0, 0.0), (0.0, 0.0), radius_km=0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(latitudes, longitudes, latitudes, longitudes)
+    def test_property_symmetric_and_bounded(self, lat1, lon1, lat2, lon2):
+        forward = haversine_km((lat1, lon1), (lat2, lon2))
+        backward = haversine_km((lat2, lon2), (lat1, lon1))
+        assert forward == pytest.approx(backward, abs=1e-9)
+        assert 0.0 <= forward <= np.pi * EARTH_RADIUS_KM + 1e-6
+
+
+class TestHaversineMatrix:
+    def test_matrix_shape_and_symmetry(self):
+        labels, matrix = haversine_matrix(
+            {"Paris": (48.86, 2.35), "London": (51.51, -0.13), "Tokyo": (35.68, 139.65)}
+        )
+        assert labels == ("London", "Paris", "Tokyo")
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_values_match_pairwise_calls(self):
+        coordinates = {"A": (10.0, 20.0), "B": (-30.0, 50.0)}
+        labels, matrix = haversine_matrix(coordinates)
+        assert matrix[0, 1] == pytest.approx(
+            haversine_km(coordinates["A"], coordinates["B"])
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeographyError):
+            haversine_matrix({})

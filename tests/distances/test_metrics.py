@@ -1,0 +1,130 @@
+"""Unit and property tests for distance metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy.spatial import distance as scipy_distance
+
+from repro.errors import DistanceError
+from repro.distances.metrics import (
+    METRICS,
+    chebyshev,
+    cityblock,
+    cosine,
+    euclidean,
+    get_metric,
+    hamming,
+    jaccard,
+    squared_euclidean,
+)
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 12),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+
+
+class TestKnownValues:
+    def test_euclidean(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+        assert squared_euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(25.0)
+
+    def test_cosine(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+        assert cosine(np.array([1.0, 1.0]), np.array([2.0, 2.0])) == pytest.approx(0.0)
+        assert cosine(np.array([1.0, 0.0]), np.array([-1.0, 0.0])) == pytest.approx(2.0)
+
+    def test_cosine_zero_vector_conventions(self):
+        zero = np.zeros(3)
+        other = np.array([1.0, 2.0, 3.0])
+        assert cosine(zero, other) == 1.0
+        assert cosine(zero, zero) == 0.0
+
+    def test_jaccard(self):
+        a = np.array([1.0, 1.0, 0.0, 0.0])
+        b = np.array([1.0, 0.0, 1.0, 0.0])
+        assert jaccard(a, b) == pytest.approx(1 - 1 / 3)
+        assert jaccard(np.zeros(3), np.zeros(3)) == 0.0
+        # Magnitude does not matter, only presence.
+        assert jaccard(a * 5, b * 9) == pytest.approx(1 - 1 / 3)
+
+    def test_hamming_cityblock_chebyshev(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 0.0, 5.0])
+        assert hamming(a, b) == pytest.approx(2 / 3)
+        assert cityblock(a, b) == pytest.approx(4.0)
+        assert chebyshev(a, b) == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(DistanceError):
+            euclidean(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_vectors(self):
+        with pytest.raises(DistanceError):
+            cosine(np.array([]), np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(DistanceError):
+            jaccard(np.array([np.nan]), np.array([1.0]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(DistanceError):
+            euclidean(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_get_metric(self):
+        assert get_metric("Euclidean") is euclidean
+        assert get_metric("manhattan") is cityblock
+        with pytest.raises(DistanceError):
+            get_metric("mystery")
+        assert set(METRICS) >= {"euclidean", "cosine", "jaccard"}
+
+
+class TestAgainstScipy:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 10), st.integers(0, 2**31 - 1))
+    def test_matches_scipy_on_random_vectors(self, dimension, seed):
+        rng = np.random.default_rng(seed)
+        u = rng.normal(size=dimension)
+        v = rng.normal(size=dimension)
+        assert euclidean(u, v) == pytest.approx(scipy_distance.euclidean(u, v))
+        assert cosine(u, v) == pytest.approx(scipy_distance.cosine(u, v), abs=1e-9)
+        assert cityblock(u, v) == pytest.approx(scipy_distance.cityblock(u, v))
+        assert chebyshev(u, v) == pytest.approx(scipy_distance.chebyshev(u, v))
+        binary_u = (u > 0).astype(float)
+        binary_v = (v > 0).astype(float)
+        assert jaccard(binary_u, binary_v) == pytest.approx(
+            scipy_distance.jaccard(binary_u, binary_v)
+        )
+
+
+class TestMetricProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(vectors)
+    def test_identity(self, u):
+        for name in ("euclidean", "cosine", "jaccard", "hamming", "cityblock", "chebyshev"):
+            assert get_metric(name)(u, u) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 12), st.integers(0, 2**31 - 1))
+    def test_symmetry_and_non_negativity(self, dimension, seed):
+        rng = np.random.default_rng(seed)
+        u = rng.normal(size=dimension)
+        v = rng.normal(size=dimension)
+        for name, metric in METRICS.items():
+            forward = metric(u, v)
+            backward = metric(v, u)
+            assert forward == pytest.approx(backward), name
+            assert forward >= 0.0, name
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 10), st.integers(0, 2**31 - 1))
+    def test_euclidean_triangle_inequality(self, dimension, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = rng.normal(size=(3, dimension))
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9

@@ -1,0 +1,152 @@
+"""Unit tests for condensed pairwise distance matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.spatial.distance import pdist as scipy_pdist
+
+from repro.errors import DistanceError
+from repro.distances.pdist import (
+    CondensedDistanceMatrix,
+    condensed_index,
+    condensed_size,
+    pairwise_distances,
+    pdist_from_square,
+)
+from repro.features.matrix import FeatureMatrix
+
+
+@pytest.fixture()
+def features() -> FeatureMatrix:
+    return FeatureMatrix(
+        row_labels=("A", "B", "C", "D"),
+        column_labels=("x", "y"),
+        values=np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0], [0.0, 1.0]]),
+    )
+
+
+class TestCondensedHelpers:
+    def test_condensed_size(self):
+        assert condensed_size(0) == 0
+        assert condensed_size(1) == 0
+        assert condensed_size(4) == 6
+        assert condensed_size(26) == 325
+        with pytest.raises(DistanceError):
+            condensed_size(-1)
+
+    def test_condensed_index_matches_row_major_upper_triangle(self):
+        n = 5
+        position = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert condensed_index(n, i, j) == position
+                assert condensed_index(n, j, i) == position  # symmetric lookup
+                position += 1
+
+    def test_condensed_index_validation(self):
+        with pytest.raises(DistanceError):
+            condensed_index(4, 1, 1)
+        with pytest.raises(DistanceError):
+            condensed_index(4, 0, 9)
+
+    @given(st.integers(2, 30))
+    def test_property_index_is_bijective(self, n):
+        seen = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                seen.add(condensed_index(n, i, j))
+        assert seen == set(range(condensed_size(n)))
+
+
+class TestPairwiseDistances:
+    def test_euclidean_matches_scipy(self, features):
+        ours = pairwise_distances(features, metric="euclidean")
+        reference = scipy_pdist(features.values, metric="euclidean")
+        np.testing.assert_allclose(ours.distances, reference)
+        assert ours.metric == "euclidean"
+        assert ours.labels == features.row_labels
+
+    @pytest.mark.parametrize("metric", ["cosine", "cityblock", "chebyshev"])
+    def test_other_metrics_match_scipy(self, metric):
+        # Shifted away from the origin: scipy's cosine distance is NaN for an
+        # all-zero vector whereas ours follows the documented 1.0 convention,
+        # so the zero-vector corner case is tested separately in test_metrics.
+        features = FeatureMatrix(
+            ("A", "B", "C", "D"),
+            ("x", "y"),
+            np.array([[1.0, 1.0], [4.0, 5.0], [7.0, 9.0], [1.0, 2.0]]),
+        )
+        ours = pairwise_distances(features, metric=metric)
+        reference = scipy_pdist(features.values, metric=metric)
+        np.testing.assert_allclose(ours.distances, reference, atol=1e-12)
+
+    def test_jaccard_on_binary_features(self):
+        binary = FeatureMatrix(
+            ("A", "B", "C"),
+            ("p1", "p2", "p3"),
+            np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 0.0, 1.0]]),
+        )
+        ours = pairwise_distances(binary, metric="jaccard")
+        reference = scipy_pdist(binary.values.astype(bool), metric="jaccard")
+        np.testing.assert_allclose(ours.distances, reference)
+
+    def test_callable_metric(self, features):
+        ours = pairwise_distances(features, metric=lambda u, v: float(np.abs(u - v).sum()))
+        reference = scipy_pdist(features.values, metric="cityblock")
+        np.testing.assert_allclose(ours.distances, reference)
+
+    def test_distance_lookup_by_label_and_index(self, features):
+        matrix = pairwise_distances(features)
+        assert matrix.distance("A", "B") == pytest.approx(5.0)
+        assert matrix.distance(0, 1) == pytest.approx(5.0)
+        assert matrix.distance("B", "A") == matrix.distance("A", "B")
+        assert matrix.distance("A", "A") == 0.0
+        with pytest.raises(DistanceError):
+            matrix.distance("A", "Z")
+
+    def test_to_square_roundtrip(self, features):
+        matrix = pairwise_distances(features)
+        square = matrix.to_square()
+        rebuilt = pdist_from_square(square, matrix.labels)
+        np.testing.assert_allclose(rebuilt.distances, matrix.distances)
+
+    def test_nearest_and_ranked_pairs(self, features):
+        matrix = pairwise_distances(features)
+        first, second, value = matrix.nearest_pair()
+        assert {first, second} == {"A", "D"}
+        assert value == pytest.approx(1.0)
+        ranked = matrix.ranked_pairs()
+        assert ranked[0][2] <= ranked[-1][2]
+        assert len(ranked) == 6
+
+    def test_nearest_pair_requires_two_observations(self):
+        single = CondensedDistanceMatrix(("A",), np.array([]))
+        with pytest.raises(DistanceError):
+            single.nearest_pair()
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DistanceError):
+            CondensedDistanceMatrix(("A", "B", "C"), np.array([1.0]))
+
+    def test_negative_distances_rejected(self):
+        with pytest.raises(DistanceError):
+            CondensedDistanceMatrix(("A", "B"), np.array([-1.0]))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(DistanceError):
+            CondensedDistanceMatrix(("A", "B"), np.array([np.inf]))
+
+    def test_pdist_from_square_validation(self):
+        asymmetric = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(DistanceError):
+            pdist_from_square(asymmetric, ["A", "B"])
+        bad_diagonal = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(DistanceError):
+            pdist_from_square(bad_diagonal, ["A", "B"])
+        wrong_shape = np.zeros((2, 3))
+        with pytest.raises(DistanceError):
+            pdist_from_square(wrong_shape, ["A", "B"])

@@ -1,0 +1,89 @@
+"""Unit tests for the labelled feature matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.matrix import FeatureMatrix
+
+
+@pytest.fixture()
+def matrix() -> FeatureMatrix:
+    return FeatureMatrix(
+        row_labels=("A", "B", "C"),
+        column_labels=("p1", "p2", "p3", "p4"),
+        values=np.array(
+            [
+                [1.0, 0.0, 0.5, 2.0],
+                [0.0, 1.0, 0.5, 2.0],
+                [1.0, 1.0, 0.0, 2.0],
+            ]
+        ),
+    )
+
+
+class TestConstruction:
+    def test_shape_properties(self, matrix):
+        assert matrix.shape == (3, 4)
+        assert matrix.n_rows == 3
+        assert matrix.n_columns == 4
+
+    def test_validation(self):
+        with pytest.raises(FeatureError):
+            FeatureMatrix(("A",), ("x",), np.zeros((2, 1)))
+        with pytest.raises(FeatureError):
+            FeatureMatrix(("A", "A"), ("x",), np.zeros((2, 1)))
+        with pytest.raises(FeatureError):
+            FeatureMatrix(("A",), ("x",), np.array([[np.nan]]))
+        with pytest.raises(FeatureError):
+            FeatureMatrix(("A",), ("x",), np.zeros(3))
+
+
+class TestAccess:
+    def test_row_and_column(self, matrix):
+        np.testing.assert_allclose(matrix.row("B"), [0.0, 1.0, 0.5, 2.0])
+        np.testing.assert_allclose(matrix.column("p1"), [1.0, 0.0, 1.0])
+        with pytest.raises(FeatureError):
+            matrix.row("Z")
+        with pytest.raises(FeatureError):
+            matrix.column("zz")
+
+    def test_row_returns_copy(self, matrix):
+        row = matrix.row("A")
+        row[0] = 99
+        assert matrix.values[0, 0] == 1.0
+
+
+class TestTransformations:
+    def test_binarized(self, matrix):
+        binary = matrix.binarized()
+        assert set(np.unique(binary.values)) <= {0.0, 1.0}
+        assert binary.values[0, 2] == 1.0
+        assert binary.values[2, 2] == 0.0
+
+    def test_standardized_zero_mean(self, matrix):
+        standard = matrix.standardized()
+        np.testing.assert_allclose(standard.values.mean(axis=0), 0.0, atol=1e-12)
+        # Constant column stays at zero after centring.
+        np.testing.assert_allclose(standard.column("p4"), 0.0, atol=1e-12)
+
+    def test_select_rows(self, matrix):
+        selected = matrix.select_rows(["C", "A"])
+        assert selected.row_labels == ("C", "A")
+        np.testing.assert_allclose(selected.row("C"), matrix.row("C"))
+
+    def test_drop_constant_columns(self, matrix):
+        reduced = matrix.drop_constant_columns()
+        assert "p4" not in reduced.column_labels
+        assert reduced.n_columns == 3
+
+    def test_drop_constant_columns_all_constant(self):
+        constant = FeatureMatrix(("A", "B"), ("x", "y"), np.ones((2, 2)))
+        assert constant.drop_constant_columns().shape == (2, 2)
+
+    def test_to_dict(self, matrix):
+        payload = matrix.to_dict()
+        assert payload["row_labels"] == ["A", "B", "C"]
+        assert len(payload["values"]) == 3

@@ -1,0 +1,100 @@
+"""Unit tests for tree-vs-geography comparison and claim checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeographyError
+from repro.cluster.hierarchy import cluster_features
+from repro.features.matrix import FeatureMatrix
+from repro.geo.comparison import (
+    canada_france_vs_us,
+    compare_to_geography,
+    compare_trees,
+    india_north_africa_affinity,
+)
+from repro.geo.geocluster import geographic_clustering
+from repro.geo.regions import region_coordinates
+
+
+def _geographyish_features(noise: float, seed: int = 0) -> FeatureMatrix:
+    """Features that are the region coordinates plus noise -- a tree built on
+    them should agree with the geographic tree roughly in proportion to the
+    noise level."""
+    rng = np.random.default_rng(seed)
+    coords = region_coordinates()
+    labels = tuple(sorted(coords))
+    values = np.array([coords[label] for label in labels], dtype=float)
+    values = values + rng.normal(scale=noise, size=values.shape)
+    return FeatureMatrix(labels, ("latitude", "longitude"), values)
+
+
+class TestCompareTrees:
+    def test_identical_runs_score_one(self):
+        run = geographic_clustering()
+        comparison = compare_trees(run, run)
+        assert comparison.bakers_gamma == pytest.approx(1.0, abs=1e-9)
+        assert all(v == pytest.approx(1.0) for v in comparison.fowlkes_mallows_by_k.values())
+        assert all(v == pytest.approx(1.0) for v in comparison.adjusted_rand_by_k.values())
+
+    def test_low_noise_scores_higher_than_high_noise(self):
+        low_noise = cluster_features(_geographyish_features(1.0))
+        high_noise = cluster_features(_geographyish_features(120.0))
+        low = compare_to_geography(low_noise)
+        high = compare_to_geography(high_noise)
+        assert low.bakers_gamma > high.bakers_gamma
+        assert low.mean_fowlkes_mallows() >= high.mean_fowlkes_mallows()
+
+    def test_k_values_outside_range_skipped(self):
+        run = geographic_clustering(["Japanese", "Korean", "Thai"])
+        comparison = compare_trees(run, run, k_values=(2, 3, 25))
+        assert set(comparison.fowlkes_mallows_by_k) == {2, 3}
+
+    def test_label_mismatch_rejected(self):
+        full = geographic_clustering()
+        subset = geographic_clustering(["Japanese", "Korean", "Thai"])
+        with pytest.raises(GeographyError):
+            compare_trees(full, subset)
+
+    def test_to_dict(self):
+        run = geographic_clustering()
+        payload = compare_to_geography(run).to_dict()
+        assert set(payload) >= {"bakers_gamma", "fowlkes_mallows_by_k", "mean_fowlkes_mallows"}
+
+
+class TestClaimChecks:
+    def test_geography_tree_fails_canada_france_claim(self):
+        """On pure geography, Canada clusters with the US, not France -- the
+        paper's point is that the cuisine trees deviate from this."""
+        run = geographic_clustering()
+        check = canada_france_vs_us(run)
+        assert not check.holds
+        assert check.details["canada_us"] < check.details["canada_france"]
+
+    def test_claim_holds_when_distances_support_it(self):
+        coords = dict(region_coordinates())
+        # Counterfactual geography: move Canada next to France.
+        coords["Canadian"] = (47.0, 3.0)
+        run = geographic_clustering(coordinates=coords)
+        assert canada_france_vs_us(run).holds
+
+    def test_india_claim_on_geography_fails(self):
+        run = geographic_clustering()
+        check = india_north_africa_affinity(run)
+        assert not check.holds
+        assert set(check.details) == {
+            "india_northern_africa", "india_thai", "india_southeast_asian"
+        }
+
+    def test_missing_regions_rejected(self):
+        run = geographic_clustering(["Japanese", "Korean", "Thai"])
+        with pytest.raises(GeographyError):
+            canada_france_vs_us(run)
+        with pytest.raises(GeographyError):
+            india_north_africa_affinity(run)
+
+    def test_claim_check_to_dict(self):
+        run = geographic_clustering()
+        payload = canada_france_vs_us(run).to_dict()
+        assert set(payload) == {"claim", "holds", "details"}

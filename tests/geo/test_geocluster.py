@@ -1,0 +1,65 @@
+"""Unit tests for geographic clustering (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GeographyError
+from repro.geo.geocluster import geographic_clustering, geographic_distance_matrix
+
+
+class TestGeographicDistanceMatrix:
+    def test_all_regions_by_default(self):
+        distances = geographic_distance_matrix()
+        assert len(distances.labels) == 26
+        assert distances.metric == "haversine-km"
+        assert distances.distance("French", "UK") < distances.distance("French", "Japanese")
+
+    def test_subset(self):
+        distances = geographic_distance_matrix(["Japanese", "Korean", "UK"])
+        assert set(distances.labels) == {"Japanese", "Korean", "UK"}
+
+    def test_custom_coordinates(self):
+        distances = geographic_distance_matrix(
+            coordinates={"A": (0.0, 0.0), "B": (0.0, 10.0), "C": (50.0, 0.0)}
+        )
+        assert distances.distance("A", "B") < distances.distance("A", "C")
+
+    def test_missing_custom_coordinates_rejected(self):
+        with pytest.raises(GeographyError):
+            geographic_distance_matrix(["A", "B"], coordinates={"A": (0.0, 0.0)})
+
+    def test_requires_two_regions(self):
+        with pytest.raises(GeographyError):
+            geographic_distance_matrix(["Japanese"])
+
+
+class TestGeographicClustering:
+    def test_full_tree(self):
+        run = geographic_clustering()
+        assert len(run.dendrogram.leaf_order()) == 26
+        assert run.method == "average"
+
+    def test_neighbouring_regions_merge_before_distant_ones(self):
+        run = geographic_clustering()
+        cophenetic = run.dendrogram.cophenetic_distances()
+        assert cophenetic.distance("Korean", "Japanese") < cophenetic.distance(
+            "Korean", "Mexican"
+        )
+        assert cophenetic.distance("UK", "Irish") < cophenetic.distance("UK", "Thai")
+        assert cophenetic.distance("Canadian", "US") < cophenetic.distance(
+            "Canadian", "French"
+        )
+
+    def test_continental_blocks_at_coarse_cut(self):
+        run = geographic_clustering()
+        assignment = run.flat_clusters(4)
+        # European cuisines should share a flat cluster at a coarse cut.
+        assert assignment["French"] == assignment["Deutschland"] == assignment["Italian"]
+        # East Asia should be separated from Europe.
+        assert assignment["Japanese"] != assignment["French"]
+
+    def test_alternative_linkage(self):
+        run = geographic_clustering(["Japanese", "Korean", "Thai", "UK"], method="complete")
+        assert run.method == "complete"
+        assert len(run.dendrogram.leaf_order()) == 4

@@ -1,0 +1,79 @@
+"""Unit tests for region geography data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GeographyError
+from repro.datagen.profiles import PAPER_REGION_NAMES
+from repro.distances.haversine import haversine_km
+from repro.geo.regions import (
+    REGION_GEOGRAPHY,
+    RegionGeography,
+    continent_assignment,
+    region_continents,
+    region_coordinates,
+)
+
+
+class TestRegionGeography:
+    def test_covers_all_26_paper_regions(self):
+        assert set(REGION_GEOGRAPHY) == set(PAPER_REGION_NAMES)
+        assert len(REGION_GEOGRAPHY) == 26
+
+    def test_coordinates_are_valid(self):
+        for geography in REGION_GEOGRAPHY.values():
+            assert -90 <= geography.latitude <= 90
+            assert -180 <= geography.longitude <= 180
+
+    def test_invalid_coordinates_rejected(self):
+        with pytest.raises(GeographyError):
+            RegionGeography("X", 91.0, 0.0, "Nowhere")
+        with pytest.raises(GeographyError):
+            RegionGeography("X", 0.0, 181.0, "Nowhere")
+
+    def test_geographic_sanity(self):
+        """Coarse sanity checks on the centroid placement."""
+        coords = region_coordinates()
+        # European cuisines are near each other, far from East Asia.
+        france_uk = haversine_km(coords["French"], coords["UK"])
+        france_japan = haversine_km(coords["French"], coords["Japanese"])
+        assert france_uk < 2000
+        assert france_japan > 8000
+        # Canada and the US are geographic neighbours.
+        assert haversine_km(coords["Canadian"], coords["US"]) < 2500
+        # Korea and Japan are close.
+        assert haversine_km(coords["Korean"], coords["Japanese"]) < 1500
+
+
+class TestRegionCoordinates:
+    def test_default_returns_all_regions(self):
+        coords = region_coordinates()
+        assert len(coords) == 26
+        assert all(len(v) == 2 for v in coords.values())
+
+    def test_subset_request(self):
+        coords = region_coordinates(["Japanese", "Thai"])
+        assert set(coords) == {"Japanese", "Thai"}
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(GeographyError):
+            region_coordinates(["Atlantis"])
+
+
+class TestContinents:
+    def test_region_continents(self):
+        continents = region_continents()
+        assert continents["Japanese"] == "Asia"
+        assert continents["French"] == "Europe"
+        assert continents["Mexican"] == "North America"
+
+    def test_continent_assignment_is_flat_clustering(self):
+        assignment = continent_assignment()
+        assert set(assignment) == set(REGION_GEOGRAPHY)
+        assert assignment["French"] == assignment["Italian"]
+        assert assignment["French"] != assignment["Japanese"]
+
+    def test_continent_assignment_custom_mapping(self):
+        assignment = continent_assignment({"A": "X", "B": "X", "C": "Y"})
+        assert assignment["A"] == assignment["B"] != assignment["C"]

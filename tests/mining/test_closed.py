@@ -1,0 +1,94 @@
+"""Unit tests for closed / maximal itemset filtering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.closed import closed_patterns, maximal_patterns, redundancy_ratio
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.itemsets import MiningResult
+
+TRANSACTIONS = [
+    {"a", "b", "c"},
+    {"a", "b", "c"},
+    {"a", "b"},
+    {"a", "d"},
+    {"d"},
+]
+
+
+@pytest.fixture()
+def mined():
+    return fpgrowth(TRANSACTIONS, min_support=0.3, max_length=None)
+
+
+class TestClosedPatterns:
+    def test_closed_definition(self, mined):
+        closed = closed_patterns(mined)
+        closed_sets = closed.itemsets()
+        # {b} has support 3, but {a, b} also has support 3 -> {b} is not closed.
+        assert frozenset({"b"}) not in closed_sets
+        assert frozenset({"a", "b"}) in closed_sets
+        # {a} has support 4, no superset reaches 4 -> closed.
+        assert frozenset({"a"}) in closed_sets
+
+    def test_supports_preserved(self, mined):
+        closed = closed_patterns(mined)
+        original = mined.support_map()
+        for pattern in closed:
+            assert original[pattern.items] == pattern.support
+
+    def test_every_frequent_support_recoverable(self, mined):
+        """Closed itemsets are a lossless compression: each frequent itemset's
+        support equals the maximum support of a closed superset."""
+        closed = closed_patterns(mined)
+        for pattern in mined:
+            candidates = [
+                c.absolute_support for c in closed if pattern.items <= c.items
+            ]
+            assert candidates
+            assert max(candidates) == pattern.absolute_support
+
+    def test_algorithm_tag(self, mined):
+        assert closed_patterns(mined).algorithm.endswith("+closed")
+
+
+class TestMaximalPatterns:
+    def test_maximal_definition(self, mined):
+        maximal = maximal_patterns(mined)
+        maximal_sets = maximal.itemsets()
+        all_sets = mined.itemsets()
+        for items in maximal_sets:
+            assert not any(items < other for other in all_sets)
+
+    def test_maximal_subset_of_closed(self, mined):
+        closed_sets = closed_patterns(mined).itemsets()
+        maximal_sets = maximal_patterns(mined).itemsets()
+        assert maximal_sets <= closed_sets
+
+    def test_empty_result(self):
+        empty = MiningResult([], n_transactions=5, min_support=0.3)
+        assert len(closed_patterns(empty)) == 0
+        assert len(maximal_patterns(empty)) == 0
+        assert redundancy_ratio(empty) == 0.0
+
+
+class TestRedundancyRatio:
+    def test_ratio_bounds(self, mined):
+        ratio = redundancy_ratio(mined)
+        assert 0.0 <= ratio < 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.sampled_from("abcde"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_property_closed_is_superset_of_maximal(self, transactions):
+        mined = fpgrowth(transactions, min_support=0.25, max_length=None)
+        closed_sets = closed_patterns(mined).itemsets()
+        maximal_sets = maximal_patterns(mined).itemsets()
+        assert maximal_sets <= closed_sets <= mined.itemsets()

@@ -1,0 +1,147 @@
+"""Unit tests for transactions, patterns and mining results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.itemsets import MiningResult, Pattern, TransactionDatabase
+
+
+@pytest.fixture()
+def transactions() -> TransactionDatabase:
+    return TransactionDatabase(
+        [
+            {"soy sauce", "mirin", "heat"},
+            {"soy sauce", "heat"},
+            {"soy sauce", "mirin"},
+            {"butter", "flour"},
+        ]
+    )
+
+
+class TestTransactionDatabase:
+    def test_length_and_iteration(self, transactions):
+        assert len(transactions) == 4
+        assert all(isinstance(t, frozenset) for t in transactions)
+        assert transactions[0] == frozenset({"soy sauce", "mirin", "heat"})
+
+    def test_empty_transactions_dropped(self):
+        db = TransactionDatabase([{"a"}, set(), {"b"}])
+        assert len(db) == 2
+
+    def test_item_counts_and_vocabulary(self, transactions):
+        counts = transactions.item_counts()
+        assert counts["soy sauce"] == 3
+        assert counts["butter"] == 1
+        assert transactions.vocabulary() == {"soy sauce", "mirin", "heat", "butter", "flour"}
+
+    def test_support(self, transactions):
+        assert transactions.support(["soy sauce"]) == pytest.approx(0.75)
+        assert transactions.support(["soy sauce", "mirin"]) == pytest.approx(0.5)
+        assert transactions.support(["missing"]) == 0.0
+        assert transactions.support([]) == 1.0
+        assert TransactionDatabase([]).support(["x"]) == 0.0
+
+    def test_minimum_count(self, transactions):
+        assert transactions.minimum_count(0.5) == 2
+        assert transactions.minimum_count(0.2) == 1
+        assert transactions.minimum_count(1.0) == 4
+        with pytest.raises(MiningError):
+            transactions.minimum_count(0.0)
+        with pytest.raises(MiningError):
+            transactions.minimum_count(1.5)
+
+    def test_from_recipes(self, toy_recipes):
+        db = TransactionDatabase.from_recipes(toy_recipes)
+        assert len(db) == len(toy_recipes)
+        with pytest.raises(MiningError):
+            TransactionDatabase.from_recipes([object()])
+
+    def test_equality(self, transactions):
+        same = TransactionDatabase(list(transactions))
+        assert same == transactions
+        assert transactions != TransactionDatabase([{"x"}])
+
+
+class TestPattern:
+    def test_basic_properties(self):
+        pattern = Pattern(frozenset({"soy sauce", "heat"}), support=0.5, absolute_support=2)
+        assert pattern.length == 2
+        assert not pattern.is_singleton
+        assert pattern.sorted_items() == ("heat", "soy sauce")
+        assert pattern.as_string() == "heat + soy sauce"
+        assert pattern.contains("heat")
+        assert "support=0.500" in str(pattern)
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            Pattern(frozenset(), support=0.5, absolute_support=1)
+        with pytest.raises(MiningError):
+            Pattern(frozenset({"a"}), support=0.0, absolute_support=1)
+        with pytest.raises(MiningError):
+            Pattern(frozenset({"a"}), support=0.5, absolute_support=0)
+
+    def test_subpattern(self):
+        small = Pattern(frozenset({"a"}), 0.5, 1)
+        large = Pattern(frozenset({"a", "b"}), 0.4, 1)
+        assert small.is_subpattern_of(large)
+        assert not large.is_subpattern_of(small)
+
+    def test_to_dict(self):
+        pattern = Pattern(frozenset({"b", "a"}), 0.25, 1)
+        assert pattern.to_dict() == {
+            "items": ["a", "b"], "support": 0.25, "absolute_support": 1
+        }
+
+
+class TestMiningResult:
+    def _result(self) -> MiningResult:
+        patterns = [
+            Pattern(frozenset({"soy sauce"}), 0.75, 3),
+            Pattern(frozenset({"mirin"}), 0.5, 2),
+            Pattern(frozenset({"soy sauce", "mirin"}), 0.5, 2),
+            Pattern(frozenset({"heat"}), 0.5, 2),
+        ]
+        return MiningResult(patterns, n_transactions=4, min_support=0.4, algorithm="test")
+
+    def test_ordering_is_support_then_length_then_lexicographic(self):
+        result = self._result()
+        assert result[0].items == frozenset({"soy sauce"})
+        # Among the 0.5-support patterns the 2-item pattern comes first.
+        assert result[1].items == frozenset({"soy sauce", "mirin"})
+        assert [p.items for p in result][2:] == [frozenset({"heat"}), frozenset({"mirin"})]
+
+    def test_top_and_top_pattern(self):
+        result = self._result()
+        assert result.top(2)[0].support == 0.75
+        assert result.top_pattern().items == frozenset({"soy sauce"})
+        assert result.top_pattern(prefer_compound=True).items == frozenset({"soy sauce", "mirin"})
+        with pytest.raises(MiningError):
+            result.top(0)
+
+    def test_top_pattern_empty_result(self):
+        empty = MiningResult([], n_transactions=4, min_support=0.5)
+        assert empty.top_pattern() is None
+        assert empty.top_pattern(prefer_compound=True) is None
+
+    def test_filters(self):
+        result = self._result()
+        assert len(result.non_singletons()) == 1
+        assert len(result.with_min_length(2)) == 1
+        assert len(result.containing("mirin")) == 2
+        with pytest.raises(MiningError):
+            result.with_min_length(0)
+
+    def test_views(self):
+        result = self._result()
+        assert frozenset({"soy sauce", "mirin"}) in result.itemsets()
+        assert result.support_map()[frozenset({"heat"})] == 0.5
+        assert "mirin + soy sauce" in result.string_patterns()
+        assert len(result.to_dicts()) == 4
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            MiningResult([], n_transactions=-1, min_support=0.5)
+        with pytest.raises(MiningError):
+            MiningResult([], n_transactions=1, min_support=0.0)

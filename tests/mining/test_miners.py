@@ -1,0 +1,150 @@
+"""Unit tests for FP-Growth plus brute-force and cross-miner verification."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MiningError
+from repro.mining.apriori import AprioriMiner, apriori
+from repro.mining.eclat import EclatMiner, eclat
+from repro.mining.fpgrowth import FPGrowthMiner, fpgrowth
+from repro.mining.itemsets import TransactionDatabase
+
+
+def brute_force_frequent(transactions, min_support, max_length=None):
+    """Reference miner: enumerate every candidate subset (exponential)."""
+    db = TransactionDatabase(transactions)
+    n = len(db)
+    if n == 0:
+        return {}
+    vocabulary = sorted(db.vocabulary())
+    min_count = db.minimum_count(min_support)
+    limit = max_length if max_length is not None else len(vocabulary)
+    frequent = {}
+    for size in range(1, min(limit, len(vocabulary)) + 1):
+        for combo in combinations(vocabulary, size):
+            count = db.absolute_support(combo)
+            if count >= min_count:
+                frequent[frozenset(combo)] = count
+    return frequent
+
+
+SIMPLE_TRANSACTIONS = [
+    {"soy sauce", "mirin", "heat"},
+    {"soy sauce", "heat"},
+    {"soy sauce", "mirin"},
+    {"butter", "flour", "heat"},
+    {"butter", "flour"},
+    {"soy sauce", "mirin", "heat"},
+]
+
+
+class TestFPGrowth:
+    def test_known_small_example(self):
+        result = fpgrowth(SIMPLE_TRANSACTIONS, min_support=0.5, max_length=None)
+        supports = {tuple(sorted(p.items)): p.absolute_support for p in result}
+        assert supports[("soy sauce",)] == 4
+        assert supports[("heat",)] == 4
+        assert supports[("mirin", "soy sauce")] == 3
+        assert ("butter",) not in supports  # 2/6 < 0.5
+        assert result.algorithm == "fp-growth"
+
+    def test_matches_brute_force(self):
+        expected = brute_force_frequent(SIMPLE_TRANSACTIONS, 0.3)
+        result = fpgrowth(SIMPLE_TRANSACTIONS, min_support=0.3, max_length=None)
+        mined = {p.items: p.absolute_support for p in result}
+        assert mined == expected
+
+    def test_max_length_bounds_patterns(self):
+        result = fpgrowth(SIMPLE_TRANSACTIONS, min_support=0.3, max_length=1)
+        assert all(p.is_singleton for p in result)
+        longer = fpgrowth(SIMPLE_TRANSACTIONS, min_support=0.3, max_length=2)
+        assert any(p.length == 2 for p in longer)
+        assert all(p.length <= 2 for p in longer)
+
+    def test_empty_database(self):
+        result = fpgrowth([], min_support=0.2)
+        assert len(result) == 0
+        assert result.n_transactions == 0
+
+    def test_nothing_frequent(self):
+        result = fpgrowth([{"a"}, {"b"}, {"c"}, {"d"}], min_support=0.9)
+        assert len(result) == 0
+
+    def test_all_identical_transactions(self):
+        result = fpgrowth([{"a", "b"}] * 5, min_support=0.5, max_length=None)
+        assert {tuple(sorted(p.items)) for p in result} == {("a",), ("b",), ("a", "b")}
+        assert all(p.support == 1.0 for p in result)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MiningError):
+            FPGrowthMiner(min_support=0.0)
+        with pytest.raises(MiningError):
+            FPGrowthMiner(min_support=1.5)
+        with pytest.raises(MiningError):
+            FPGrowthMiner(max_length=0)
+
+    def test_supports_are_consistent(self):
+        result = fpgrowth(SIMPLE_TRANSACTIONS, min_support=0.3, max_length=3)
+        for pattern in result:
+            assert pattern.support == pytest.approx(pattern.absolute_support / 6)
+            assert pattern.support >= 0.3
+
+
+class TestMinerParity:
+    @pytest.mark.parametrize("min_support", [0.2, 0.34, 0.5, 0.75])
+    def test_three_miners_agree_on_simple_data(self, min_support):
+        fp = fpgrowth(SIMPLE_TRANSACTIONS, min_support, max_length=None)
+        ap = apriori(SIMPLE_TRANSACTIONS, min_support, max_length=None)
+        ec = eclat(SIMPLE_TRANSACTIONS, min_support, max_length=None)
+        fp_map = {p.items: p.absolute_support for p in fp}
+        ap_map = {p.items: p.absolute_support for p in ap}
+        ec_map = {p.items: p.absolute_support for p in ec}
+        assert fp_map == ap_map == ec_map
+
+    def test_three_miners_agree_on_recipe_data(self, toy_db):
+        transactions = toy_db.transactions_for_region("Japanese")
+        for miner in (FPGrowthMiner(0.5, None), AprioriMiner(0.5, None), EclatMiner(0.5, None)):
+            result = miner.mine(transactions)
+            assert result.support_map()[frozenset({"soy sauce"})] == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.sampled_from("abcdefg"), min_size=1, max_size=5),
+            min_size=1,
+            max_size=14,
+        ),
+        st.sampled_from([0.2, 0.3, 0.5]),
+    )
+    def test_property_miners_match_brute_force(self, transactions, min_support):
+        expected = brute_force_frequent(transactions, min_support, max_length=3)
+        for mine in (fpgrowth, apriori, eclat):
+            result = mine(transactions, min_support=min_support, max_length=3)
+            assert {p.items: p.absolute_support for p in result} == expected
+
+
+class TestAprioriEclatSpecifics:
+    def test_apriori_invalid_parameters(self):
+        with pytest.raises(MiningError):
+            AprioriMiner(min_support=2.0)
+        with pytest.raises(MiningError):
+            AprioriMiner(max_length=0)
+
+    def test_eclat_invalid_parameters(self):
+        with pytest.raises(MiningError):
+            EclatMiner(min_support=-0.1)
+        with pytest.raises(MiningError):
+            EclatMiner(max_length=-1)
+
+    def test_empty_inputs(self):
+        assert len(apriori([], 0.5)) == 0
+        assert len(eclat([], 0.5)) == 0
+
+    def test_max_length_respected(self):
+        for mine in (apriori, eclat):
+            result = mine(SIMPLE_TRANSACTIONS, min_support=0.3, max_length=2)
+            assert all(p.length <= 2 for p in result)

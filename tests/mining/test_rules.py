@@ -1,0 +1,88 @@
+"""Unit tests for association-rule generation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.rules import AssociationRule, generate_rules, rules_to_dicts
+
+TRANSACTIONS = [
+    {"soy sauce", "mirin", "heat"},
+    {"soy sauce", "mirin"},
+    {"soy sauce", "heat"},
+    {"soy sauce", "mirin", "heat"},
+    {"butter", "flour"},
+    {"butter", "flour"},
+]
+
+
+@pytest.fixture()
+def mined():
+    return fpgrowth(TRANSACTIONS, min_support=0.3, max_length=None)
+
+
+class TestAssociationRule:
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            AssociationRule(frozenset(), frozenset({"a"}), 0.5, 0.5, 1.0, 0.0, 1.0)
+        with pytest.raises(MiningError):
+            AssociationRule(frozenset({"a"}), frozenset({"a"}), 0.5, 0.5, 1.0, 0.0, 1.0)
+
+    def test_string_forms(self):
+        rule = AssociationRule(
+            frozenset({"mirin"}), frozenset({"soy sauce"}), 0.5, 1.0, 1.5, 0.1, math.inf
+        )
+        assert rule.as_string() == "mirin => soy sauce"
+        assert "confidence=1.000" in str(rule)
+        assert rule.items == frozenset({"mirin", "soy sauce"})
+        payload = rule.to_dict()
+        assert payload["antecedent"] == ["mirin"]
+        assert payload["consequent"] == ["soy sauce"]
+
+
+class TestGenerateRules:
+    def test_confidence_and_lift_values(self, mined):
+        rules = generate_rules(mined, min_confidence=0.0)
+        by_key = {rule.as_string(): rule for rule in rules}
+        rule = by_key["mirin => soy sauce"]
+        # P(mirin)=0.5, P(soy)=4/6, P(both)=0.5 -> confidence 1.0, lift 1.5
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.lift == pytest.approx(1.5)
+        assert rule.support == pytest.approx(0.5)
+        assert rule.leverage == pytest.approx(0.5 - 0.5 * (4 / 6))
+        assert math.isinf(rule.conviction)
+
+    def test_min_confidence_filters(self, mined):
+        strict = generate_rules(mined, min_confidence=0.95)
+        relaxed = generate_rules(mined, min_confidence=0.2)
+        assert len(strict) < len(relaxed)
+        assert all(rule.confidence >= 0.95 for rule in strict)
+
+    def test_min_lift_filters(self, mined):
+        lifted = generate_rules(mined, min_confidence=0.0, min_lift=1.2)
+        assert all(rule.lift >= 1.2 for rule in lifted)
+
+    def test_rules_sorted_by_confidence(self, mined):
+        rules = generate_rules(mined, min_confidence=0.0)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_singletons_produce_no_rules(self):
+        result = fpgrowth(TRANSACTIONS, min_support=0.3, max_length=1)
+        assert generate_rules(result) == []
+
+    def test_invalid_parameters(self, mined):
+        with pytest.raises(MiningError):
+            generate_rules(mined, min_confidence=1.5)
+        with pytest.raises(MiningError):
+            generate_rules(mined, min_lift=-1)
+
+    def test_rules_to_dicts(self, mined):
+        rules = generate_rules(mined, min_confidence=0.5)
+        payloads = rules_to_dicts(rules)
+        assert len(payloads) == len(rules)
+        assert all("confidence" in p for p in payloads)

@@ -1,0 +1,132 @@
+"""Unit tests for the in-memory recipe database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DuplicateRecordError,
+    SchemaError,
+    UnknownRecordError,
+    ValidationError,
+)
+from repro.recipedb.database import RecipeDatabase
+from repro.recipedb.models import EntityKind, Recipe, Region
+
+
+class TestRegionManagement:
+    def test_register_region_idempotent(self):
+        db = RecipeDatabase()
+        first = db.register_region(Region("Japanese", continent="Asia"))
+        second = db.register_region("Japanese")
+        assert first is second
+        assert db.region_names() == ["Japanese"]
+        assert db.has_region("Japanese")
+
+    def test_register_regions_bulk(self):
+        db = RecipeDatabase()
+        db.register_regions(["A", "B", Region("C")])
+        assert db.region_names() == ["A", "B", "C"]
+
+
+class TestRecipeManagement:
+    def test_add_and_get(self, toy_db):
+        assert len(toy_db) == 9
+        recipe = toy_db.get(0)
+        assert recipe.region == "Japanese"
+        assert 0 in toy_db
+        assert toy_db.recipe_ids() == list(range(9))
+
+    def test_duplicate_id_rejected(self, toy_db):
+        with pytest.raises(DuplicateRecordError):
+            toy_db.add_recipe(Recipe(0, "dup", "Japanese", ingredients=("x",)))
+
+    def test_unregistered_region_rejected(self, toy_db):
+        with pytest.raises(SchemaError):
+            toy_db.add_recipe(Recipe(100, "new", "Atlantis", ingredients=("x",)))
+
+    def test_unknown_get(self, toy_db):
+        with pytest.raises(UnknownRecordError):
+            toy_db.get(999)
+
+    def test_remove_recipe_updates_indexes(self, toy_db):
+        toy_db.remove_recipe(0)
+        assert len(toy_db) == 8
+        assert 0 not in toy_db
+        assert toy_db.item_support("mirin", region="Japanese") == pytest.approx(0.5)
+
+    def test_next_recipe_id(self, toy_db):
+        assert toy_db.next_recipe_id() == 9
+        assert RecipeDatabase().next_recipe_id() == 0
+
+    def test_iteration_is_id_ordered(self, toy_db):
+        ids = [recipe.recipe_id for recipe in toy_db]
+        assert ids == sorted(ids)
+
+
+class TestRegionViews:
+    def test_recipes_in_region(self, toy_db):
+        japanese = toy_db.recipes_in_region("Japanese")
+        assert len(japanese) == 3
+        assert all(r.region == "Japanese" for r in japanese)
+
+    def test_unknown_region_rejected(self, toy_db):
+        with pytest.raises(ValidationError):
+            toy_db.recipes_in_region("Atlantis")
+
+    def test_region_recipe_counts(self, toy_db):
+        assert toy_db.region_recipe_counts() == {"Italian": 3, "Japanese": 3, "UK": 3}
+
+    def test_region_counts_include_empty_regions(self):
+        db = RecipeDatabase()
+        db.register_region("Empty")
+        assert db.region_recipe_counts() == {"Empty": 0}
+
+    def test_transactions_for_region(self, toy_db):
+        transactions = toy_db.transactions_for_region("Japanese")
+        assert len(transactions) == 3
+        assert all("soy sauce" in t for t in transactions)
+        ingredient_only = toy_db.transactions_for_region(
+            "Japanese", kinds=[EntityKind.INGREDIENT]
+        )
+        assert all("heat" not in t for t in ingredient_only)
+
+    def test_transactions_by_region(self, toy_db):
+        grouped = toy_db.transactions_by_region()
+        assert set(grouped) == {"Italian", "Japanese", "UK"}
+        assert sum(len(v) for v in grouped.values()) == 9
+
+
+class TestSupports:
+    def test_item_support_global_and_regional(self, toy_db):
+        assert toy_db.item_support("soy sauce") == pytest.approx(3 / 9)
+        assert toy_db.item_support("soy sauce", region="Japanese") == pytest.approx(1.0)
+        assert toy_db.item_support("soy sauce", region="UK") == 0.0
+
+    def test_itemset_support(self, toy_db):
+        assert toy_db.itemset_support(["butter", "flour"], region="UK") == pytest.approx(2 / 3)
+        assert toy_db.itemset_support(["butter", "flour"]) == pytest.approx(2 / 9)
+
+    def test_ingredient_usage(self, toy_db):
+        usage = toy_db.ingredient_usage()
+        assert usage["soy sauce"] == 3
+        assert usage["butter"] == 3
+
+
+class TestFromRecipes:
+    def test_auto_registers_regions(self, toy_recipes):
+        db = RecipeDatabase.from_recipes(
+            toy_recipes, region_metadata={"Japanese": "Asia"}
+        )
+        assert db.region_names() == ["Italian", "Japanese", "UK"]
+        japanese = [r for r in db.regions() if r.name == "Japanese"][0]
+        assert japanese.continent == "Asia"
+
+    def test_explicit_region_list(self, toy_recipes):
+        db = RecipeDatabase.from_recipes(toy_recipes, regions=["Japanese", "Italian", "UK"])
+        assert len(db) == 9
+
+    def test_vocabularies_track_inserts(self, toy_db):
+        sizes = toy_db.vocabularies.sizes()
+        assert sizes["ingredients"] > 0
+        assert sizes["combined"] >= sizes["ingredients"]

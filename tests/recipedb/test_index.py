@@ -1,0 +1,108 @@
+"""Unit tests for inverted and region indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.recipedb.index import InvertedIndex, RegionIndex, build_entity_indexes
+from repro.recipedb.models import EntityKind
+
+
+@pytest.fixture()
+def index() -> InvertedIndex:
+    idx = InvertedIndex()
+    idx.add(0, ["salt", "soy sauce"])
+    idx.add(1, ["salt", "butter"])
+    idx.add(2, ["soy sauce", "mirin"])
+    return idx
+
+
+class TestInvertedIndex:
+    def test_postings_and_document_frequency(self, index):
+        assert index.postings("salt") == frozenset({0, 1})
+        assert index.document_frequency("soy sauce") == 2
+        assert index.document_frequency("unknown") == 0
+
+    def test_support(self, index):
+        assert index.support("salt") == pytest.approx(2 / 3)
+        assert index.support("unknown") == 0.0
+        assert InvertedIndex().support("salt") == 0.0
+
+    def test_boolean_algebra(self, index):
+        assert index.all_of(["salt", "soy sauce"]) == frozenset({0})
+        assert index.any_of(["butter", "mirin"]) == frozenset({1, 2})
+        assert index.none_of(["salt"]) == frozenset({2})
+        assert index.all_of([]) == frozenset({0, 1, 2})
+
+    def test_itemset_support(self, index):
+        assert index.itemset_support(["salt", "soy sauce"]) == pytest.approx(1 / 3)
+        assert index.itemset_support(["unknown"]) == 0.0
+
+    def test_top_items(self, index):
+        top = index.top_items(2)
+        assert top[0] in {("salt", 2), ("soy sauce", 2)}
+        assert len(top) == 2
+        with pytest.raises(QueryError):
+            index.top_items(0)
+
+    def test_remove(self, index):
+        index.remove(0, ["salt", "soy sauce"])
+        assert index.postings("salt") == frozenset({1})
+        assert 0 not in index.indexed_ids
+
+    def test_remove_last_posting_drops_item(self, index):
+        index.remove(1, ["butter"])
+        assert "butter" not in index
+        assert index.document_frequency("butter") == 0
+
+    def test_clear(self, index):
+        index.clear()
+        assert len(index) == 0
+        assert index.indexed_ids == frozenset()
+
+    def test_contains_and_len(self, index):
+        assert "salt" in index
+        assert "unknown" not in index
+        assert len(index) == 4  # distinct items
+
+
+class TestRegionIndex:
+    def test_counts_and_regions(self):
+        idx = RegionIndex()
+        idx.add(0, "Japanese")
+        idx.add(1, "Japanese")
+        idx.add(2, "Italian")
+        assert idx.counts() == {"Italian": 1, "Japanese": 2}
+        assert idx.regions() == ["Italian", "Japanese"]
+        assert "Japanese" in idx
+        assert len(idx) == 2
+
+    def test_remove(self):
+        idx = RegionIndex()
+        idx.add(0, "Japanese")
+        idx.remove(0, "Japanese")
+        assert "Japanese" not in idx
+        idx.remove(5, "Unknown")  # removing from a missing region is a no-op
+
+    def test_clear(self):
+        idx = RegionIndex()
+        idx.add(0, "Japanese")
+        idx.clear()
+        assert len(idx) == 0
+
+
+def test_build_entity_indexes(toy_recipes):
+    indexes = build_entity_indexes(toy_recipes)
+    assert indexes[EntityKind.INGREDIENT].document_frequency("soy sauce") == 3
+    assert indexes[EntityKind.PROCESS].document_frequency("bake") == 2
+    assert indexes[EntityKind.UTENSIL].document_frequency("oven") == 2
+    combined = indexes["combined"]
+    assert combined.document_frequency("soy sauce") == 3
+    assert combined.document_frequency("bake") == 2
+
+
+def test_build_entity_indexes_accepts_mapping(toy_recipes):
+    mapping = {recipe.recipe_id: recipe for recipe in toy_recipes}
+    indexes = build_entity_indexes(mapping)
+    assert indexes[EntityKind.INGREDIENT].document_frequency("butter") == 3

@@ -1,0 +1,115 @@
+"""Unit tests for JSON / JSONL / CSV persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.recipedb.io_csv import iter_csv, load_csv, save_csv
+from repro.recipedb.io_json import (
+    FORMAT_VERSION,
+    iter_jsonl,
+    load_json,
+    load_jsonl,
+    save_json,
+    save_jsonl,
+)
+
+
+class TestJson:
+    def test_roundtrip(self, toy_db, tmp_path):
+        path = save_json(toy_db, tmp_path / "corpus.json", indent=2)
+        loaded = load_json(path)
+        assert len(loaded) == len(toy_db)
+        assert loaded.region_names() == toy_db.region_names()
+        assert loaded.get(0) == toy_db.get(0)
+
+    def test_header_contains_version_and_regions(self, toy_db, tmp_path):
+        path = save_json(toy_db, tmp_path / "corpus.json")
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["n_recipes"] == 9
+        assert {r["name"] for r in payload["regions"]} == {"Italian", "Japanese", "UK"}
+
+    def test_region_continents_preserved(self, toy_db, tmp_path):
+        path = save_json(toy_db, tmp_path / "corpus.json")
+        loaded = load_json(path)
+        japanese = [r for r in loaded.regions() if r.name == "Japanese"][0]
+        assert japanese.continent == "Asia"
+
+    def test_unsupported_version_rejected(self, toy_db, tmp_path):
+        path = save_json(toy_db, tmp_path / "corpus.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError):
+            load_json(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_json(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_json(tmp_path / "missing.json")
+
+
+class TestJsonl:
+    def test_roundtrip(self, toy_db, tmp_path):
+        path = save_jsonl(toy_db, tmp_path / "corpus.jsonl")
+        loaded = load_jsonl(path)
+        assert len(loaded) == len(toy_db)
+        assert loaded.get(3).title == toy_db.get(3).title
+
+    def test_accepts_recipe_iterable(self, toy_recipes, tmp_path):
+        path = save_jsonl(toy_recipes, tmp_path / "recipes.jsonl")
+        assert len(list(iter_jsonl(path))) == len(toy_recipes)
+
+    def test_blank_lines_skipped(self, toy_recipes, tmp_path):
+        path = save_jsonl(toy_recipes[:2], tmp_path / "recipes.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(iter_jsonl(path))) == 2
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"recipe_id": 0}\n')
+        with pytest.raises(SerializationError):
+            list(iter_jsonl(path))
+
+
+class TestCsv:
+    def test_roundtrip(self, toy_db, tmp_path):
+        path = save_csv(toy_db, tmp_path / "corpus.csv")
+        loaded = load_csv(path)
+        assert len(loaded) == len(toy_db)
+        assert loaded.get(6).ingredients == toy_db.get(6).ingredients
+        assert loaded.get(8).utensils == ()
+
+    def test_iter_csv_streams_recipes(self, toy_db, tmp_path):
+        path = save_csv(toy_db, tmp_path / "corpus.csv")
+        recipes = list(iter_csv(path))
+        assert len(recipes) == 9
+        assert recipes[0].region == "Japanese"
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("recipe_id,title\n0,x\n")
+        with pytest.raises(SerializationError):
+            list(iter_csv(path))
+
+    def test_malformed_row_rejected(self, toy_db, tmp_path):
+        path = save_csv(toy_db, tmp_path / "corpus.csv")
+        content = path.read_text().splitlines()
+        content.append("not-an-int,title,Japanese,salt,heat,wok,src")
+        path.write_text("\n".join(content) + "\n")
+        with pytest.raises(SerializationError):
+            list(iter_csv(path))
+
+    def test_custom_separator(self, toy_db, tmp_path):
+        path = save_csv(toy_db, tmp_path / "corpus.csv", separator=";")
+        loaded = load_csv(path, separator=";")
+        assert loaded.get(0).ingredients == toy_db.get(0).ingredients

@@ -1,0 +1,87 @@
+"""Unit tests for the SQLite persistence layer."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.recipedb.io_sqlite import corpus_summary, load_sqlite, save_sqlite
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_recipes_and_regions(self, toy_db, tmp_path):
+        path = save_sqlite(toy_db, tmp_path / "corpus.sqlite")
+        loaded = load_sqlite(path)
+        assert len(loaded) == len(toy_db)
+        assert loaded.region_names() == toy_db.region_names()
+        for recipe_id in toy_db.recipe_ids():
+            assert loaded.get(recipe_id) == toy_db.get(recipe_id)
+        japanese = [r for r in loaded.regions() if r.name == "Japanese"][0]
+        assert japanese.continent == "Asia"
+
+    def test_refuses_to_overwrite(self, toy_db, tmp_path):
+        path = save_sqlite(toy_db, tmp_path / "corpus.sqlite")
+        with pytest.raises(SerializationError):
+            save_sqlite(toy_db, path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_sqlite(tmp_path / "missing.sqlite")
+
+    def test_schema_is_normalised(self, toy_db, tmp_path):
+        path = save_sqlite(toy_db, tmp_path / "corpus.sqlite")
+        connection = sqlite3.connect(path)
+        try:
+            tables = {
+                name
+                for (name,) in connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            assert {"regions", "recipes", "entities", "recipe_entities"} <= tables
+            # Entity names are deduplicated across recipes.
+            (soy_count,) = connection.execute(
+                "SELECT COUNT(*) FROM entities WHERE name = 'soy sauce'"
+            ).fetchone()
+            assert soy_count == 1
+            # The link table holds one row per (recipe, entity) pair.
+            (links,) = connection.execute("SELECT COUNT(*) FROM recipe_entities").fetchone()
+            expected = sum(
+                r.n_ingredients + r.n_processes + r.n_utensils for r in toy_db.recipes()
+            )
+            assert links == expected
+        finally:
+            connection.close()
+
+    def test_malformed_database_rejected(self, tmp_path):
+        path = tmp_path / "broken.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE unrelated (x INTEGER)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(SerializationError):
+            load_sqlite(path)
+
+
+class TestCorpusSummary:
+    def test_summary_matches_database(self, toy_db, tmp_path):
+        path = save_sqlite(toy_db, tmp_path / "corpus.sqlite")
+        summary = corpus_summary(path)
+        assert summary["n_recipes"] == len(toy_db)
+        assert summary["recipes_per_region"] == toy_db.region_recipe_counts()
+        top_names = {item["name"] for item in summary["top_items"]}
+        # The three per-cuisine staples are the most used items in the toy corpus.
+        assert {"soy sauce", "olive oil", "butter"} <= top_names
+
+    def test_summary_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            corpus_summary(tmp_path / "missing.sqlite")
+
+    def test_summary_on_generated_corpus(self, mini_corpus, tmp_path):
+        path = save_sqlite(mini_corpus, tmp_path / "mini.sqlite")
+        summary = corpus_summary(path)
+        assert summary["n_recipes"] == len(mini_corpus)
+        assert set(summary["recipes_per_region"]) == set(mini_corpus.region_names())
+        assert summary["n_entities"] > 100

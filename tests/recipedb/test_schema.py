@@ -1,0 +1,111 @@
+"""Unit tests for the recipe schema validation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.recipedb.models import EntityKind, Recipe
+from repro.recipedb.schema import RecipeSchema, SchemaLimits, SchemaViolation
+
+
+def _recipe(**overrides) -> Recipe:
+    payload = {
+        "recipe_id": 0,
+        "title": "test dish",
+        "region": "Japanese",
+        "ingredients": ("soy sauce",),
+        "processes": ("heat",),
+        "utensils": ("wok",),
+    }
+    payload.update(overrides)
+    return Recipe(**payload)
+
+
+class TestSchemaLimits:
+    def test_defaults_are_positive(self):
+        limits = SchemaLimits()
+        assert limits.max_ingredients > 0
+        assert limits.max_title_length > 0
+
+    @pytest.mark.parametrize(
+        "field", ["max_ingredients", "max_processes", "max_utensils", "max_title_length"]
+    )
+    def test_non_positive_limits_rejected(self, field):
+        with pytest.raises(SchemaError):
+            SchemaLimits(**{field: 0})
+
+
+class TestRecipeSchema:
+    def test_valid_recipe_passes(self):
+        schema = RecipeSchema(regions={"Japanese"})
+        schema.validate(_recipe())
+        assert schema.is_valid(_recipe())
+
+    def test_unknown_region_is_violation(self):
+        schema = RecipeSchema(regions={"Italian"})
+        violations = schema.violations(_recipe())
+        assert any(v.field == "region" for v in violations)
+        with pytest.raises(SchemaError):
+            schema.validate(_recipe())
+
+    def test_empty_region_set_accepts_everything(self):
+        schema = RecipeSchema()
+        assert schema.is_valid(_recipe(region="Anywhere"))
+
+    def test_size_limit_violation(self):
+        schema = RecipeSchema(limits=SchemaLimits(max_ingredients=2))
+        recipe = _recipe(ingredients=("a", "b", "c"))
+        violations = schema.violations(recipe)
+        assert any(v.field == "ingredients" for v in violations)
+
+    def test_title_length_violation(self):
+        schema = RecipeSchema(limits=SchemaLimits(max_title_length=5))
+        violations = schema.violations(_recipe(title="a very long recipe title"))
+        assert any(v.field == "title" for v in violations)
+
+    def test_strict_mode_flags_unknown_entities(self):
+        schema = RecipeSchema(
+            regions={"Japanese"},
+            catalogues={EntityKind.INGREDIENT: {"soy sauce"}},
+            strict=True,
+        )
+        good = _recipe()
+        bad = _recipe(recipe_id=1, ingredients=("soy sauce", "unknown thing"))
+        assert schema.is_valid(good)
+        violations = schema.violations(bad)
+        assert any(v.field == "ingredient" for v in violations)
+
+    def test_non_strict_mode_ignores_catalogues(self):
+        schema = RecipeSchema(
+            regions={"Japanese"},
+            catalogues={EntityKind.INGREDIENT: {"soy sauce"}},
+            strict=False,
+        )
+        assert schema.is_valid(_recipe(ingredients=("anything",)))
+
+    def test_register_helpers(self):
+        schema = RecipeSchema()
+        schema.register_region("Thai")
+        schema.register_entity(EntityKind.UTENSIL, "wok")
+        assert "Thai" in schema.regions
+        assert "wok" in schema.catalogues[EntityKind.UTENSIL]
+
+    def test_violation_str_mentions_recipe(self):
+        violation = SchemaViolation(7, "region", "unknown region")
+        assert "7" in str(violation)
+        assert "region" in str(violation)
+
+    def test_from_mapping(self):
+        schema = RecipeSchema.from_mapping(
+            {
+                "regions": ["Japanese"],
+                "ingredients": ["soy sauce"],
+                "strict": True,
+                "limits": {"max_ingredients": 5},
+            }
+        )
+        assert schema.strict
+        assert schema.limits.max_ingredients == 5
+        assert schema.is_valid(_recipe())
+        assert not schema.is_valid(_recipe(recipe_id=1, ingredients=("mystery",)))

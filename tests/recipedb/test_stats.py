@@ -1,0 +1,76 @@
+"""Unit tests for corpus statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.recipedb.stats import (
+    corpus_statistics,
+    region_statistics,
+    summarise_distribution,
+)
+
+
+class TestSummariseDistribution:
+    def test_empty(self):
+        assert summarise_distribution([]) == {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+
+    def test_single_value(self):
+        summary = summarise_distribution([4.0])
+        assert summary["mean"] == 4.0
+        assert summary["std"] == 0.0
+
+    def test_known_values(self):
+        summary = summarise_distribution([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["std"] == pytest.approx(1.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+
+class TestCorpusStatistics:
+    def test_toy_corpus(self, toy_db):
+        stats = corpus_statistics(toy_db)
+        assert stats.n_recipes == 9
+        assert stats.n_regions == 3
+        assert stats.region_recipe_counts == {"Italian": 3, "Japanese": 3, "UK": 3}
+        assert stats.recipes_without_utensils == 3
+        assert stats.utensil_sparsity == pytest.approx(1 / 3)
+        assert stats.mean_ingredients_per_recipe == pytest.approx(
+            sum(r.n_ingredients for r in toy_db.recipes()) / 9
+        )
+
+    def test_to_dict_and_paper_comparison(self, toy_db):
+        stats = corpus_statistics(toy_db)
+        payload = stats.to_dict()
+        assert payload["n_recipes"] == 9
+        comparison = stats.paper_comparison()
+        assert comparison["n_recipes"]["paper"] == 118071
+        assert comparison["n_recipes"]["measured"] == 9
+        assert set(comparison) >= {"n_regions", "n_unique_ingredients"}
+
+    def test_generated_corpus_matches_paper_shape(self, full_corpus):
+        stats = corpus_statistics(full_corpus)
+        assert stats.n_regions == 26
+        # per-recipe means should sit near the paper's ~10 / ~12 / ~3
+        assert 7.0 <= stats.mean_ingredients_per_recipe <= 13.0
+        assert 9.0 <= stats.mean_processes_per_recipe <= 15.0
+        assert 1.5 <= stats.mean_utensils_per_recipe <= 4.5
+        # utensil sparsity should be near 12.4%
+        assert 0.05 <= stats.utensil_sparsity <= 0.25
+
+
+class TestRegionStatistics:
+    def test_region_breakdown(self, toy_db):
+        japan = region_statistics(toy_db, "Japanese")
+        assert japan.n_recipes == 3
+        assert japan.n_unique_ingredients == 6
+        assert japan.recipes_without_utensils == 1
+        assert japan.mean_ingredients_per_recipe == pytest.approx(3.0)
+        payload = japan.to_dict()
+        assert payload["region"] == "Japanese"
+
+    def test_all_regions_covered(self, toy_db):
+        for region in toy_db.region_names():
+            stats = region_statistics(toy_db, region)
+            assert stats.n_recipes == 3

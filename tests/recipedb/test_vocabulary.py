@@ -1,0 +1,104 @@
+"""Unit and property tests for vocabularies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.recipedb.models import EntityKind, Recipe
+from repro.recipedb.vocabulary import EntityVocabularies, Vocabulary
+
+names = st.lists(
+    st.text(alphabet="abcdefghij ", min_size=1, max_size=12).filter(lambda s: s.strip()),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestVocabulary:
+    def test_add_assigns_dense_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add("salt") == 0
+        assert vocab.add("Salt") == 0  # normalised duplicate
+        assert vocab.add("pepper") == 1
+        assert len(vocab) == 2
+
+    def test_lookup_roundtrip(self):
+        vocab = Vocabulary(["salt", "pepper"])
+        assert vocab.name_of(vocab.id_of("pepper")) == "pepper"
+
+    def test_unknown_lookups_raise(self):
+        vocab = Vocabulary(["salt"])
+        with pytest.raises(ValidationError):
+            vocab.id_of("unknown")
+        with pytest.raises(ValidationError):
+            vocab.name_of(5)
+
+    def test_get_with_default(self):
+        vocab = Vocabulary(["salt"])
+        assert vocab.get("salt") == 0
+        assert vocab.get("unknown") is None
+        assert vocab.get("unknown", -1) == -1
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary(["salt", "pepper"])
+        assert "SALT" in vocab
+        assert "cumin" not in vocab
+        assert 42 not in vocab
+        assert list(vocab) == ["salt", "pepper"]
+
+    def test_encode_decode(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert vocab.decode(vocab.encode(["c", "a"])) == ["c", "a"]
+
+    def test_to_from_dict_roundtrip(self):
+        vocab = Vocabulary(["salt", "pepper", "cumin"])
+        assert Vocabulary.from_dict(vocab.to_dict()) == vocab
+
+    def test_from_dict_rejects_sparse_ids(self):
+        with pytest.raises(ValidationError):
+            Vocabulary.from_dict({"a": 0, "b": 2})
+
+    @given(names)
+    def test_ids_are_dense_and_stable(self, values):
+        vocab = Vocabulary()
+        ids = vocab.add_all(values)
+        assert set(vocab.encode(values)) == set(ids)
+        assert sorted(set(ids)) == list(range(len(vocab)))
+
+    @given(names)
+    def test_roundtrip_property(self, values):
+        vocab = Vocabulary(values)
+        for name in values:
+            normalised = vocab.name_of(vocab.id_of(name))
+            assert vocab.id_of(normalised) == vocab.id_of(name)
+
+
+class TestEntityVocabularies:
+    def test_observe_recipe(self):
+        vocabularies = EntityVocabularies()
+        recipe = Recipe(
+            0, "t", "X",
+            ingredients=("soy sauce",), processes=("heat",), utensils=("wok",),
+        )
+        vocabularies.observe(recipe)
+        assert "soy sauce" in vocabularies.ingredients
+        assert "heat" in vocabularies.processes
+        assert "wok" in vocabularies.utensils
+        assert vocabularies.sizes() == {
+            "ingredients": 1, "processes": 1, "utensils": 1, "combined": 3
+        }
+
+    def test_vocabulary_for_each_kind(self):
+        vocabularies = EntityVocabularies()
+        assert vocabularies.vocabulary_for(EntityKind.INGREDIENT) is vocabularies.ingredients
+        assert vocabularies.vocabulary_for(EntityKind.PROCESS) is vocabularies.processes
+        assert vocabularies.vocabulary_for(EntityKind.UTENSIL) is vocabularies.utensils
+
+    def test_observe_all(self, toy_recipes):
+        vocabularies = EntityVocabularies()
+        vocabularies.observe_all(toy_recipes)
+        sizes = vocabularies.sizes()
+        assert sizes["ingredients"] >= 10
+        assert sizes["combined"] >= sizes["ingredients"]

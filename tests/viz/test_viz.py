@@ -1,0 +1,94 @@
+"""Unit tests for ASCII dendrograms, tables and the report writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hierarchy import cluster_features
+from repro.features.matrix import FeatureMatrix
+from repro.viz.ascii_dendrogram import render_dendrogram, render_horizontal
+from repro.viz.report import build_report, write_report
+from repro.viz.tables import format_csv, format_markdown_table, format_table, format_value
+
+
+@pytest.fixture()
+def run():
+    values = np.array([[0.0, 0.0], [0.5, 0.0], [5.0, 5.0], [5.5, 5.0]])
+    features = FeatureMatrix(("A", "B", "C", "D"), ("x", "y"), values)
+    return cluster_features(features)
+
+
+class TestAsciiDendrogram:
+    def test_render_contains_all_leaves_and_heights(self, run):
+        text = render_dendrogram(run.dendrogram)
+        for label in ("A", "B", "C", "D"):
+            assert label in text
+        assert "[h=" in text
+        assert "(root)" in text
+
+    def test_render_horizontal(self, run):
+        text = render_horizontal(run.dendrogram, width=30)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line and "#" in line for line in lines)
+
+    def test_render_horizontal_width_validation(self, run):
+        with pytest.raises(ValueError):
+            render_horizontal(run.dendrogram, width=2)
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(None) == ""
+        assert format_value(True) == "yes"
+        assert format_value(0.12345) == "0.123"
+        assert format_value("text") == "text"
+        assert format_value(7) == "7"
+
+    def test_format_table_from_dicts(self):
+        text = format_table(
+            [{"region": "Japanese", "support": 0.451}, {"region": "UK", "support": 0.37}],
+            ["region", "support"],
+            title="Table I",
+        )
+        assert "Table I" in text
+        assert "Japanese" in text
+        assert "0.451" in text
+        assert "---" in text.replace(" ", "")
+
+    def test_format_table_from_sequences(self):
+        text = format_table([("a", 1), ("b", 2)], ["name", "value"])
+        assert "a" in text and "2" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([("only one",)], ["c1", "c2"])
+
+    def test_markdown_table(self):
+        text = format_markdown_table([{"k": 1, "wcss": 10.0}], ["k", "wcss"])
+        assert text.splitlines()[0] == "| k | wcss |"
+        assert "| 1 | 10.000 |" in text
+
+    def test_csv(self):
+        text = format_csv([{"a": 1, "b": "x,y"}], ["a", "b"])
+        assert text.splitlines()[0] == "a,b"
+        assert '"x,y"' in text
+
+
+class TestReport:
+    def test_build_and_write_report(self, full_results, tmp_path):
+        report = build_report(full_results)
+        assert "# Hierarchical Clustering of World Cuisines" in report
+        assert "## Table I" in report
+        assert "## Figure 1" in report
+        assert "Figure 2" in report
+        assert "## Validation against geography" in report
+        assert "Newick" in report
+        # every cuisine appears somewhere in the report
+        for region in full_results.regions():
+            assert region in report
+
+        path = write_report(full_results, tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Hierarchical Clustering")
