@@ -45,6 +45,21 @@ class CuisineFingerprint:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "CuisineFingerprint":
+        """Rebuild a fingerprint from :meth:`to_dict` output."""
+
+        def tail(rows: object) -> tuple[tuple[str, float], ...]:
+            return tuple(
+                (str(row["item"]), float(row["authenticity"])) for row in rows  # type: ignore[index, union-attr]
+            )
+
+        return cls(
+            cuisine=str(payload["cuisine"]),
+            most_authentic=tail(payload["most_authentic"]),
+            least_authentic=tail(payload["least_authentic"]),
+        )
+
 
 def cuisine_fingerprints(
     authenticity: AuthenticityMatrix, *, top_k: int = 10

@@ -6,13 +6,20 @@ Subcommands:
   (JSON, JSONL or CSV depending on the output file extension);
 * ``mine`` -- mine frequent patterns per cuisine and print the reproduced
   Table I;
-* ``analyze`` -- run the full pipeline and write a markdown report;
-* ``figures`` -- print one figure artefact (elbow series or ASCII dendrogram).
+* ``analyze`` -- run the full pipeline and write a markdown report (``--json``
+  emits the summary dict as JSON on stdout instead);
+* ``figures`` -- print one figure artefact (elbow series or ASCII dendrogram);
+* ``serve-warm`` -- populate the serve cache for the given config;
+* ``query`` -- read-path queries against a cached analysis (nearest cuisines,
+  pattern search, authenticity profiles, cuisine cards);
+* ``classify`` -- classify ingredient lists against the cached cuisines.
 
 Example::
 
     repro-cuisines analyze --scale 0.05 --report report.md
-    repro-cuisines figures --figure figure2
+    repro-cuisines serve-warm --cache-dir .repro-cache
+    repro-cuisines query --cache-dir .repro-cache --nearest Japanese
+    repro-cuisines classify --cache-dir .repro-cache "soy sauce, mirin, rice"
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.core.table1 import compare_with_paper
 from repro.errors import ReproError
 from repro.recipedb import load_csv, load_json, load_jsonl, save_csv, save_json, save_jsonl
 from repro.recipedb.database import RecipeDatabase
+from repro.serve import AnalysisService, CuisineClassifier, QueryEngine
 from repro.viz.ascii_dendrogram import render_dendrogram
 from repro.viz.report import write_report
 from repro.viz.tables import format_table
@@ -80,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--summary-json", type=Path, default=None, help="write the JSON summary to this path"
     )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary dict as JSON on stdout (machine-readable)",
+    )
 
     figures = subparsers.add_parser("figures", help="print a single figure artefact")
     figures.add_argument(
@@ -87,6 +100,61 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["figure1", "figure2", "figure3", "figure4", "figure5", "figure6"],
         default="figure2",
         help="which figure to print (default figure2)",
+    )
+
+    def add_cache_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=Path(".repro-cache"),
+            help="serve-cache directory (default .repro-cache)",
+        )
+
+    warm = subparsers.add_parser(
+        "serve-warm", help="populate the serve cache for this config"
+    )
+    add_cache_dir(warm)
+
+    query = subparsers.add_parser(
+        "query", help="read-path queries against the cached analysis"
+    )
+    add_cache_dir(query)
+    query.add_argument("--nearest", metavar="CUISINE", help="k nearest cuisines")
+    query.add_argument(
+        "--figure",
+        choices=["figure2", "figure3", "figure4", "figure5", "figure6"],
+        default="figure2",
+        help="clustering view for --nearest (default figure2)",
+    )
+    query.add_argument("--k", type=int, default=5, help="result count (default 5)")
+    query.add_argument(
+        "--patterns",
+        metavar="ITEMS",
+        help="comma-separated items; find patterns containing all of them",
+    )
+    query.add_argument(
+        "--authenticity", metavar="ITEM", help="authenticity of one item per cuisine"
+    )
+    query.add_argument("--cuisine", metavar="CUISINE", help="full cuisine summary card")
+
+    classify = subparsers.add_parser(
+        "classify", help="classify ingredient lists against the cached cuisines"
+    )
+    add_cache_dir(classify)
+    classify.add_argument(
+        "recipes",
+        nargs="*",
+        metavar="RECIPE",
+        help="each recipe as one comma-separated ingredient list",
+    )
+    classify.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        help="JSON file with a list of ingredient lists (batch mode)",
+    )
+    classify.add_argument(
+        "--top", type=int, default=3, help="how many ranked cuisines to print (default 3)"
     )
     return parser
 
@@ -169,7 +237,14 @@ def _command_analyze(args: argparse.Namespace) -> int:
     database = _resolve_corpus(args, pipeline)
     results = pipeline.run(database)
     summary = results.summary()
-    print(json.dumps(summary, indent=2, default=str))
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+    else:
+        best_name, best = results.best_geography_match()
+        print(f"analyzed {summary['n_recipes']} recipes across {summary['n_regions']} cuisines")
+        print(f"total mined patterns: {summary['total_patterns']}")
+        print(f"clear elbow in Figure 1: {'yes' if results.elbow.has_clear_elbow else 'no'}")
+        print(f"best geography match: {best_name} (Baker's gamma {best.bakers_gamma:.3f})")
     if args.report is not None:
         path = write_report(results, args.report)
         print(f"report written to {path}", file=sys.stderr)
@@ -193,11 +268,148 @@ def _command_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_for(args: argparse.Namespace) -> AnalysisService:
+    return AnalysisService(args.cache_dir)
+
+
+def _serve_analysis(args: argparse.Namespace, service: AnalysisService):
+    """Serve the analysis for the CLI args, honouring the global --corpus.
+
+    An explicit corpus bypasses the cache: the cache key only covers the
+    config, which cannot describe an arbitrary external corpus.
+    """
+    config = _config_from_args(args)
+    if args.corpus is not None:
+        return service.get_or_run(config, database=_load_corpus(args.corpus))
+    return service.get_or_run(config)
+
+
+def _command_serve_warm(args: argparse.Namespace) -> int:
+    if args.corpus is not None:
+        raise ReproError(
+            "serve-warm cannot warm the cache from --corpus: cache keys only "
+            "cover the config (seed/scale/support), not external corpora"
+        )
+    service = _service_for(args)
+    served = service.get_or_run(_config_from_args(args))
+    print(
+        f"cache {'hit' if served.source != 'computed' else 'miss'}: "
+        f"analysis {served.key[:12]} served from {served.source} "
+        f"in {served.elapsed_seconds:.3f}s"
+        + (" (mining reused)" if served.mining_reused else "")
+    )
+    print(f"cached analyses in {args.cache_dir}: {len(service.cached_keys())}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    service = _service_for(args)
+    served = _serve_analysis(args, service)
+    engine = QueryEngine(served.results)
+    ran_any = False
+    if args.nearest is not None:
+        ran_any = True
+        rows = [
+            {"cuisine": name, "distance": distance}
+            for name, distance in engine.nearest_cuisines(
+                args.nearest, k=args.k, figure=args.figure
+            )
+        ]
+        print(
+            format_table(
+                rows,
+                ["cuisine", "distance"],
+                title=f"Nearest to {args.nearest} ({args.figure})",
+            )
+        )
+    if args.patterns is not None:
+        ran_any = True
+        items = [item.strip() for item in args.patterns.split(",") if item.strip()]
+        hits = engine.pattern_search(items, limit=args.k)
+        print(
+            format_table(
+                [hit.to_dict() for hit in hits],
+                ["region", "pattern", "support", "length"],
+                title=f"Patterns containing {', '.join(items)}",
+            )
+        )
+    if args.authenticity is not None:
+        ran_any = True
+        profile = engine.authenticity_profile(args.authenticity)
+        rows = [
+            {"cuisine": cuisine, "authenticity": value} for cuisine, value in profile.items()
+        ]
+        print(
+            format_table(
+                rows,
+                ["cuisine", "authenticity"],
+                title=f"Authenticity of {args.authenticity}",
+            )
+        )
+    if args.cuisine is not None:
+        ran_any = True
+        print(json.dumps(engine.cuisine_profile(args.cuisine, k=args.k), indent=2))
+    if not ran_any:
+        print(
+            "nothing to query: pass --nearest, --patterns, --authenticity or --cuisine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _parse_recipes(args: argparse.Namespace) -> list[list[str]]:
+    recipes: list[list[str]] = [
+        [item.strip() for item in recipe.split(",") if item.strip()]
+        for recipe in args.recipes
+    ]
+    if args.input is not None:
+        try:
+            payload = json.loads(args.input.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read recipes from {args.input}: {exc}") from exc
+        if not isinstance(payload, list):
+            raise ReproError("--input must contain a JSON list of ingredient lists")
+        for entry in payload:
+            if isinstance(entry, str):
+                recipes.append([item.strip() for item in entry.split(",") if item.strip()])
+            elif isinstance(entry, list):
+                recipes.append([str(item) for item in entry])
+            else:
+                raise ReproError(
+                    "--input entries must be ingredient lists or comma-separated strings"
+                )
+    recipes = [recipe for recipe in recipes if recipe]
+    if not recipes:
+        raise ReproError("no recipes to classify (pass RECIPE arguments or --input)")
+    return recipes
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    recipes = _parse_recipes(args)  # validate arguments before any compute
+    service = _service_for(args)
+    served = _serve_analysis(args, service)
+    classifier = CuisineClassifier.from_results(served.results)
+    for recipe, classification in zip(recipes, classifier.classify_batch(recipes)):
+        ranked = classification.ranked()[: max(1, args.top)]
+        scores = ", ".join(f"{name} ({score:.3f})" for name, score in ranked)
+        print(f"{', '.join(recipe)} -> {scores}")
+        if classification.unknown_items:
+            print(
+                f"  (unknown items ignored: {', '.join(classification.unknown_items)})",
+                file=sys.stderr,
+            )
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "mine": _command_mine,
     "analyze": _command_analyze,
     "figures": _command_figures,
+    "serve-warm": _command_serve_warm,
+    "query": _command_query,
+    "classify": _command_classify,
 }
 
 

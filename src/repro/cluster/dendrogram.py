@@ -95,6 +95,13 @@ class Dendrogram:
         self.root = nodes[n + len(linkage_matrix) - 1] if len(linkage_matrix) else nodes[0]
         self._nodes = nodes
 
+    def __eq__(self, other: object) -> bool:
+        # A dendrogram is a pure function of its linkage matrix, so linkage
+        # equality is tree equality (used by the serve codec round-trips).
+        if not isinstance(other, Dendrogram):
+            return NotImplemented
+        return self.linkage == other.linkage
+
     # -- basic views ----------------------------------------------------------------
 
     @property

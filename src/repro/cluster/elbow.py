@@ -28,6 +28,13 @@ class ElbowPoint:
     n_clusters: int
     wcss: float
 
+    def to_dict(self) -> dict[str, object]:
+        return {"n_clusters": self.n_clusters, "wcss": self.wcss}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ElbowPoint":
+        return cls(n_clusters=int(payload["n_clusters"]), wcss=float(payload["wcss"]))  # type: ignore[arg-type]
+
 
 @dataclass(frozen=True)
 class ElbowAnalysis:
@@ -59,6 +66,24 @@ class ElbowAnalysis:
     def to_rows(self) -> list[dict[str, float]]:
         """Figure-1-style series: one row per k."""
         return [{"k": p.n_clusters, "wcss": p.wcss} for p in self.points]
+
+    def to_dict(self) -> dict[str, object]:
+        """Lossless dictionary form (inverse of :meth:`from_dict`)."""
+        return {
+            "points": [point.to_dict() for point in self.points],
+            "elbow_k": self.elbow_k,
+            "elbow_strength": self.elbow_strength,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ElbowAnalysis":
+        """Rebuild the analysis from :meth:`to_dict` output."""
+        elbow_k = payload["elbow_k"]
+        return cls(
+            points=tuple(ElbowPoint.from_dict(row) for row in payload["points"]),  # type: ignore[union-attr]
+            elbow_k=None if elbow_k is None else int(elbow_k),  # type: ignore[arg-type]
+            elbow_strength=float(payload["elbow_strength"]),  # type: ignore[arg-type]
+        )
 
 
 def detect_elbow(k_values: list[int], wcss_values: list[float]) -> tuple[int | None, float]:

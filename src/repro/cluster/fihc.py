@@ -61,6 +61,36 @@ class FIHCResult:
     def dendrogram(self) -> Dendrogram:
         return self.run.dendrogram
 
+    def to_dict(self) -> dict[str, object]:
+        """Lossless dictionary form (inverse of :meth:`from_dict`)."""
+        return {
+            "cluster_assignment": dict(self.cluster_assignment),
+            "cluster_patterns": {
+                str(cluster_id): sorted(patterns)
+                for cluster_id, patterns in self.cluster_patterns.items()
+            },
+            "run": self.run.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "FIHCResult":
+        """Rebuild a FIHC result from :meth:`to_dict` output.
+
+        JSON stringifies the integer cluster ids used as mapping keys; they
+        are converted back here.
+        """
+        return cls(
+            cluster_assignment={
+                str(label): int(cluster_id)
+                for label, cluster_id in dict(payload["cluster_assignment"]).items()  # type: ignore[arg-type]
+            },
+            cluster_patterns={
+                int(cluster_id): frozenset(str(p) for p in patterns)
+                for cluster_id, patterns in dict(payload["cluster_patterns"]).items()  # type: ignore[arg-type]
+            },
+            run=ClusteringRun.from_dict(payload["run"]),  # type: ignore[arg-type]
+        )
+
 
 class FIHCClustering:
     """Frequent-itemset-based hierarchical clustering of cuisines.

@@ -56,6 +56,34 @@ class ClusteringRun:
             "leaf_order": self.dendrogram.leaf_order(),
         }
 
+    def to_dict(self) -> dict[str, object]:
+        """Lossless dictionary form (inverse of :meth:`from_dict`).
+
+        The dendrogram is not serialised: it is a pure function of the
+        linkage matrix and is rebuilt on load.
+        """
+        return {
+            "features": None if self.features is None else self.features.to_dict(),
+            "distances": self.distances.to_dict(),
+            "linkage_matrix": self.linkage_matrix.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ClusteringRun":
+        """Rebuild a clustering run from :meth:`to_dict` output."""
+        features_payload = payload.get("features")
+        linkage_matrix = LinkageMatrix.from_dict(payload["linkage_matrix"])  # type: ignore[arg-type]
+        return cls(
+            features=(
+                None
+                if features_payload is None
+                else FeatureMatrix.from_dict(features_payload)  # type: ignore[arg-type]
+            ),
+            distances=CondensedDistanceMatrix.from_dict(payload["distances"]),  # type: ignore[arg-type]
+            linkage_matrix=linkage_matrix,
+            dendrogram=Dendrogram(linkage_matrix),
+        )
+
 
 class HierarchicalClustering:
     """Configurable HAC runner (metric + linkage method)."""

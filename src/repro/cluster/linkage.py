@@ -64,6 +64,39 @@ class LinkageMatrix:
         """Return a copy of the raw scipy-format merge table."""
         return self.merges.copy()
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinkageMatrix):
+            return NotImplemented
+        return (
+            self.labels == other.labels
+            and self.method == other.method
+            and self.metric == other.metric
+            and np.array_equal(self.merges, other.merges)
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """Lossless dictionary form (inverse of :meth:`from_dict`)."""
+        return {
+            "labels": list(self.labels),
+            "method": self.method,
+            "metric": self.metric,
+            "merges": self.merges.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "LinkageMatrix":
+        """Rebuild a linkage matrix from :meth:`to_dict` output."""
+        labels = tuple(str(label) for label in payload["labels"])  # type: ignore[union-attr]
+        merges = np.asarray(payload["merges"], dtype=np.float64)
+        if merges.size == 0:
+            merges = merges.reshape(max(0, len(labels) - 1), 4)
+        return cls(
+            merges=merges,
+            labels=labels,
+            method=str(payload["method"]),
+            metric=str(payload["metric"]),
+        )
+
     def __len__(self) -> int:
         return self.merges.shape[0]
 

@@ -17,8 +17,8 @@ full corpus via ``REPRO_SCALE=1.0`` without touching code.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Sequence
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -99,6 +99,18 @@ class AnalysisConfig:
                 raise ConfigurationError(f"invalid REPRO_SEED value: {seed!r}") from exc
         env_overrides.update(overrides)
         return cls(**env_overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "AnalysisConfig":
+        """Rebuild a config from :meth:`to_dict` output (validated again)."""
+        data = dict(payload)
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ConfigurationError(f"unknown config fields: {sorted(unknown)}")
+        for key in ("distance_metrics", "validation_k_values"):
+            if key in data:
+                data[key] = tuple(data[key])  # type: ignore[arg-type]
+        return cls(**data)  # type: ignore[arg-type]
 
     def to_dict(self) -> dict[str, object]:
         return {

@@ -33,13 +33,26 @@ class Table1Row:
     n_patterns: int
 
     def to_dict(self) -> dict[str, object]:
+        # Full-precision support: display rounding happens in viz.tables, and
+        # the serve codec relies on this dict being a lossless round-trip.
         return {
             "region": self.region,
             "n_recipes": self.n_recipes,
             "top_pattern": self.top_pattern,
-            "support": round(self.support, 3),
+            "support": self.support,
             "n_patterns": self.n_patterns,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Table1Row":
+        """Rebuild a row from :meth:`to_dict` output."""
+        return cls(
+            region=str(payload["region"]),
+            n_recipes=int(payload["n_recipes"]),  # type: ignore[arg-type]
+            top_pattern=str(payload["top_pattern"]),
+            support=float(payload["support"]),  # type: ignore[arg-type]
+            n_patterns=int(payload["n_patterns"]),  # type: ignore[arg-type]
+        )
 
 
 @dataclass(frozen=True)
@@ -60,6 +73,18 @@ class Table1:
 
     def to_dicts(self) -> list[dict[str, object]]:
         return [row.to_dict() for row in self.rows]
+
+    def to_dict(self) -> dict[str, object]:
+        """Lossless dictionary form (inverse of :meth:`from_dict`)."""
+        return {"rows": self.to_dicts(), "min_support": self.min_support}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Table1":
+        """Rebuild the table from :meth:`to_dict` output."""
+        return cls(
+            rows=tuple(Table1Row.from_dict(row) for row in payload["rows"]),  # type: ignore[union-attr]
+            min_support=float(payload["min_support"]),  # type: ignore[arg-type]
+        )
 
 
 def build_table1(

@@ -50,13 +50,22 @@ def condensed_index(n: int, i: int, j: int) -> int:
     return n * i - (i * (i + 1)) // 2 + (j - i - 1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CondensedDistanceMatrix:
     """A condensed (upper-triangle) pairwise distance matrix with labels."""
 
     labels: tuple[str, ...]
     distances: np.ndarray
     metric: str = "euclidean"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CondensedDistanceMatrix):
+            return NotImplemented
+        return (
+            self.labels == other.labels
+            and self.metric == other.metric
+            and np.array_equal(self.distances, other.distances)
+        )
 
     def __post_init__(self) -> None:
         distances = np.asarray(self.distances, dtype=np.float64)
@@ -97,39 +106,34 @@ class CondensedDistanceMatrix:
         """Expand to the full symmetric n × n matrix (zero diagonal)."""
         n = self.n_observations
         square = np.zeros((n, n), dtype=np.float64)
-        for i in range(n):
-            for j in range(i + 1, n):
-                value = self.distances[condensed_index(n, i, j)]
-                square[i, j] = value
-                square[j, i] = value
+        if n > 1:
+            rows, cols = np.triu_indices(n, k=1)
+            square[rows, cols] = self.distances
+            square[cols, rows] = self.distances
         return square
 
     def nearest_pair(self) -> tuple[str, str, float]:
-        """The closest pair of observations (deterministic tie-breaking)."""
+        """The closest pair of observations (deterministic tie-breaking).
+
+        Ties within 1e-15 are broken by condensed (row-major upper-triangle)
+        position, i.e. the earliest pair wins — the same rule the previous
+        Python double loop implemented.
+        """
         if self.n_observations < 2:
             raise DistanceError("need at least two observations")
-        best_value = math.inf
-        best_pair = (0, 1)
-        n = self.n_observations
-        for i in range(n):
-            for j in range(i + 1, n):
-                value = self.distances[condensed_index(n, i, j)]
-                if value < best_value - 1e-15:
-                    best_value = value
-                    best_pair = (i, j)
-        return self.labels[best_pair[0]], self.labels[best_pair[1]], float(best_value)
+        minimum = float(self.distances.min())
+        index = int(np.flatnonzero(self.distances <= minimum + 1e-15)[0])
+        rows, cols = np.triu_indices(self.n_observations, k=1)
+        i, j = int(rows[index]), int(cols[index])
+        return self.labels[i], self.labels[j], float(self.distances[index])
 
     def ranked_pairs(self) -> list[tuple[str, str, float]]:
         """All pairs sorted by ascending distance (ties broken by labels)."""
         n = self.n_observations
+        rows, cols = np.triu_indices(n, k=1)
         pairs = [
-            (
-                self.labels[i],
-                self.labels[j],
-                float(self.distances[condensed_index(n, i, j)]),
-            )
-            for i in range(n)
-            for j in range(i + 1, n)
+            (self.labels[i], self.labels[j], float(value))
+            for i, j, value in zip(rows.tolist(), cols.tolist(), self.distances.tolist())
         ]
         return sorted(pairs, key=lambda p: (p[2], p[0], p[1]))
 
@@ -140,18 +144,97 @@ class CondensedDistanceMatrix:
             "distances": self.distances.tolist(),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "CondensedDistanceMatrix":
+        """Rebuild a condensed matrix from :meth:`to_dict` output."""
+        return cls(
+            labels=tuple(str(label) for label in payload["labels"]),  # type: ignore[union-attr]
+            distances=np.asarray(payload["distances"], dtype=np.float64),
+            metric=str(payload.get("metric", "euclidean")),
+        )
+
+
+def _condensed_vectorized(values: np.ndarray, metric: str) -> np.ndarray | None:
+    """Condensed distances for the built-in metrics in one numpy pass.
+
+    Returns ``None`` for metric names without a broadcast implementation so
+    the caller can fall back to the per-pair loop.  The formulas (including
+    the zero-vector conventions for cosine and jaccard) mirror
+    :mod:`repro.distances.metrics` exactly.
+    """
+    n = values.shape[0]
+    rows, cols = np.triu_indices(n, k=1)
+    u = values[rows]
+    v = values[cols]
+    if metric == "euclidean":
+        return np.sqrt(np.sum((u - v) ** 2, axis=1))
+    if metric == "sqeuclidean":
+        return np.sum((u - v) ** 2, axis=1)
+    if metric in ("cityblock", "manhattan"):
+        return np.sum(np.abs(u - v), axis=1)
+    if metric == "chebyshev":
+        return np.max(np.abs(u - v), axis=1)
+    if metric == "hamming":
+        return np.mean(u != v, axis=1)
+    if metric == "cosine":
+        norms = np.linalg.norm(values, axis=1)
+        norm_u = norms[rows]
+        norm_v = norms[cols]
+        dots = np.sum(u * v, axis=1)
+        denominator = norm_u * norm_v
+        similarity = np.clip(
+            np.divide(dots, denominator, out=np.zeros_like(dots), where=denominator > 0),
+            -1.0,
+            1.0,
+        )
+        distances = 1.0 - similarity
+        # Zero-vector conventions: both zero -> 0, exactly one zero -> 1.
+        u_zero = norm_u == 0.0
+        v_zero = norm_v == 0.0
+        distances[u_zero & v_zero] = 0.0
+        distances[u_zero ^ v_zero] = 1.0
+        return distances
+    if metric == "jaccard":
+        bits = values != 0
+        bits_u = bits[rows]
+        bits_v = bits[cols]
+        union = np.count_nonzero(bits_u | bits_v, axis=1)
+        intersection = np.count_nonzero(bits_u & bits_v, axis=1)
+        return np.where(union == 0, 0.0, 1.0 - intersection / np.maximum(union, 1))
+    return None
+
 
 def pairwise_distances(
     features: FeatureMatrix,
     metric: str | Metric = "euclidean",
 ) -> CondensedDistanceMatrix:
-    """Compute the condensed pairwise distance matrix of a feature matrix."""
+    """Compute the condensed pairwise distance matrix of a feature matrix.
+
+    Built-in metrics (by name) run as a single numpy broadcast over the upper
+    triangle; callable metrics fall back to the per-pair loop.
+    """
     if features.n_rows < 1:
         raise DistanceError("feature matrix must contain at least one row")
-    metric_name = metric if isinstance(metric, str) else getattr(metric, "__name__", "custom")
-    metric_fn = get_metric(metric) if isinstance(metric, str) else metric
+    metric_name = metric if isinstance(metric, str) else getattr(metric, "__name__", repr(metric))
     n = features.n_rows
     values = features.values
+    if n >= 2 and features.n_columns == 0:
+        raise DistanceError("vectors must not be empty")
+    if isinstance(metric, str):
+        get_metric(metric)  # validate the name even when the fast path handles it
+        vectorized = _condensed_vectorized(values, metric.strip().lower()) if n >= 2 else None
+        if vectorized is not None or n < 2:
+            distances = (
+                vectorized
+                if vectorized is not None
+                else np.zeros(condensed_size(n), dtype=np.float64)
+            )
+            return CondensedDistanceMatrix(
+                labels=features.row_labels,
+                distances=np.asarray(distances, dtype=np.float64),
+                metric=str(metric_name),
+            )
+    metric_fn = get_metric(metric) if isinstance(metric, str) else metric
     distances = np.zeros(condensed_size(n), dtype=np.float64)
     position = 0
     for i in range(n):
@@ -181,10 +264,6 @@ def pdist_from_square(
         raise DistanceError("distance matrix must be symmetric")
     if not np.allclose(np.diag(matrix), 0.0, atol=atol):
         raise DistanceError("distance matrix must have a zero diagonal")
-    distances = np.zeros(condensed_size(n), dtype=np.float64)
-    position = 0
-    for i in range(n):
-        for j in range(i + 1, n):
-            distances[position] = matrix[i, j]
-            position += 1
+    rows, cols = np.triu_indices(n, k=1)
+    distances = matrix[rows, cols].copy()
     return CondensedDistanceMatrix(labels=tuple(labels), distances=distances, metric=metric)

@@ -23,6 +23,7 @@ __all__ = [
     "GeographyError",
     "PipelineError",
     "ConfigurationError",
+    "ServeError",
 ]
 
 
@@ -84,3 +85,7 @@ class PipelineError(ReproError):
 
 class ConfigurationError(ReproError):
     """An :class:`~repro.core.config.AnalysisConfig` value is out of range."""
+
+
+class ServeError(ReproError):
+    """The cached-analysis serve layer hit a malformed artifact or query."""

@@ -21,7 +21,7 @@ from repro.errors import FeatureError
 __all__ = ["FeatureMatrix"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FeatureMatrix:
     """Dense row-labelled / column-labelled feature matrix."""
 
@@ -45,6 +45,15 @@ class FeatureMatrix:
         object.__setattr__(self, "values", values)
         object.__setattr__(self, "row_labels", tuple(self.row_labels))
         object.__setattr__(self, "column_labels", tuple(self.column_labels))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FeatureMatrix):
+            return NotImplemented
+        return (
+            self.row_labels == other.row_labels
+            and self.column_labels == other.column_labels
+            and np.array_equal(self.values, other.values)
+        )
 
     # -- shape ------------------------------------------------------------------
 
@@ -137,3 +146,13 @@ class FeatureMatrix:
             "column_labels": list(self.column_labels),
             "values": self.values.tolist(),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "FeatureMatrix":
+        """Rebuild a matrix from :meth:`to_dict` output."""
+        row_labels = tuple(str(label) for label in payload["row_labels"])  # type: ignore[union-attr]
+        column_labels = tuple(str(label) for label in payload["column_labels"])  # type: ignore[union-attr]
+        values = np.asarray(payload["values"], dtype=np.float64)
+        if values.size == 0:
+            values = values.reshape(len(row_labels), len(column_labels))
+        return cls(row_labels=row_labels, column_labels=column_labels, values=values)

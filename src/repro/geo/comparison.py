@@ -52,6 +52,23 @@ class TreeComparison:
             "mean_fowlkes_mallows": self.mean_fowlkes_mallows(),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "TreeComparison":
+        """Rebuild a comparison from :meth:`to_dict` output.
+
+        JSON stringifies the integer k keys; they are converted back here,
+        and the derived ``mean_fowlkes_mallows`` entry is ignored.
+        """
+        return cls(
+            bakers_gamma=float(payload["bakers_gamma"]),  # type: ignore[arg-type]
+            fowlkes_mallows_by_k={
+                int(k): float(v) for k, v in dict(payload["fowlkes_mallows_by_k"]).items()  # type: ignore[arg-type]
+            },
+            adjusted_rand_by_k={
+                int(k): float(v) for k, v in dict(payload["adjusted_rand_by_k"]).items()  # type: ignore[arg-type]
+            },
+        )
+
 
 def compare_trees(
     first: ClusteringRun,
@@ -97,6 +114,15 @@ class ClaimCheck:
 
     def to_dict(self) -> dict[str, object]:
         return {"claim": self.claim, "holds": self.holds, "details": dict(self.details)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ClaimCheck":
+        """Rebuild a claim check from :meth:`to_dict` output."""
+        return cls(
+            claim=str(payload["claim"]),
+            holds=bool(payload["holds"]),
+            details={str(k): float(v) for k, v in dict(payload["details"]).items()},  # type: ignore[arg-type]
+        )
 
 
 def _cophenetic(run: ClusteringRun, first: str, second: str) -> float:

@@ -155,6 +155,15 @@ class Pattern:
             "absolute_support": self.absolute_support,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "Pattern":
+        """Rebuild a pattern from :meth:`to_dict` output."""
+        return cls(
+            items=frozenset(str(item) for item in payload["items"]),  # type: ignore[union-attr]
+            support=float(payload["support"]),  # type: ignore[arg-type]
+            absolute_support=int(payload["absolute_support"]),  # type: ignore[arg-type]
+        )
+
     def __str__(self) -> str:
         return f"{self.as_string()} (support={self.support:.3f})"
 
@@ -197,6 +206,16 @@ class MiningResult:
 
     def __getitem__(self, index: int) -> Pattern:
         return self._patterns[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MiningResult):
+            return NotImplemented
+        return (
+            self._patterns == other._patterns
+            and self.n_transactions == other.n_transactions
+            and self.min_support == other.min_support
+            and self.algorithm == other.algorithm
+        )
 
     @property
     def patterns(self) -> tuple[Pattern, ...]:
@@ -261,6 +280,25 @@ class MiningResult:
 
     def to_dicts(self) -> list[dict[str, object]]:
         return [pattern.to_dict() for pattern in self._patterns]
+
+    def to_dict(self) -> dict[str, object]:
+        """Lossless dictionary form (inverse of :meth:`from_dict`)."""
+        return {
+            "patterns": self.to_dicts(),
+            "n_transactions": self.n_transactions,
+            "min_support": self.min_support,
+            "algorithm": self.algorithm,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "MiningResult":
+        """Rebuild a mining result from :meth:`to_dict` output."""
+        return cls(
+            (Pattern.from_dict(row) for row in payload["patterns"]),  # type: ignore[union-attr]
+            n_transactions=int(payload["n_transactions"]),  # type: ignore[arg-type]
+            min_support=float(payload["min_support"]),  # type: ignore[arg-type]
+            algorithm=str(payload.get("algorithm", "unknown")),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -116,6 +116,25 @@ class CorpusStatistics:
             "region_recipe_counts": dict(self.region_recipe_counts),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "CorpusStatistics":
+        """Rebuild from :meth:`to_dict` output (derived fields are ignored)."""
+        return cls(
+            n_recipes=int(payload["n_recipes"]),
+            n_regions=int(payload["n_regions"]),
+            n_unique_ingredients=int(payload["n_unique_ingredients"]),
+            n_unique_processes=int(payload["n_unique_processes"]),
+            n_unique_utensils=int(payload["n_unique_utensils"]),
+            mean_ingredients_per_recipe=float(payload["mean_ingredients_per_recipe"]),
+            mean_processes_per_recipe=float(payload["mean_processes_per_recipe"]),
+            mean_utensils_per_recipe=float(payload["mean_utensils_per_recipe"]),
+            recipes_without_utensils=int(payload["recipes_without_utensils"]),
+            region_recipe_counts={
+                str(region): int(count)
+                for region, count in dict(payload.get("region_recipe_counts", {})).items()
+            },
+        )
+
     def paper_comparison(self) -> dict[str, dict[str, float]]:
         """Side-by-side of paper-reported vs measured headline numbers."""
         paper = {

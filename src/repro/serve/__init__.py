@@ -1,0 +1,74 @@
+"""``repro.serve`` — cached analysis service with a read-path query engine.
+
+The batch pipeline (:mod:`repro.core.pipeline`) reproduces the paper's
+analysis end to end, but every invocation recomputes all eight stages.  This
+package turns that one-shot pipeline into a servable engine following the
+classic amortize-the-batch-job architecture: **compute once, cache keyed by
+config, serve many cheap reads**.
+
+Layout
+------
+
+``codec``
+    Lossless JSON round-trips for :class:`~repro.core.results.AnalysisResults`
+    and every artifact it bundles, plus the deterministic cache keys derived
+    from :class:`~repro.core.config.AnalysisConfig` (full-analysis key and the
+    mining-stage key that ignores clustering-only parameters).
+``store``
+    :class:`~repro.serve.store.ArtifactStore` -- a disk-backed JSON artifact
+    store with an in-memory LRU front and corrupt-file recovery.
+``service``
+    :class:`~repro.serve.service.AnalysisService` -- the memoizing facade:
+    ``get_or_run(config)`` hits memory → disk → recompute, reusing cached
+    mining results when only clustering parameters changed.
+``queries``
+    :class:`~repro.serve.queries.QueryEngine` -- nearest-cuisine lookup,
+    pattern search, authenticity profiles and cuisine summary cards, all
+    served from the cached artifacts.
+``classify``
+    :class:`~repro.serve.classify.CuisineClassifier` -- batched recipe →
+    cuisine classification; thousands of ingredient lists score against the
+    per-cuisine patterns and authenticity fingerprints in one numpy pass.
+
+Quick start
+-----------
+
+>>> from repro.core.config import AnalysisConfig
+>>> from repro.serve import AnalysisService, CuisineClassifier, QueryEngine
+>>> service = AnalysisService("cache-dir")
+>>> served = service.get_or_run(AnalysisConfig(scale=0.02))   # slow once
+>>> served = service.get_or_run(AnalysisConfig(scale=0.02))   # instant now
+>>> engine = QueryEngine(served.results)
+>>> engine.nearest_cuisines("Japanese", k=3)                  # doctest: +SKIP
+>>> classifier = CuisineClassifier.from_results(served.results)
+>>> classifier.classify(["soy sauce", "mirin", "rice"]).best  # doctest: +SKIP
+
+The CLI exposes the same flows as ``repro-cuisines serve-warm``, ``query``
+and ``classify``; see ``examples/serve_and_query.py`` for a full tour.
+"""
+
+from repro.serve.classify import Classification, CuisineClassifier
+from repro.serve.codec import (
+    analysis_key,
+    mining_key,
+    results_from_dict,
+    results_to_dict,
+)
+from repro.serve.queries import PatternHit, QueryEngine
+from repro.serve.service import AnalysisService, ServedAnalysis
+from repro.serve.store import ArtifactStore, StoreStats
+
+__all__ = [
+    "AnalysisService",
+    "ServedAnalysis",
+    "ArtifactStore",
+    "StoreStats",
+    "QueryEngine",
+    "PatternHit",
+    "CuisineClassifier",
+    "Classification",
+    "analysis_key",
+    "mining_key",
+    "results_to_dict",
+    "results_from_dict",
+]

@@ -1,0 +1,226 @@
+"""Vectorized recipe → cuisine classification against a cached analysis.
+
+Given an arbitrary ingredient list, which of the analysed cuisines does it
+belong to?  The classifier scores a recipe against two cached artifact
+families at once:
+
+* **pattern evidence** -- every mined frequent pattern a recipe *contains*
+  (all of the pattern's items present) contributes its per-cuisine support;
+* **authenticity evidence** -- every recipe item that appears in a cuisine's
+  fingerprint contributes its signed authenticity (so conspicuously-avoided
+  items vote *against* a cuisine).
+
+Both signals are precompiled into dense matrices when the classifier is
+built, which makes classification a single numpy pass:
+
+    contains = (R @ P.T) == pattern_lengths          # B×V  @  V×P  -> B×P
+    scores   = contains @ S  +  R @ A                # pattern + authenticity
+
+where ``R`` is the batch's binary item matrix, ``P`` the pattern/item
+incidence matrix, ``S`` the per-cuisine pattern supports and ``A`` the signed
+per-cuisine item authenticities.  A batch of thousands of recipes classifies
+in one shot -- no Python loop over recipes or patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.results import AnalysisResults
+from repro.errors import ServeError
+
+__all__ = ["Classification", "CuisineClassifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class Classification:
+    """The scored outcome for one recipe."""
+
+    best: str
+    scores: dict[str, float]
+    matched_patterns: int
+    known_items: int
+    unknown_items: tuple[str, ...]
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Cuisines best-first (ties broken by name)."""
+        return sorted(self.scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "best": self.best,
+            "scores": dict(self.scores),
+            "matched_patterns": self.matched_patterns,
+            "known_items": self.known_items,
+            "unknown_items": list(self.unknown_items),
+        }
+
+
+class CuisineClassifier:
+    """Batched nearest-cuisine scoring compiled from an analysis bundle.
+
+    Parameters
+    ----------
+    pattern_weight / authenticity_weight:
+        Relative weight of the two evidence families.  Pattern supports live
+        in [0, 1] and per-recipe pattern counts vary, so each family's
+        contribution is normalised by the recipe's own evidence mass before
+        weighting.
+    """
+
+    def __init__(
+        self,
+        cuisines: Sequence[str],
+        vocabulary: Sequence[str],
+        pattern_items: np.ndarray,
+        pattern_supports: np.ndarray,
+        authenticity: np.ndarray,
+        *,
+        pattern_weight: float = 1.0,
+        authenticity_weight: float = 1.0,
+    ) -> None:
+        if pattern_weight < 0 or authenticity_weight < 0:
+            raise ServeError("classifier weights must be non-negative")
+        if pattern_weight == 0 and authenticity_weight == 0:
+            raise ServeError("at least one classifier weight must be positive")
+        self.cuisines = tuple(cuisines)
+        self.vocabulary = tuple(vocabulary)
+        self._item_index = {item: i for i, item in enumerate(self.vocabulary)}
+        self._pattern_items = pattern_items  # P×V binary
+        self._pattern_lengths = pattern_items.sum(axis=1)  # P
+        self._pattern_supports = pattern_supports  # P×C
+        self._authenticity = authenticity  # V×C signed
+        self.pattern_weight = float(pattern_weight)
+        self.authenticity_weight = float(authenticity_weight)
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_results(
+        cls,
+        results: AnalysisResults,
+        *,
+        pattern_weight: float = 1.0,
+        authenticity_weight: float = 1.0,
+    ) -> "CuisineClassifier":
+        """Compile the scoring matrices from a finished analysis."""
+        cuisines = tuple(results.regions())
+        if not cuisines:
+            raise ServeError("the analysis contains no cuisines to classify against")
+
+        # Deduplicate patterns across cuisines: one row per distinct itemset,
+        # one column of supports per cuisine.
+        pattern_rows: dict[frozenset[str], int] = {}
+        supports: list[dict[int, float]] = []  # per cuisine: row -> support
+        for cuisine in cuisines:
+            per_cuisine: dict[int, float] = {}
+            for pattern in results.mining_results[cuisine]:
+                row = pattern_rows.setdefault(pattern.items, len(pattern_rows))
+                per_cuisine[row] = pattern.support
+            supports.append(per_cuisine)
+
+        vocabulary: set[str] = set()
+        for items in pattern_rows:
+            vocabulary |= items
+        for fingerprint in results.fingerprints.values():
+            vocabulary |= fingerprint.positive_items()
+            vocabulary |= fingerprint.negative_items()
+        ordered_vocabulary = tuple(sorted(vocabulary))
+        item_index = {item: i for i, item in enumerate(ordered_vocabulary)}
+
+        n_patterns = len(pattern_rows)
+        n_items = len(ordered_vocabulary)
+        pattern_items = np.zeros((n_patterns, n_items), dtype=np.float64)
+        for items, row in pattern_rows.items():
+            for item in items:
+                pattern_items[row, item_index[item]] = 1.0
+
+        pattern_supports = np.zeros((n_patterns, len(cuisines)), dtype=np.float64)
+        for cuisine_index, per_cuisine in enumerate(supports):
+            for row, support in per_cuisine.items():
+                pattern_supports[row, cuisine_index] = support
+
+        authenticity = np.zeros((n_items, len(cuisines)), dtype=np.float64)
+        for cuisine_index, cuisine in enumerate(cuisines):
+            fingerprint = results.fingerprints.get(cuisine)
+            if fingerprint is None:
+                continue
+            for item, value in (*fingerprint.most_authentic, *fingerprint.least_authentic):
+                index = item_index.get(item)
+                if index is not None:
+                    authenticity[index, cuisine_index] = value
+
+        return cls(
+            cuisines=cuisines,
+            vocabulary=ordered_vocabulary,
+            pattern_items=pattern_items,
+            pattern_supports=pattern_supports,
+            authenticity=authenticity,
+            pattern_weight=pattern_weight,
+            authenticity_weight=authenticity_weight,
+        )
+
+    # -- classification ---------------------------------------------------------------
+
+    def classify_batch(
+        self, recipes: Sequence[Iterable[str]]
+    ) -> list[Classification]:
+        """Score a batch of ingredient lists in one numpy pass."""
+        if len(recipes) == 0:
+            return []
+        normalised = [[str(item) for item in recipe] for recipe in recipes]
+        batch = np.zeros((len(normalised), len(self.vocabulary)), dtype=np.float64)
+        unknown: list[tuple[str, ...]] = []
+        for row, items in enumerate(normalised):
+            missing: list[str] = []
+            for item in items:
+                index = self._item_index.get(item)
+                if index is None:
+                    missing.append(item)
+                else:
+                    batch[row, index] = 1.0
+            unknown.append(tuple(sorted(set(missing))))
+
+        # A pattern is contained when every one of its items is present.
+        overlap = batch @ self._pattern_items.T  # B×P
+        contains = (overlap == self._pattern_lengths[np.newaxis, :]).astype(np.float64)
+        pattern_scores = contains @ self._pattern_supports  # B×C
+        matched = contains.sum(axis=1)  # B
+
+        authenticity_scores = batch @ self._authenticity  # B×C
+
+        # Normalise each evidence family by the recipe's own evidence mass so
+        # long ingredient lists do not dominate purely by size.
+        pattern_norm = np.maximum(matched, 1.0)[:, np.newaxis]
+        item_counts = np.maximum(batch.sum(axis=1), 1.0)[:, np.newaxis]
+        scores = (
+            self.pattern_weight * pattern_scores / pattern_norm
+            + self.authenticity_weight * authenticity_scores / item_counts
+        )
+
+        classifications: list[Classification] = []
+        known_counts = batch.sum(axis=1).astype(int)
+        for row in range(scores.shape[0]):
+            row_scores = {
+                cuisine: float(scores[row, column])
+                for column, cuisine in enumerate(self.cuisines)
+            }
+            # argmax with deterministic tie-breaking by cuisine name.
+            best = min(row_scores, key=lambda name: (-row_scores[name], name))
+            classifications.append(
+                Classification(
+                    best=best,
+                    scores=row_scores,
+                    matched_patterns=int(matched[row]),
+                    known_items=int(known_counts[row]),
+                    unknown_items=unknown[row],
+                )
+            )
+        return classifications
+
+    def classify(self, recipe: Iterable[str]) -> Classification:
+        """Score a single ingredient list."""
+        return self.classify_batch([list(recipe)])[0]

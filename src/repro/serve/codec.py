@@ -1,0 +1,209 @@
+"""Lossless serialization of :class:`~repro.core.results.AnalysisResults`.
+
+The serve layer persists finished analyses as JSON so they can be reloaded
+and queried without recomputation.  This module is the single place that
+knows how an :class:`AnalysisResults` bundle maps to a JSON document:
+
+* :func:`results_to_dict` / :func:`results_from_dict` -- the full round-trip,
+  delegating to each artifact's own ``to_dict`` / ``from_dict`` pair;
+* :func:`mining_to_dict` / :func:`mining_from_dict` -- the per-cuisine mining
+  results alone (cached separately so a clustering-only config change can
+  reuse them);
+* :func:`dumps` / :func:`loads` -- canonical JSON text (sorted keys, compact
+  separators), which makes byte-identical documents for identical artifacts;
+* :func:`config_key` / :func:`analysis_key` / :func:`mining_key` -- the
+  deterministic cache keys derived from an :class:`AnalysisConfig`.
+
+Every numeric value is written with full ``repr`` precision (the standard
+``json`` module round-trips doubles exactly), so ``results_from_dict``
+rebuilds an object that compares equal to the original, field by field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from repro.authenticity.fingerprint import CuisineFingerprint
+from repro.cluster.elbow import ElbowAnalysis
+from repro.cluster.fihc import FIHCResult
+from repro.cluster.hierarchy import ClusteringRun
+from repro.core.config import AnalysisConfig
+from repro.core.results import AnalysisResults
+from repro.core.table1 import Table1
+from repro.errors import ServeError
+from repro.features.matrix import FeatureMatrix
+from repro.geo.comparison import ClaimCheck, TreeComparison
+from repro.mining.itemsets import MiningResult
+from repro.recipedb.stats import CorpusStatistics
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MINING_CONFIG_FIELDS",
+    "dumps",
+    "loads",
+    "config_key",
+    "analysis_key",
+    "mining_key",
+    "results_to_dict",
+    "results_from_dict",
+    "mining_to_dict",
+    "mining_from_dict",
+]
+
+SCHEMA_VERSION = 1
+
+#: The config fields the corpus + mining stages depend on.  Everything the
+#: later stages tune (linkage, elbow range, fingerprint size, ...) is absent,
+#: so two configs differing only in clustering parameters share a mining key.
+MINING_CONFIG_FIELDS = ("seed", "scale", "min_support", "max_pattern_length")
+
+
+# -- canonical JSON ------------------------------------------------------------------
+
+
+def dumps(payload: Mapping[str, object]) -> str:
+    """Canonical JSON text: sorted keys, compact separators, no NaN."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def loads(text: str) -> dict[str, object]:
+    """Parse JSON text produced by :func:`dumps` (or any JSON object)."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ServeError(f"expected a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+# -- cache keys ------------------------------------------------------------------------
+
+
+def config_key(config: AnalysisConfig, fields: tuple[str, ...] | None = None) -> str:
+    """Deterministic hex digest of (a projection of) an analysis config.
+
+    With ``fields=None`` every config field participates; passing a field
+    subset yields stage-level keys that ignore parameters the stage does not
+    depend on.
+    """
+    payload = config.to_dict()
+    if fields is not None:
+        unknown = set(fields) - set(payload)
+        if unknown:
+            raise ServeError(f"unknown config fields for cache key: {sorted(unknown)}")
+        payload = {name: payload[name] for name in fields}
+    return hashlib.sha256(dumps(payload).encode("utf-8")).hexdigest()
+
+
+def analysis_key(config: AnalysisConfig) -> str:
+    """Cache key of a full analysis (every config field participates)."""
+    return config_key(config)
+
+
+def mining_key(config: AnalysisConfig) -> str:
+    """Cache key of the corpus + mining stages (clustering fields ignored)."""
+    return config_key(config, MINING_CONFIG_FIELDS)
+
+
+# -- mining results --------------------------------------------------------------------
+
+
+def mining_to_dict(mining_results: Mapping[str, MiningResult]) -> dict[str, object]:
+    """Serialise per-cuisine mining results."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mining_results": {
+            region: mining_results[region].to_dict() for region in sorted(mining_results)
+        },
+    }
+
+
+def mining_from_dict(payload: Mapping[str, object]) -> dict[str, MiningResult]:
+    """Rebuild per-cuisine mining results from :func:`mining_to_dict` output."""
+    _check_schema(payload)
+    return {
+        str(region): MiningResult.from_dict(entry)
+        for region, entry in dict(payload["mining_results"]).items()  # type: ignore[arg-type]
+    }
+
+
+# -- full results ----------------------------------------------------------------------
+
+
+def results_to_dict(results: AnalysisResults) -> dict[str, object]:
+    """Serialise a full analysis to a JSON-compatible dictionary."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": results.config.to_dict(),
+        "corpus_stats": results.corpus_stats.to_dict(),
+        "mining_results": {
+            region: result.to_dict() for region, result in sorted(results.mining_results.items())
+        },
+        "table1": results.table1.to_dict(),
+        "pattern_features": results.pattern_features.to_dict(),
+        "elbow": results.elbow.to_dict(),
+        "figure2_euclidean": results.figure2_euclidean.to_dict(),
+        "figure3_cosine": results.figure3_cosine.to_dict(),
+        "figure4_jaccard": results.figure4_jaccard.to_dict(),
+        "figure5_authenticity": results.figure5_authenticity.to_dict(),
+        "figure6_geography": results.figure6_geography.to_dict(),
+        "fihc": results.fihc.to_dict(),
+        "fingerprints": {
+            cuisine: fingerprint.to_dict()
+            for cuisine, fingerprint in sorted(results.fingerprints.items())
+        },
+        "geography_validation": {
+            name: comparison.to_dict()
+            for name, comparison in sorted(results.geography_validation.items())
+        },
+        "claim_checks": {
+            name: [check.to_dict() for check in checks]
+            for name, checks in sorted(results.claim_checks.items())
+        },
+    }
+
+
+def results_from_dict(payload: Mapping[str, object]) -> AnalysisResults:
+    """Rebuild a full analysis from :func:`results_to_dict` output."""
+    _check_schema(payload)
+    try:
+        return AnalysisResults(
+            config=AnalysisConfig.from_dict(payload["config"]),  # type: ignore[arg-type]
+            corpus_stats=CorpusStatistics.from_dict(payload["corpus_stats"]),  # type: ignore[arg-type]
+            mining_results={
+                str(region): MiningResult.from_dict(entry)
+                for region, entry in dict(payload["mining_results"]).items()  # type: ignore[arg-type]
+            },
+            table1=Table1.from_dict(payload["table1"]),  # type: ignore[arg-type]
+            pattern_features=FeatureMatrix.from_dict(payload["pattern_features"]),  # type: ignore[arg-type]
+            elbow=ElbowAnalysis.from_dict(payload["elbow"]),  # type: ignore[arg-type]
+            figure2_euclidean=ClusteringRun.from_dict(payload["figure2_euclidean"]),  # type: ignore[arg-type]
+            figure3_cosine=ClusteringRun.from_dict(payload["figure3_cosine"]),  # type: ignore[arg-type]
+            figure4_jaccard=ClusteringRun.from_dict(payload["figure4_jaccard"]),  # type: ignore[arg-type]
+            figure5_authenticity=ClusteringRun.from_dict(payload["figure5_authenticity"]),  # type: ignore[arg-type]
+            figure6_geography=ClusteringRun.from_dict(payload["figure6_geography"]),  # type: ignore[arg-type]
+            fihc=FIHCResult.from_dict(payload["fihc"]),  # type: ignore[arg-type]
+            fingerprints={
+                str(cuisine): CuisineFingerprint.from_dict(entry)
+                for cuisine, entry in dict(payload["fingerprints"]).items()  # type: ignore[arg-type]
+            },
+            geography_validation={
+                str(name): TreeComparison.from_dict(entry)
+                for name, entry in dict(payload["geography_validation"]).items()  # type: ignore[arg-type]
+            },
+            claim_checks={
+                str(name): tuple(ClaimCheck.from_dict(check) for check in checks)
+                for name, checks in dict(payload["claim_checks"]).items()  # type: ignore[arg-type]
+            },
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeError(f"malformed analysis payload: {exc}") from exc
+
+
+def _check_schema(payload: Mapping[str, object]) -> None:
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ServeError(
+            f"unsupported serve schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )

@@ -1,0 +1,179 @@
+"""Read-path queries against a finished (usually cached) analysis.
+
+:class:`QueryEngine` answers the cheap questions a serving deployment sees
+constantly, none of which should ever re-run the pipeline:
+
+* :meth:`nearest_cuisines` -- which cuisines are closest to a given one under
+  any of the five clustering views (Figures 2-6);
+* :meth:`pattern_search` -- which mined patterns contain the given items, in
+  which cuisines, at what support;
+* :meth:`top_patterns` -- a cuisine's strongest patterns;
+* :meth:`authenticity_profile` -- how (in)authentic one ingredient is across
+  every cuisine fingerprint;
+* :meth:`cuisine_profile` -- the one-stop summary card for a cuisine.
+
+All lookups run against the precomputed artifacts (distance matrices, mined
+patterns, fingerprints); nothing here touches the corpus or the miners.
+Batched recipe classification lives in :mod:`repro.serve.classify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.results import AnalysisResults
+from repro.errors import ServeError
+
+__all__ = ["PatternHit", "QueryEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class PatternHit:
+    """One pattern matched by :meth:`QueryEngine.pattern_search`."""
+
+    region: str
+    pattern: str
+    support: float
+    length: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "region": self.region,
+            "pattern": self.pattern,
+            "support": self.support,
+            "length": self.length,
+        }
+
+
+class QueryEngine:
+    """Cheap read-path operations over one :class:`AnalysisResults` bundle."""
+
+    FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6")
+
+    def __init__(self, results: AnalysisResults) -> None:
+        self.results = results
+
+    # -- cuisine neighbourhoods -------------------------------------------------------
+
+    def regions(self) -> list[str]:
+        return self.results.regions()
+
+    def nearest_cuisines(
+        self, cuisine: str, *, k: int = 5, figure: str = "figure2"
+    ) -> list[tuple[str, float]]:
+        """The *k* nearest cuisines under one clustering view's metric.
+
+        Ties are broken by label so results are deterministic across runs.
+        """
+        if k < 1:
+            raise ServeError("k must be positive")
+        run = self.results.run_for(figure)
+        labels = run.labels
+        if cuisine not in labels:
+            raise ServeError(
+                f"unknown cuisine {cuisine!r} for {figure}; known: {sorted(labels)}"
+            )
+        index = labels.index(cuisine)
+        row = run.distances.to_square()[index]
+        order = sorted(
+            (i for i in range(len(labels)) if i != index),
+            key=lambda i: (row[i], labels[i]),
+        )
+        return [(labels[i], float(row[i])) for i in order[:k]]
+
+    # -- pattern lookups --------------------------------------------------------------
+
+    def pattern_search(
+        self,
+        items: Iterable[str] | str,
+        *,
+        region: str | None = None,
+        min_support: float = 0.0,
+        limit: int | None = None,
+    ) -> list[PatternHit]:
+        """Patterns containing every requested item, best-supported first."""
+        wanted = frozenset([items] if isinstance(items, str) else items)
+        if not wanted:
+            raise ServeError("pattern_search requires at least one item")
+        regions = [region] if region is not None else self.regions()
+        hits: list[PatternHit] = []
+        for name in regions:
+            result = self._mining_for(name)
+            for pattern in result:
+                if pattern.support >= min_support and wanted <= pattern.items:
+                    hits.append(
+                        PatternHit(
+                            region=name,
+                            pattern=pattern.as_string(),
+                            support=pattern.support,
+                            length=pattern.length,
+                        )
+                    )
+        hits.sort(key=lambda hit: (-hit.support, hit.region, hit.pattern))
+        return hits if limit is None else hits[:limit]
+
+    def top_patterns(self, region: str, *, k: int = 5) -> list[PatternHit]:
+        """The *k* highest-support patterns of one cuisine."""
+        result = self._mining_for(region)
+        return [
+            PatternHit(
+                region=region,
+                pattern=pattern.as_string(),
+                support=pattern.support,
+                length=pattern.length,
+            )
+            for pattern in result.top(k)
+        ]
+
+    # -- authenticity lookups ---------------------------------------------------------
+
+    def authenticity_profile(self, item: str) -> dict[str, float]:
+        """Fingerprint authenticity of *item* per cuisine (absent = no signal).
+
+        Only the fingerprint tails are cached (top/bottom ``fingerprint_top_k``
+        items per cuisine), so a cuisine appears here exactly when *item* is
+        distinctly embraced or avoided there.
+        """
+        profile: dict[str, float] = {}
+        for cuisine, fingerprint in self.results.fingerprints.items():
+            for name, value in (*fingerprint.most_authentic, *fingerprint.least_authentic):
+                if name == item:
+                    profile[cuisine] = value
+        return dict(sorted(profile.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def signature_items(self, cuisine: str, *, k: int | None = None) -> list[tuple[str, float]]:
+        """The most authentic items of one cuisine (from its fingerprint)."""
+        fingerprint = self.results.fingerprints.get(cuisine)
+        if fingerprint is None:
+            raise ServeError(
+                f"unknown cuisine {cuisine!r}; known: {sorted(self.results.fingerprints)}"
+            )
+        tail = list(fingerprint.most_authentic)
+        return tail if k is None else tail[:k]
+
+    # -- aggregate views --------------------------------------------------------------
+
+    def cuisine_profile(self, cuisine: str, *, k: int = 5) -> dict[str, object]:
+        """Summary card for one cuisine: patterns, signature items, neighbours."""
+        return {
+            "cuisine": cuisine,
+            "n_recipes": self.results.corpus_stats.region_recipe_counts.get(cuisine, 0),
+            "top_patterns": [hit.to_dict() for hit in self.top_patterns(cuisine, k=k)],
+            "signature_items": [
+                {"item": item, "authenticity": value}
+                for item, value in self.signature_items(cuisine, k=k)
+            ],
+            "nearest_by_patterns": self.nearest_cuisines(cuisine, k=k, figure="figure2"),
+            "nearest_by_authenticity": self.nearest_cuisines(cuisine, k=k, figure="figure5"),
+        }
+
+    # -- internals --------------------------------------------------------------------
+
+    def _mining_for(self, region: str):
+        try:
+            return self.results.mining_results[region]
+        except KeyError as exc:
+            raise ServeError(
+                f"unknown cuisine {region!r}; known: {self.regions()}"
+            ) from exc

@@ -1,0 +1,253 @@
+"""Memoizing analysis service: compute once, serve many cheap reads.
+
+:class:`AnalysisService` wraps :class:`~repro.core.pipeline.CuisineClusteringPipeline`
+with a three-level read path::
+
+    get_or_run(config)
+        1. in-memory LRU        (microseconds)
+        2. disk artifact store  (milliseconds -- one JSON parse)
+        3. recompute            (seconds -- the full eight-stage pipeline)
+
+Caching is stage-aware: the corpus + mining stages only depend on
+``(seed, scale, min_support, max_pattern_length)``, so a config change that
+only touches clustering parameters (linkage method, elbow range, fingerprint
+size, ...) reuses the cached mining results and skips FP-Growth, the most
+expensive stage.
+
+The service records where every answer came from (``memory`` / ``disk`` /
+``computed``) so callers, benchmarks and the CLI can report cache
+effectiveness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.config import AnalysisConfig, DEFAULT_CONFIG
+from repro.core.pipeline import CuisineClusteringPipeline
+from repro.core.results import AnalysisResults
+from repro.errors import ServeError
+from repro.recipedb.database import RecipeDatabase
+from repro.recipedb.stats import corpus_statistics
+from repro.serve import codec
+from repro.serve.store import ArtifactStore
+
+__all__ = ["ServedAnalysis", "AnalysisService"]
+
+ANALYSIS_KIND = "analysis"
+MINING_KIND = "mining"
+
+
+@dataclass(frozen=True, slots=True)
+class ServedAnalysis:
+    """One served analysis plus its provenance."""
+
+    results: AnalysisResults
+    source: str  # "memory" | "disk" | "computed"
+    key: str
+    elapsed_seconds: float
+    mining_reused: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "source": self.source,
+            "key": self.key,
+            "elapsed_seconds": self.elapsed_seconds,
+            "mining_reused": self.mining_reused,
+        }
+
+
+class AnalysisService:
+    """Facade that memoizes full pipeline runs behind an artifact store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | Path | str | None = None,
+        *,
+        max_memory_entries: int = 8,
+    ) -> None:
+        if store is None:
+            store = ArtifactStore(
+                Path(".repro-cache"), max_memory_entries=max_memory_entries
+            )
+        elif not isinstance(store, ArtifactStore):
+            store = ArtifactStore(Path(store), max_memory_entries=max_memory_entries)
+        self.store = store
+        self._decoded: dict[str, AnalysisResults] = {}
+
+    # -- read path --------------------------------------------------------------------
+
+    def get_or_run(
+        self,
+        config: AnalysisConfig | None = None,
+        *,
+        database: RecipeDatabase | None = None,
+    ) -> ServedAnalysis:
+        """Serve the analysis for *config*, computing it only on a cache miss.
+
+        Passing an explicit *database* bypasses the cache entirely (the cache
+        key only covers the config, which cannot describe an arbitrary
+        externally-supplied corpus).
+        """
+        config = config if config is not None else DEFAULT_CONFIG
+        if database is not None:
+            started = time.perf_counter()
+            results = CuisineClusteringPipeline(config).run(database)
+            return ServedAnalysis(
+                results=results,
+                source="computed",
+                key=codec.analysis_key(config),
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+        key = codec.analysis_key(config)
+        started = time.perf_counter()
+
+        cached = self._decoded.get(key)
+        if cached is not None and self.store.path_for(ANALYSIS_KIND, key).exists():
+            # Check the disk file directly (not the store's LRU) so that
+            # invalidate() on another service handle over the same directory
+            # is honoured even for already-decoded entries.
+            self.store.stats.memory_hits += 1
+            return ServedAnalysis(
+                results=cached,
+                source="memory",
+                key=key,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        self._decoded.pop(key, None)
+
+        payload = self.store.get(ANALYSIS_KIND, key)
+        if payload is not None:
+            try:
+                results = codec.results_from_dict(payload)
+            except ServeError:
+                # Stale or hand-edited artifact: drop it and recompute.
+                self.store.delete(ANALYSIS_KIND, key)
+            else:
+                self._remember_decoded(key, results)
+                return ServedAnalysis(
+                    results=results,
+                    source="disk",
+                    key=key,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+
+        results, mining_reused = self._compute(config)
+        self.store.put(ANALYSIS_KIND, key, codec.results_to_dict(results))
+        self._remember_decoded(key, results)
+        return ServedAnalysis(
+            results=results,
+            source="computed",
+            key=key,
+            elapsed_seconds=time.perf_counter() - started,
+            mining_reused=mining_reused,
+        )
+
+    def warm(self, configs: Iterable[AnalysisConfig] | AnalysisConfig) -> list[ServedAnalysis]:
+        """Precompute (or touch) the cache for one or many configs."""
+        if isinstance(configs, AnalysisConfig):
+            configs = [configs]
+        return [self.get_or_run(config) for config in configs]
+
+    def invalidate(self, config: AnalysisConfig, *, mining: bool = False) -> bool:
+        """Drop the cached analysis for *config* (and optionally its mining)."""
+        key = codec.analysis_key(config)
+        self._decoded.pop(key, None)
+        removed = self.store.delete(ANALYSIS_KIND, key)
+        if mining:
+            removed = self.store.delete(MINING_KIND, codec.mining_key(config)) or removed
+        return removed
+
+    def cached_keys(self) -> list[str]:
+        """Keys of every analysis currently persisted on disk."""
+        return self.store.keys(ANALYSIS_KIND)
+
+    def stats(self) -> dict[str, int]:
+        """Store traffic counters (memory/disk hits, misses, writes)."""
+        return self.store.stats.to_dict()
+
+    def _remember_decoded(self, key: str, results: AnalysisResults) -> None:
+        """Keep decoded results hot, bounded by the store's LRU capacity.
+
+        A store built with ``max_memory_entries=0`` has its memory layer
+        explicitly disabled, so nothing is kept decoded either — every read
+        then goes through disk.
+        """
+        limit = self.store.max_memory_entries
+        if limit == 0:
+            return
+        self._decoded[key] = results
+        while len(self._decoded) > limit:
+            self._decoded.pop(next(iter(self._decoded)))
+
+    # -- compute path -----------------------------------------------------------------
+
+    def _compute(self, config: AnalysisConfig) -> tuple[AnalysisResults, bool]:
+        """Run the pipeline, reusing cached mining results when available.
+
+        Mirrors :meth:`CuisineClusteringPipeline.run` stage by stage; the
+        corpus is always regenerated (it is deterministic in seed/scale and
+        cheap relative to mining), while the FP-Growth pass is served from
+        the mining-stage cache when a compatible config already ran.
+        """
+        pipeline = CuisineClusteringPipeline(config)
+        corpus = pipeline.build_corpus()
+        if len(corpus.region_names()) < 2:
+            raise ServeError("the corpus must contain at least two cuisines")
+
+        mining_cache_key = codec.mining_key(config)
+        mining_reused = False
+        mining_payload = self.store.get(MINING_KIND, mining_cache_key)
+        mining_results = None
+        if mining_payload is not None:
+            try:
+                mining_results = codec.mining_from_dict(mining_payload)
+                mining_reused = True
+            except ServeError:
+                self.store.delete(MINING_KIND, mining_cache_key)
+        if mining_results is None:
+            mining_results = pipeline.mine_patterns(corpus)
+            self.store.put(MINING_KIND, mining_cache_key, codec.mining_to_dict(mining_results))
+
+        table1 = pipeline.build_table1(corpus, mining_results)
+        pattern_features = pipeline.build_pattern_features(mining_results)
+        elbow = pipeline.run_elbow(pattern_features)
+        pattern_runs = pipeline.run_pattern_clusterings(pattern_features)
+        authenticity_run = pipeline.run_authenticity_clustering(corpus)
+        geography_run = pipeline.run_geographic_clustering(corpus)
+        fihc_result = pipeline.run_fihc(mining_results)
+        fingerprints = pipeline.build_fingerprints(corpus)
+
+        validation_targets = {
+            "patterns-euclidean": pattern_runs["euclidean"],
+            "patterns-cosine": pattern_runs["cosine"],
+            "patterns-jaccard": pattern_runs["jaccard"],
+            "authenticity": authenticity_run,
+        }
+        geography_validation = pipeline.validate_against_geography(validation_targets)
+        claim_checks = pipeline.check_claims(
+            {**validation_targets, "geography": geography_run}
+        )
+
+        results = AnalysisResults(
+            config=config,
+            corpus_stats=corpus_statistics(corpus),
+            mining_results=mining_results,
+            table1=table1,
+            pattern_features=pattern_features,
+            elbow=elbow,
+            figure2_euclidean=pattern_runs["euclidean"],
+            figure3_cosine=pattern_runs["cosine"],
+            figure4_jaccard=pattern_runs["jaccard"],
+            figure5_authenticity=authenticity_run,
+            figure6_geography=geography_run,
+            fihc=fihc_result,
+            fingerprints=fingerprints,
+            geography_validation=geography_validation,
+            claim_checks=claim_checks,
+        )
+        return results, mining_reused

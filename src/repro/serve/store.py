@@ -1,0 +1,198 @@
+"""Disk-backed JSON artifact store with an in-memory LRU front.
+
+The store is the persistence half of the serve layer: artifacts (serialised
+analyses, mining results, ...) are JSON documents keyed by ``(kind, key)``
+where *kind* namespaces the artifact type and *key* is a deterministic config
+digest from :mod:`repro.serve.codec`.  Reads hit the in-memory LRU first,
+then disk; writes go through to both.
+
+Corrupt or truncated files on disk -- a crashed writer, a partial copy -- are
+treated as cache misses: the offending file is moved aside to ``*.corrupt``
+so the next write can repopulate the slot, and a counter records the
+recovery.  The store never raises on bad cached data; the worst case is a
+recompute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ServeError
+from repro.serve.codec import dumps
+
+__all__ = ["StoreStats", "ArtifactStore"]
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+@dataclass
+class StoreStats:
+    """Running counters of store traffic (one instance per store)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_recovered: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt_recovered": self.corrupt_recovered,
+        }
+
+
+def _validate_kind(kind: str) -> str:
+    if not kind or not kind.replace("-", "").replace("_", "").isalnum():
+        raise ServeError(f"artifact kind must be a non-empty slug, got {kind!r}")
+    return kind
+
+
+def _validate_key(key: str) -> str:
+    if not key or not set(key) <= _KEY_CHARS:
+        raise ServeError(f"artifact key must be a hex digest, got {key!r}")
+    return key
+
+
+class ArtifactStore:
+    """JSON artifact store: in-memory LRU in front of a directory of files.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifact files (created on first write).
+    max_memory_entries:
+        How many payloads the LRU keeps; 0 disables the memory layer.
+    """
+
+    def __init__(self, root: Path | str, *, max_memory_entries: int = 32) -> None:
+        if max_memory_entries < 0:
+            raise ServeError("max_memory_entries must be non-negative")
+        self.root = Path(root)
+        self.max_memory_entries = max_memory_entries
+        self.stats = StoreStats()
+        self._memory: OrderedDict[tuple[str, str], dict[str, object]] = OrderedDict()
+
+    # -- paths ------------------------------------------------------------------------
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """The on-disk path of one artifact."""
+        return self.root / f"{_validate_kind(kind)}-{_validate_key(key)}.json"
+
+    # -- reads ------------------------------------------------------------------------
+
+    def get(self, kind: str, key: str) -> dict[str, object] | None:
+        """Fetch an artifact payload: memory, then disk, else ``None``.
+
+        A memory hit still requires the disk file to exist (one ``stat``),
+        so deleting an artifact through another store handle over the same
+        directory invalidates every handle's memory layer too.
+        """
+        cache_key = (kind, key)
+        if cache_key in self._memory:
+            if self.path_for(kind, key).exists():
+                self._memory.move_to_end(cache_key)
+                self.stats.memory_hits += 1
+                return self._memory[cache_key]
+            self._memory.pop(cache_key, None)
+        path = self.path_for(kind, key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("artifact root must be a JSON object")
+        except (json.JSONDecodeError, ValueError):
+            self._quarantine(path)
+            self.stats.corrupt_recovered += 1
+            self.stats.misses += 1
+            return None
+        self.stats.disk_hits += 1
+        self._remember(cache_key, payload)
+        return payload
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Whether the artifact exists in memory or on disk."""
+        return (kind, key) in self._memory or self.path_for(kind, key).exists()
+
+    def keys(self, kind: str) -> list[str]:
+        """Every key stored on disk for one artifact kind (sorted)."""
+        prefix = f"{_validate_kind(kind)}-"
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.stem[len(prefix):]
+            for path in self.root.glob(f"{prefix}*.json")
+            if set(path.stem[len(prefix):]) <= _KEY_CHARS
+        )
+
+    # -- writes -----------------------------------------------------------------------
+
+    def put(self, kind: str, key: str, payload: dict[str, object]) -> Path:
+        """Persist an artifact payload (atomic write) and cache it in memory."""
+        path = self.path_for(kind, key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Atomic replace so a crashed writer can never leave a half-written
+        # artifact under the final name.
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{kind}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(dumps(payload))
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.writes += 1
+        self._remember((kind, key), payload)
+        return path
+
+    def delete(self, kind: str, key: str) -> bool:
+        """Drop an artifact from memory and disk; True when anything existed."""
+        existed = self._memory.pop((kind, key), None) is not None
+        path = self.path_for(kind, key)
+        try:
+            path.unlink()
+            existed = True
+        except FileNotFoundError:
+            pass
+        return existed
+
+    def clear_memory(self) -> None:
+        """Empty the LRU layer (disk artifacts stay)."""
+        self._memory.clear()
+
+    # -- internals --------------------------------------------------------------------
+
+    def _remember(self, cache_key: tuple[str, str], payload: dict[str, object]) -> None:
+        if self.max_memory_entries == 0:
+            return
+        self._memory[cache_key] = payload
+        self._memory.move_to_end(cache_key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt artifact aside so the slot can be rewritten."""
+        try:
+            os.replace(path, path.with_suffix(".json.corrupt"))
+        except OSError:  # pragma: no cover - quarantine is best-effort
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -78,7 +78,7 @@ class TestAnalyze:
         exit_code = main(
             [
                 "--corpus", str(corpus_file),
-                "analyze", "--report", str(report), "--summary-json", str(summary),
+                "analyze", "--json", "--report", str(report), "--summary-json", str(summary),
             ]
         )
         assert exit_code == 0
@@ -88,6 +88,15 @@ class TestAnalyze:
         assert report.exists()
         assert "Table I" in report.read_text()
         assert json.loads(summary.read_text())["n_regions"] == 3
+
+    def test_analyze_default_output_is_human_readable(self, corpus_file, capsys):
+        exit_code = main(["--corpus", str(corpus_file), "analyze"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "analyzed" in out
+        assert "cuisines" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
 
 
 class TestFigures:

@@ -127,6 +127,115 @@ class TestPairwiseDistances:
             single.nearest_pair()
 
 
+class TestMetricNameInference:
+    def test_string_metric_recorded_verbatim(self, features):
+        assert pairwise_distances(features, metric="euclidean").metric == "euclidean"
+
+    def test_named_function_uses_dunder_name(self, features):
+        def manhattan_like(u, v):
+            return float(np.abs(u - v).sum())
+
+        matrix = pairwise_distances(features, metric=manhattan_like)
+        assert matrix.metric == "manhattan_like"
+
+    def test_lambda_keeps_its_name(self, features):
+        matrix = pairwise_distances(features, metric=lambda u, v: float(np.abs(u - v).sum()))
+        assert matrix.metric == "<lambda>"
+
+    def test_partial_falls_back_to_repr(self, features):
+        import functools
+
+        def weighted(u, v, scale=1.0):
+            return scale * float(np.abs(u - v).sum())
+
+        partial = functools.partial(weighted, scale=2.0)
+        assert not hasattr(partial, "__name__")
+        matrix = pairwise_distances(features, metric=partial)
+        # A partial has no __name__; its repr keeps the identity (wrapped
+        # function + bound arguments) instead of an anonymous "custom".
+        assert matrix.metric == repr(partial)
+        assert "weighted" in matrix.metric
+        assert matrix.metric != "custom"
+
+    def test_callable_object_falls_back_to_repr(self, features):
+        class ScaledCityblock:
+            def __call__(self, u, v):
+                return float(np.abs(u - v).sum())
+
+            def __repr__(self):
+                return "ScaledCityblock()"
+
+        matrix = pairwise_distances(features, metric=ScaledCityblock())
+        assert matrix.metric == "ScaledCityblock()"
+
+
+class TestVectorizedAgainstLoop:
+    """The numpy fast path must agree with the per-pair metric loop."""
+
+    @pytest.mark.parametrize(
+        "metric",
+        ["euclidean", "sqeuclidean", "cosine", "jaccard", "hamming",
+         "cityblock", "manhattan", "chebyshev"],
+    )
+    def test_matches_loop_on_random_data(self, metric):
+        from repro.distances.metrics import get_metric
+
+        rng = np.random.default_rng(42)
+        values = rng.normal(size=(12, 7))
+        values[values < -0.5] = 0.0  # sparsity so jaccard/hamming see zeros
+        features = FeatureMatrix(
+            tuple(f"r{i}" for i in range(12)),
+            tuple(f"c{j}" for j in range(7)),
+            values,
+        )
+        fast = pairwise_distances(features, metric=metric)
+        metric_fn = get_metric(metric)
+        loop = pairwise_distances(features, metric=lambda u, v: metric_fn(u, v))
+        np.testing.assert_allclose(fast.distances, loop.distances, atol=1e-12)
+
+    def test_cosine_zero_vector_conventions(self):
+        features = FeatureMatrix(
+            ("zero1", "zero2", "unit"),
+            ("x", "y"),
+            np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]]),
+        )
+        matrix = pairwise_distances(features, metric="cosine")
+        assert matrix.distance("zero1", "zero2") == 0.0  # both zero
+        assert matrix.distance("zero1", "unit") == 1.0  # exactly one zero
+
+    def test_single_observation_has_empty_condensed_vector(self):
+        features = FeatureMatrix(("only",), ("x",), np.array([[1.0]]))
+        matrix = pairwise_distances(features, metric="euclidean")
+        assert matrix.distances.shape == (0,)
+
+    def test_nearest_pair_tie_breaks_by_condensed_order(self):
+        # A-B and C-D are exactly tied; the earlier condensed pair must win.
+        square = np.array(
+            [
+                [0.0, 1.0, 5.0, 5.0],
+                [1.0, 0.0, 5.0, 5.0],
+                [5.0, 5.0, 0.0, 1.0],
+                [5.0, 5.0, 1.0, 0.0],
+            ]
+        )
+        matrix = pdist_from_square(square, ["A", "B", "C", "D"])
+        assert matrix.nearest_pair() == ("A", "B", 1.0)
+
+    def test_ranked_pairs_tie_break_by_labels(self):
+        square = np.array(
+            [
+                [0.0, 2.0, 1.0],
+                [2.0, 0.0, 1.0],
+                [1.0, 1.0, 0.0],
+            ]
+        )
+        matrix = pdist_from_square(square, ["B", "A", "C"])
+        ranked = matrix.ranked_pairs()
+        assert ranked[0] == ("A", "C", 1.0)  # ties sort by first label
+        assert ranked[1] == ("B", "C", 1.0)
+        assert ranked[2] == ("B", "A", 2.0)
+
+
 class TestValidation:
     def test_wrong_length_rejected(self):
         with pytest.raises(DistanceError):

@@ -1,0 +1,170 @@
+"""CLI tests for the serve-warm / query / classify subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["--seed", "5", "--scale", "0.02"]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    """A warmed serve cache shared by the read-path CLI tests."""
+    cache = tmp_path_factory.mktemp("serve") / "cache"
+    assert main([*ARGS, "serve-warm", "--cache-dir", str(cache)]) == 0
+    return cache
+
+
+class TestServeWarm:
+    def test_first_warm_computes_then_hits(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main([*ARGS, "serve-warm", "--cache-dir", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "cache miss" in first
+        assert "served from computed" in first
+        assert main([*ARGS, "serve-warm", "--cache-dir", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        assert "cached analyses" in second
+
+    def test_corpus_flag_rejected(self, tmp_path, capsys):
+        code = main(
+            [*ARGS, "--corpus", "whatever.json", "serve-warm",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 1
+        assert "serve-warm cannot warm the cache from --corpus" in capsys.readouterr().err
+
+
+class TestExplicitCorpus:
+    @pytest.fixture(scope="class")
+    def corpus_file(self, tmp_path_factory):
+        from repro.datagen.generator import GeneratorConfig, SyntheticRecipeDBGenerator
+        from repro.datagen.profiles import default_profiles
+        from repro.recipedb.io_json import save_json
+
+        profiles = {
+            name: profile
+            for name, profile in default_profiles().items()
+            if name in ("Japanese", "Greek", "UK")
+        }
+        db = SyntheticRecipeDBGenerator(
+            GeneratorConfig(seed=3, scale=0.03), profiles=profiles
+        ).generate()
+        path = tmp_path_factory.mktemp("serve-corpus") / "corpus.json"
+        save_json(db, path)
+        return path
+
+    def test_query_uses_supplied_corpus_and_bypasses_cache(
+        self, corpus_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        code = main(
+            [*ARGS, "--corpus", str(corpus_file), "query",
+             "--cache-dir", str(cache), "--nearest", "Japanese"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Only the 3-cuisine corpus is in play, and nothing was cached.
+        assert "Greek" in out and "UK" in out
+        assert "Mexican" not in out
+        assert not list(cache.glob("analysis-*.json")) if cache.exists() else True
+
+    def test_classify_uses_supplied_corpus(self, corpus_file, tmp_path, capsys):
+        code = main(
+            [*ARGS, "--corpus", str(corpus_file), "classify",
+             "--cache-dir", str(tmp_path / "cache"), "soy sauce, mirin"]
+        )
+        assert code == 0
+        assert "->" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_nearest(self, cache_dir, capsys):
+        code = main(
+            [*ARGS, "query", "--cache-dir", str(cache_dir), "--nearest", "Japanese", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Nearest to Japanese" in out
+
+    def test_patterns(self, cache_dir, capsys):
+        code = main(
+            [*ARGS, "query", "--cache-dir", str(cache_dir), "--patterns", "soy sauce"]
+        )
+        assert code == 0
+        assert "soy sauce" in capsys.readouterr().out
+
+    def test_cuisine_card_is_json(self, cache_dir, capsys):
+        code = main([*ARGS, "query", "--cache-dir", str(cache_dir), "--cuisine", "Japanese"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cuisine"] == "Japanese"
+        assert payload["top_patterns"]
+
+    def test_no_query_flags_errors(self, cache_dir, capsys):
+        code = main([*ARGS, "query", "--cache-dir", str(cache_dir)])
+        assert code == 1
+        assert "nothing to query" in capsys.readouterr().err
+
+    def test_unknown_cuisine_is_clean_error(self, cache_dir, capsys):
+        code = main(
+            [*ARGS, "query", "--cache-dir", str(cache_dir), "--nearest", "Atlantis"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestClassify:
+    def test_positional_recipes(self, cache_dir, capsys):
+        code = main(
+            [
+                *ARGS,
+                "classify",
+                "--cache-dir", str(cache_dir),
+                "soy sauce, mirin, white rice",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+        assert "soy sauce" in out
+
+    def test_input_file_batch(self, cache_dir, tmp_path, capsys):
+        recipes = tmp_path / "recipes.json"
+        recipes.write_text(
+            json.dumps([["soy sauce", "mirin"], "butter, flour, sugar"]),
+            encoding="utf-8",
+        )
+        code = main(
+            [*ARGS, "classify", "--cache-dir", str(cache_dir), "--input", str(recipes)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("->") == 2
+
+    def test_no_recipes_is_clean_error(self, cache_dir, capsys):
+        code = main([*ARGS, "classify", "--cache-dir", str(cache_dir)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_input_file_is_clean_error(self, cache_dir, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main(
+            [*ARGS, "classify", "--cache-dir", str(cache_dir), "--input", str(bad)]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_arguments_fail_before_any_compute(self, tmp_path, capsys):
+        # A fresh cache dir: argument errors must not trigger the pipeline
+        # (which would also populate the cache as a side effect).
+        cache = tmp_path / "fresh-cache"
+        code = main([*ARGS, "classify", "--cache-dir", str(cache)])
+        assert code == 1
+        assert not cache.exists()

@@ -1,0 +1,179 @@
+"""Behavioural tests for the memoizing AnalysisService.
+
+Cache semantics under test: hit on an identical config, miss on a changed
+seed / support, mining-stage reuse for clustering-only changes, recovery from
+corrupt cache files, and correctness of served (decoded) results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.pipeline import CuisineClusteringPipeline
+from repro.serve import codec
+from repro.serve.service import ANALYSIS_KIND, AnalysisService
+from repro.serve.store import ArtifactStore
+
+CONFIG = AnalysisConfig(seed=11, scale=0.02, elbow_k_max=6)
+
+
+@pytest.fixture()
+def service(tmp_path) -> AnalysisService:
+    return AnalysisService(tmp_path / "cache")
+
+
+@pytest.fixture()
+def mining_calls(monkeypatch):
+    """Count FP-Growth passes without disturbing their behaviour."""
+    calls = []
+    original = CuisineClusteringPipeline.mine_patterns
+
+    def counting(self, database):
+        calls.append(self.config)
+        return original(self, database)
+
+    monkeypatch.setattr(CuisineClusteringPipeline, "mine_patterns", counting)
+    return calls
+
+
+class TestCacheHits:
+    def test_identical_config_hits_memory(self, service):
+        first = service.get_or_run(CONFIG)
+        second = service.get_or_run(CONFIG)
+        assert first.source == "computed"
+        assert second.source == "memory"
+        assert second.results == first.results
+        assert second.results is first.results  # served from the decoded cache
+
+    def test_fresh_service_hits_disk(self, service, tmp_path):
+        computed = service.get_or_run(CONFIG)
+        reloaded = AnalysisService(tmp_path / "cache").get_or_run(CONFIG)
+        assert reloaded.source == "disk"
+        assert reloaded.results == computed.results
+
+    def test_changed_seed_misses(self, service, mining_calls):
+        service.get_or_run(CONFIG)
+        changed = service.get_or_run(CONFIG.with_overrides(seed=12))
+        assert changed.source == "computed"
+        assert not changed.mining_reused
+        assert len(mining_calls) == 2
+
+    def test_changed_support_misses(self, service, mining_calls):
+        service.get_or_run(CONFIG)
+        changed = service.get_or_run(CONFIG.with_overrides(min_support=0.3))
+        assert changed.source == "computed"
+        assert not changed.mining_reused
+        assert len(mining_calls) == 2
+
+    def test_clustering_only_change_reuses_mining(self, service, mining_calls):
+        service.get_or_run(CONFIG)
+        changed = service.get_or_run(CONFIG.with_overrides(linkage_method="complete"))
+        assert changed.source == "computed"  # full analysis is a miss ...
+        assert changed.mining_reused  # ... but FP-Growth is not re-run
+        assert len(mining_calls) == 1
+        assert changed.results.fihc.run.method == "complete"
+        # Identical mining artifacts reached the new analysis.
+        base = service.get_or_run(CONFIG)
+        assert dict(changed.results.mining_results) == dict(base.results.mining_results)
+
+    def test_warm_accepts_single_and_many(self, service):
+        [only] = service.warm(CONFIG)
+        assert only.source == "computed"
+        served = service.warm([CONFIG, CONFIG.with_overrides(seed=12)])
+        assert [s.source for s in served] == ["memory", "computed"]
+
+
+class TestInvalidation:
+    def test_invalidate_forces_recompute(self, service, mining_calls):
+        service.get_or_run(CONFIG)
+        assert service.invalidate(CONFIG)
+        recomputed = service.get_or_run(CONFIG)
+        assert recomputed.source == "computed"
+        assert recomputed.mining_reused  # mining cache survives by default
+        assert len(mining_calls) == 1
+
+    def test_invalidate_with_mining_recomputes_everything(self, service, mining_calls):
+        service.get_or_run(CONFIG)
+        service.invalidate(CONFIG, mining=True)
+        recomputed = service.get_or_run(CONFIG)
+        assert recomputed.source == "computed"
+        assert not recomputed.mining_reused
+        assert len(mining_calls) == 2
+
+    def test_invalidate_missing_returns_false(self, service):
+        assert not service.invalidate(CONFIG)
+
+    def test_invalidate_from_another_handle_is_honoured(self, service, tmp_path):
+        service.get_or_run(CONFIG)
+        other = AnalysisService(tmp_path / "cache")
+        assert other.invalidate(CONFIG)
+        # The original handle must not serve its stale decoded copy.
+        recomputed = service.get_or_run(CONFIG)
+        assert recomputed.source == "computed"
+
+
+class TestCorruptRecovery:
+    def test_corrupt_analysis_file_recomputes(self, service, tmp_path):
+        computed = service.get_or_run(CONFIG)
+        store = ArtifactStore(tmp_path / "cache")
+        key = codec.analysis_key(CONFIG)
+        store.path_for(ANALYSIS_KIND, key).write_text("{corrupt", encoding="utf-8")
+        fresh = AnalysisService(tmp_path / "cache")
+        recovered = fresh.get_or_run(CONFIG)
+        assert recovered.source == "computed"
+        assert recovered.results == computed.results
+
+    def test_stale_schema_recomputes(self, service, tmp_path):
+        service.get_or_run(CONFIG)
+        key = codec.analysis_key(CONFIG)
+        store = ArtifactStore(tmp_path / "cache")
+        payload = store.get(ANALYSIS_KIND, key)
+        payload = dict(payload)
+        payload["schema_version"] = 999
+        store.put(ANALYSIS_KIND, key, payload)
+        fresh = AnalysisService(tmp_path / "cache")
+        assert fresh.get_or_run(CONFIG).source == "computed"
+
+
+class TestServedResults:
+    def test_served_equals_direct_pipeline_run(self, service):
+        served = service.get_or_run(CONFIG)
+        direct = CuisineClusteringPipeline(CONFIG).run()
+        assert served.results == direct
+
+    def test_disk_loaded_results_fully_usable(self, service, tmp_path):
+        service.get_or_run(CONFIG)
+        reloaded = AnalysisService(tmp_path / "cache").get_or_run(CONFIG).results
+        # Exercise the artifact behaviours, not just equality.
+        assert reloaded.run_for("figure2").flat_clusters(3)
+        assert reloaded.best_geography_match()[1].bakers_gamma == pytest.approx(
+            reloaded.best_geography_match()[1].bakers_gamma
+        )
+        assert reloaded.summary()["n_regions"] == reloaded.corpus_stats.n_regions
+
+    def test_explicit_database_bypasses_cache(self, service, full_corpus):
+        served = service.get_or_run(CONFIG, database=full_corpus)
+        assert served.source == "computed"
+        assert service.cached_keys() == []
+
+    def test_cached_keys_lists_persisted_analyses(self, service):
+        assert service.cached_keys() == []
+        service.get_or_run(CONFIG)
+        service.get_or_run(CONFIG.with_overrides(seed=12))
+        assert len(service.cached_keys()) == 2
+        assert codec.analysis_key(CONFIG) in service.cached_keys()
+
+    def test_zero_memory_capacity_always_serves_from_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache", max_memory_entries=0)
+        service = AnalysisService(store)
+        assert service.get_or_run(CONFIG).source == "computed"
+        assert service.get_or_run(CONFIG).source == "disk"
+        assert service.stats()["memory_hits"] == 0
+
+    def test_stats_report_traffic(self, service):
+        service.get_or_run(CONFIG)
+        service.get_or_run(CONFIG)
+        stats = service.stats()
+        assert stats["writes"] == 2  # analysis + mining artifacts
+        assert stats["memory_hits"] >= 1

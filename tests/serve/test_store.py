@@ -1,0 +1,139 @@
+"""Unit tests for the disk-backed artifact store and its LRU front."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.store import ArtifactStore
+
+KEY_A = "a" * 8
+KEY_B = "b" * 8
+KEY_C = "c" * 8
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "cache", max_memory_entries=2)
+
+
+class TestBasicOperations:
+    def test_miss_returns_none(self, store):
+        assert store.get("analysis", KEY_A) is None
+        assert store.stats.misses == 1
+
+    def test_put_then_get_hits_memory(self, store):
+        store.put("analysis", KEY_A, {"value": 1})
+        assert store.get("analysis", KEY_A) == {"value": 1}
+        assert store.stats.memory_hits == 1
+        assert store.stats.disk_hits == 0
+
+    def test_disk_hit_after_memory_eviction(self, store):
+        store.put("analysis", KEY_A, {"value": 1})
+        store.clear_memory()
+        assert store.get("analysis", KEY_A) == {"value": 1}
+        assert store.stats.disk_hits == 1
+
+    def test_kinds_are_namespaced(self, store):
+        store.put("analysis", KEY_A, {"kind": "analysis"})
+        store.put("mining", KEY_A, {"kind": "mining"})
+        assert store.get("analysis", KEY_A) == {"kind": "analysis"}
+        assert store.get("mining", KEY_A) == {"kind": "mining"}
+        assert store.keys("analysis") == [KEY_A]
+        assert store.keys("mining") == [KEY_A]
+
+    def test_contains_and_delete(self, store):
+        assert not store.contains("analysis", KEY_A)
+        store.put("analysis", KEY_A, {})
+        assert store.contains("analysis", KEY_A)
+        assert store.delete("analysis", KEY_A)
+        assert not store.contains("analysis", KEY_A)
+        assert not store.delete("analysis", KEY_A)
+
+    def test_keys_empty_without_directory(self, tmp_path):
+        assert ArtifactStore(tmp_path / "never-created").keys("analysis") == []
+
+    def test_invalid_kind_and_key_rejected(self, store):
+        with pytest.raises(ServeError):
+            store.path_for("", KEY_A)
+        with pytest.raises(ServeError):
+            store.path_for("kind/../../escape", KEY_A)
+        with pytest.raises(ServeError):
+            store.path_for("analysis", "NOT-HEX")
+
+    def test_writes_are_canonical_json(self, store):
+        path = store.put("analysis", KEY_A, {"b": 1, "a": 2})
+        assert path.read_text(encoding="utf-8") == '{"a":2,"b":1}'
+
+
+class TestLRU:
+    def test_capacity_evicts_oldest(self, store):
+        store.put("analysis", KEY_A, {"v": "a"})
+        store.put("analysis", KEY_B, {"v": "b"})
+        store.put("analysis", KEY_C, {"v": "c"})  # evicts A from memory
+        store.get("analysis", KEY_A)
+        assert store.stats.disk_hits == 1  # A had to come from disk
+        store.get("analysis", KEY_C)
+        assert store.stats.memory_hits == 1
+
+    def test_access_refreshes_recency(self, store):
+        store.put("analysis", KEY_A, {"v": "a"})
+        store.put("analysis", KEY_B, {"v": "b"})
+        store.get("analysis", KEY_A)  # A becomes most recent
+        store.put("analysis", KEY_C, {"v": "c"})  # evicts B, not A
+        store.get("analysis", KEY_A)
+        assert store.stats.memory_hits == 2
+        store.get("analysis", KEY_B)
+        assert store.stats.disk_hits == 1
+
+    def test_zero_capacity_disables_memory(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_memory_entries=0)
+        store.put("analysis", KEY_A, {"v": 1})
+        assert store.get("analysis", KEY_A) == {"v": 1}
+        assert store.stats.memory_hits == 0
+        assert store.stats.disk_hits == 1
+
+
+class TestCorruptRecovery:
+    def test_truncated_file_is_a_miss(self, store):
+        store.put("analysis", KEY_A, {"v": 1})
+        store.clear_memory()
+        path = store.path_for("analysis", KEY_A)
+        path.write_text('{"v": 1', encoding="utf-8")  # truncated JSON
+        assert store.get("analysis", KEY_A) is None
+        assert store.stats.corrupt_recovered == 1
+
+    def test_corrupt_file_is_quarantined_and_slot_rewritable(self, store):
+        store.put("analysis", KEY_A, {"v": 1})
+        store.clear_memory()
+        path = store.path_for("analysis", KEY_A)
+        path.write_text("not json at all", encoding="utf-8")
+        assert store.get("analysis", KEY_A) is None
+        assert not path.exists()
+        assert path.with_suffix(".json.corrupt").exists()
+        store.put("analysis", KEY_A, {"v": 2})
+        store.clear_memory()
+        assert store.get("analysis", KEY_A) == {"v": 2}
+
+    def test_non_object_root_is_a_miss(self, store):
+        store.put("analysis", KEY_A, {"v": 1})
+        store.clear_memory()
+        store.path_for("analysis", KEY_A).write_text(json.dumps([1, 2]), encoding="utf-8")
+        assert store.get("analysis", KEY_A) is None
+        assert store.stats.corrupt_recovered == 1
+
+    def test_memory_layer_shields_corrupt_disk(self, store):
+        store.put("analysis", KEY_A, {"v": 1})
+        store.path_for("analysis", KEY_A).write_text("garbage", encoding="utf-8")
+        # Still in memory, so the corrupt disk copy is never read.
+        assert store.get("analysis", KEY_A) == {"v": 1}
+
+    def test_external_delete_invalidates_memory_layer(self, store, tmp_path):
+        store.put("analysis", KEY_A, {"v": 1})
+        # Another handle over the same directory deletes the artifact.
+        other = ArtifactStore(tmp_path / "cache")
+        assert other.delete("analysis", KEY_A)
+        assert store.get("analysis", KEY_A) is None
+        assert store.stats.misses == 1
