@@ -1,0 +1,32 @@
+"""Shared emitter for the compute-core benchmark report (``BENCH_core.json``).
+
+The mining and linkage benchmarks both record their measured timings and
+speedups here; each call merges one section into the JSON document at the
+repository root so a partial run still leaves a valid report.  CI uploads
+the file as a build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def record(section: str, payload: dict) -> None:
+    """Merge one benchmark section into ``BENCH_core.json``."""
+    document: dict = {}
+    if REPORT_PATH.exists():
+        try:
+            document = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document.setdefault("python", platform.python_version())
+    document[section] = payload
+    REPORT_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -10,6 +10,8 @@ Subcommands:
   emits the summary dict as JSON on stdout instead);
 * ``figures`` -- print one figure artefact (elbow series or ASCII dendrogram);
 * ``serve-warm`` -- populate the serve cache for the given config;
+* ``serve-stats`` -- print serve-cache statistics (persisted artifacts plus
+  the store's traffic counters);
 * ``query`` -- read-path queries against a cached analysis (nearest cuisines,
   pattern search, authenticity profiles, cuisine cards);
 * ``classify`` -- classify ingredient lists against the cached cuisines.
@@ -114,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-warm", help="populate the serve cache for this config"
     )
     add_cache_dir(warm)
+
+    stats = subparsers.add_parser(
+        "serve-stats", help="print serve-cache statistics (artifacts + traffic)"
+    )
+    add_cache_dir(stats)
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the statistics as JSON on stdout (machine-readable)",
+    )
 
     query = subparsers.add_parser(
         "query", help="read-path queries against the cached analysis"
@@ -302,6 +314,45 @@ def _command_serve_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_stats(args: argparse.Namespace) -> int:
+    from repro.serve.service import ANALYSIS_KIND, MINING_INDEX_KIND, MINING_KIND
+
+    service = _service_for(args)
+    store = service.store
+    artifacts = {
+        "analyses": len(store.keys(ANALYSIS_KIND)),
+        "mining_runs": len(store.keys(MINING_KIND)),
+        "mining_indexes": len(store.keys(MINING_INDEX_KIND)),
+        "corpora": len(service.corpus_files()),
+    }
+    payload = {
+        "cache_dir": str(store.root),
+        "max_memory_entries": store.max_memory_entries,
+        "artifacts": artifacts,
+        "counters": service.stats(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"serve cache at {store.root} (memory capacity {store.max_memory_entries})")
+    print(
+        format_table(
+            [{"artifact": name, "count": count} for name, count in artifacts.items()],
+            ["artifact", "count"],
+            title="Persisted artifacts",
+        )
+    )
+    print()
+    print(
+        format_table(
+            [{"counter": name, "value": value} for name, value in service.stats().items()],
+            ["counter", "value"],
+            title="Store traffic (this process)",
+        )
+    )
+    return 0
+
+
 def _command_query(args: argparse.Namespace) -> int:
     service = _service_for(args)
     served = _serve_analysis(args, service)
@@ -408,6 +459,7 @@ _COMMANDS = {
     "analyze": _command_analyze,
     "figures": _command_figures,
     "serve-warm": _command_serve_warm,
+    "serve-stats": _command_serve_stats,
     "query": _command_query,
     "classify": _command_classify,
 }

@@ -79,19 +79,41 @@ class CuisineClusteringPipeline:
 
     # -- stage 2: mining -------------------------------------------------------------
 
-    def mine_patterns(self, database: RecipeDatabase) -> dict[str, MiningResult]:
-        """Mine frequent patterns per cuisine with FP-Growth."""
+    def mine_patterns(
+        self,
+        database: RecipeDatabase,
+        transactions: Mapping[str, TransactionDatabase] | None = None,
+    ) -> dict[str, MiningResult]:
+        """Mine frequent patterns per cuisine with FP-Growth.
+
+        *transactions* optionally supplies pre-built per-region transaction
+        databases (e.g. from :meth:`build_transactions`); passing the same
+        mapping across several ``min_support`` runs lets every run share the
+        compiled :class:`~repro.mining.bitmatrix.TransactionMatrix` each
+        database memoizes.
+        """
+        if transactions is None:
+            transactions = self.build_transactions(database)
         miner = FPGrowthMiner(
             min_support=self.config.min_support,
             max_length=self.config.max_pattern_length,
         )
         results: dict[str, MiningResult] = {}
         for region in database.region_names():
-            transactions = TransactionDatabase(database.transactions_for_region(region))
-            if len(transactions) == 0:
+            regional = transactions.get(region)
+            if regional is None or len(regional) == 0:
                 raise PipelineError(f"region {region!r} has no recipes to mine")
-            results[region] = miner.mine(transactions)
+            results[region] = miner.mine(regional)
         return results
+
+    def build_transactions(
+        self, database: RecipeDatabase
+    ) -> dict[str, TransactionDatabase]:
+        """Per-region transaction databases (each memoizes its bit matrix)."""
+        return {
+            region: TransactionDatabase(database.transactions_for_region(region))
+            for region in database.region_names()
+        }
 
     def build_table1(
         self, database: RecipeDatabase, mining_results: Mapping[str, MiningResult]

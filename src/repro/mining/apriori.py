@@ -12,6 +12,17 @@ The implementation is the classic level-wise algorithm:
    a (k-2)-prefix, prune candidates with an infrequent subset;
 3. count candidates in one pass over the transactions; repeat until no
    candidates survive.
+
+Two counting engines are available.  The default ``"bitset"`` engine runs
+step 3 over the database's compiled
+:class:`~repro.mining.bitmatrix.TransactionMatrix`: every candidate level is
+one gather + ``bitwise_and.reduce`` + popcount over packed tid-bitsets, so
+numpy does the counting instead of a Python pass over every transaction.  The
+``"python"`` engine keeps the historical frozenset scan; it exists as the
+benchmark baseline and as the reference semantics for the parity tests.
+Both engines produce identical :class:`MiningResult` objects -- candidate
+generation walks integer item ids in sorted-vocabulary order, which is the
+same lexicographic order the string implementation used.
 """
 
 from __future__ import annotations
@@ -24,17 +35,28 @@ from repro.mining.itemsets import MiningResult, Pattern, TransactionDatabase
 
 __all__ = ["AprioriMiner", "apriori"]
 
+_ENGINES = ("bitset", "python")
+
 
 class AprioriMiner:
     """Level-wise Apriori miner with prefix-join candidate generation."""
 
-    def __init__(self, min_support: float = 0.2, max_length: int | None = 4) -> None:
+    def __init__(
+        self,
+        min_support: float = 0.2,
+        max_length: int | None = 4,
+        *,
+        engine: str = "bitset",
+    ) -> None:
         if not 0.0 < min_support <= 1.0:
             raise MiningError(f"min_support must be in (0, 1], got {min_support}")
         if max_length is not None and max_length < 1:
             raise MiningError("max_length must be at least 1 when provided")
+        if engine not in _ENGINES:
+            raise MiningError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self.min_support = min_support
         self.max_length = max_length
+        self.engine = engine
 
     def mine(self, transactions: TransactionDatabase | Iterable[Iterable[str]]) -> MiningResult:
         """Mine all frequent itemsets from *transactions*."""
@@ -49,8 +71,57 @@ class AprioriMiner:
                 [], n_transactions=0, min_support=self.min_support, algorithm="apriori"
             )
         min_count = database.minimum_count(self.min_support)
+        if self.engine == "bitset":
+            all_frequent = self._mine_bitset(database, min_count)
+        else:
+            all_frequent = self._mine_python(database, min_count)
 
-        # L1
+        patterns = [
+            Pattern(items=items, support=count / n, absolute_support=count)
+            for items, count in all_frequent.items()
+        ]
+        return MiningResult(
+            patterns, n_transactions=n, min_support=self.min_support, algorithm="apriori"
+        )
+
+    # -- bitset engine ---------------------------------------------------------------
+
+    def _mine_bitset(
+        self, database: TransactionDatabase, min_count: int
+    ) -> dict[frozenset[str], int]:
+        """Level-wise mining with numpy popcount counting over packed rows."""
+        matrix = database.matrix()
+        supports = matrix.item_supports
+        current_level: dict[tuple[int, ...], int] = {
+            (int(item_id),): int(supports[item_id])
+            for item_id in matrix.frequent_item_ids(min_count)
+        }
+        all_frequent: dict[tuple[int, ...], int] = dict(current_level)
+
+        k = 2
+        while current_level and (self.max_length is None or k <= self.max_length):
+            candidates = self._generate_candidates(set(current_level), k)
+            if not candidates:
+                break
+            ordered = sorted(candidates)
+            counts = matrix.counts_of_candidates(ordered)
+            current_level = {
+                candidate: int(count)
+                for candidate, count in zip(ordered, counts.tolist())
+                if count >= min_count
+            }
+            all_frequent.update(current_level)
+            k += 1
+        return {
+            matrix.items_of(ids): count for ids, count in all_frequent.items()
+        }
+
+    # -- python engine (reference semantics / benchmark baseline) --------------------
+
+    def _mine_python(
+        self, database: TransactionDatabase, min_count: int
+    ) -> dict[frozenset[str], int]:
+        """The historical per-transaction frozenset scan."""
         item_counts = database.item_counts()
         current_level: dict[frozenset[str], int] = {
             frozenset([item]): count
@@ -61,47 +132,45 @@ class AprioriMiner:
 
         k = 2
         while current_level and (self.max_length is None or k <= self.max_length):
-            candidates = self._generate_candidates(set(current_level), k)
+            candidates = self._generate_candidates(
+                {tuple(sorted(s)) for s in current_level}, k
+            )
             if not candidates:
                 break
-            counts = self._count_candidates(database, candidates)
+            counts = self._count_candidates(database, {frozenset(c) for c in candidates})
             current_level = {
                 itemset: count for itemset, count in counts.items() if count >= min_count
             }
             all_frequent.update(current_level)
             k += 1
-
-        patterns = [
-            Pattern(items=items, support=count / n, absolute_support=count)
-            for items, count in all_frequent.items()
-        ]
-        return MiningResult(
-            patterns, n_transactions=n, min_support=self.min_support, algorithm="apriori"
-        )
+        return all_frequent
 
     # -- internals ----------------------------------------------------------------
 
     @staticmethod
     def _generate_candidates(
-        previous_level: set[frozenset[str]], k: int
-    ) -> set[frozenset[str]]:
-        """Join frequent (k-1)-itemsets sharing a (k-2)-prefix, then prune."""
-        sorted_itemsets = sorted(tuple(sorted(s)) for s in previous_level)
-        candidates: set[frozenset[str]] = set()
+        previous_level: set[tuple], k: int
+    ) -> set[tuple]:
+        """Join frequent (k-1)-tuples sharing a (k-2)-prefix, then prune.
+
+        Works identically over sorted item-name tuples and sorted item-id
+        tuples: integer ids are assigned in sorted vocabulary order, so both
+        orderings coincide and the two engines generate the same candidates.
+        """
+        sorted_itemsets = sorted(previous_level)
+        previous = set(sorted_itemsets)
+        candidates: set[tuple] = set()
         for i, left in enumerate(sorted_itemsets):
             for right in sorted_itemsets[i + 1 :]:
                 if left[: k - 2] != right[: k - 2]:
                     # The join prefix no longer matches; later itemsets cannot
                     # match either because the list is sorted.
                     break
-                union = frozenset(left) | frozenset(right)
+                union = tuple(sorted(set(left) | set(right)))
                 if len(union) != k:
                     continue
                 # Apriori pruning: every (k-1)-subset must be frequent.
-                if all(
-                    frozenset(subset) in previous_level
-                    for subset in combinations(sorted(union), k - 1)
-                ):
+                if all(subset in previous for subset in combinations(union, k - 1)):
                     candidates.add(union)
         return candidates
 
@@ -122,6 +191,10 @@ def apriori(
     transactions: TransactionDatabase | Iterable[Iterable[str]],
     min_support: float = 0.2,
     max_length: int | None = 4,
+    *,
+    engine: str = "bitset",
 ) -> MiningResult:
     """Functional convenience wrapper around :class:`AprioriMiner`."""
-    return AprioriMiner(min_support=min_support, max_length=max_length).mine(transactions)
+    return AprioriMiner(
+        min_support=min_support, max_length=max_length, engine=engine
+    ).mine(transactions)

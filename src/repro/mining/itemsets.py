@@ -14,12 +14,25 @@ This module provides:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import MiningError
 
-__all__ = ["TransactionDatabase", "Pattern", "MiningResult"]
+__all__ = ["minimum_support_count", "TransactionDatabase", "Pattern", "MiningResult"]
+
+
+def minimum_support_count(min_support: float, n_transactions: int) -> int:
+    """Convert a relative support threshold to an absolute count (≥ 1).
+
+    The single source of the miners' threshold rule; the serve layer's
+    incremental re-thresholding must apply exactly the same rounding to stay
+    indistinguishable from a fresh mine.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    return max(1, math.ceil(min_support * n_transactions))
 
 
 class TransactionDatabase:
@@ -33,6 +46,7 @@ class TransactionDatabase:
                 continue  # empty transactions carry no information for mining
             materialised.append(items)
         self._transactions: tuple[frozenset[str], ...] = tuple(materialised)
+        self._matrix = None  # compiled TransactionMatrix, built on first use
 
     # -- container protocol -----------------------------------------------------
 
@@ -56,6 +70,21 @@ class TransactionDatabase:
     @property
     def transactions(self) -> tuple[frozenset[str], ...]:
         return self._transactions
+
+    # -- compiled engine --------------------------------------------------------------
+
+    def matrix(self):
+        """The compiled :class:`~repro.mining.bitmatrix.TransactionMatrix`.
+
+        Compiled lazily on first use and memoized, so every miner (and every
+        ``min_support`` sweep entry in the serve layer) shares one packed
+        bitset engine per database instance.
+        """
+        if self._matrix is None:
+            from repro.mining.bitmatrix import TransactionMatrix
+
+            self._matrix = TransactionMatrix(self._transactions)
+        return self._matrix
 
     # -- support utilities ----------------------------------------------------------
 
@@ -89,11 +118,7 @@ class TransactionDatabase:
 
     def minimum_count(self, min_support: float) -> int:
         """Convert a relative support threshold to an absolute count (≥ 1)."""
-        if not 0.0 < min_support <= 1.0:
-            raise MiningError(f"min_support must be in (0, 1], got {min_support}")
-        import math
-
-        return max(1, math.ceil(min_support * len(self._transactions)))
+        return minimum_support_count(min_support, len(self._transactions))
 
     @classmethod
     def from_recipes(cls, recipes: Iterable[object]) -> "TransactionDatabase":

@@ -74,15 +74,21 @@ def load_json(path: str | Path) -> RecipeDatabase:
         raise SerializationError(
             f"unsupported database format version {version!r}; expected {FORMAT_VERSION}"
         )
-    regions = [
-        Region(str(entry["name"]), continent=str(entry.get("continent", "unknown")))
-        for entry in payload.get("regions", [])
-    ]
+    try:
+        regions = [
+            Region(str(entry["name"]), continent=str(entry.get("continent", "unknown")))
+            for entry in payload.get("regions", [])
+        ]
+    except (TypeError, AttributeError, KeyError, ValidationError) as exc:
+        raise SerializationError(f"malformed region entry in {source}: {exc}") from exc
     try:
         recipes = [Recipe.from_dict(entry) for entry in payload.get("recipes", [])]
     except (TypeError, KeyError, ValidationError) as exc:
         raise SerializationError(f"malformed recipe entry in {source}: {exc}") from exc
-    return RecipeDatabase.from_recipes(recipes, regions=regions)
+    try:
+        return RecipeDatabase.from_recipes(recipes, regions=regions)
+    except ValidationError as exc:
+        raise SerializationError(f"inconsistent database in {source}: {exc}") from exc
 
 
 def save_jsonl(

@@ -41,11 +41,15 @@ from repro.recipedb.stats import CorpusStatistics
 __all__ = [
     "SCHEMA_VERSION",
     "MINING_CONFIG_FIELDS",
+    "CORPUS_CONFIG_FIELDS",
+    "MINING_GROUP_FIELDS",
     "dumps",
     "loads",
     "config_key",
     "analysis_key",
     "mining_key",
+    "corpus_key",
+    "mining_group_key",
     "results_to_dict",
     "results_from_dict",
     "mining_to_dict",
@@ -58,6 +62,16 @@ SCHEMA_VERSION = 1
 #: later stages tune (linkage, elbow range, fingerprint size, ...) is absent,
 #: so two configs differing only in clustering parameters share a mining key.
 MINING_CONFIG_FIELDS = ("seed", "scale", "min_support", "max_pattern_length")
+
+#: The config fields the synthetic corpus depends on; every ``min_support``
+#: sweep entry over one corpus shares this key (and hence the persisted
+#: corpus and its compiled transaction matrices).
+CORPUS_CONFIG_FIELDS = ("seed", "scale")
+
+#: The fields a *family* of mining runs shares when only ``min_support``
+#: varies.  Runs in one family index into the same downward-closure group:
+#: a cached run at a lower support is a superset of any higher-support run.
+MINING_GROUP_FIELDS = ("seed", "scale", "max_pattern_length")
 
 
 # -- canonical JSON ------------------------------------------------------------------
@@ -103,6 +117,16 @@ def analysis_key(config: AnalysisConfig) -> str:
 def mining_key(config: AnalysisConfig) -> str:
     """Cache key of the corpus + mining stages (clustering fields ignored)."""
     return config_key(config, MINING_CONFIG_FIELDS)
+
+
+def corpus_key(config: AnalysisConfig) -> str:
+    """Cache key of the synthetic corpus (seed + scale only)."""
+    return config_key(config, CORPUS_CONFIG_FIELDS)
+
+
+def mining_group_key(config: AnalysisConfig) -> str:
+    """Key of the mining family whose members differ only in ``min_support``."""
+    return config_key(config, MINING_GROUP_FIELDS)
 
 
 # -- mining results --------------------------------------------------------------------

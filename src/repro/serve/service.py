@@ -8,11 +8,22 @@ with a three-level read path::
         2. disk artifact store  (milliseconds -- one JSON parse)
         3. recompute            (seconds -- the full eight-stage pipeline)
 
-Caching is stage-aware: the corpus + mining stages only depend on
-``(seed, scale, min_support, max_pattern_length)``, so a config change that
-only touches clustering parameters (linkage method, elbow range, fingerprint
-size, ...) reuses the cached mining results and skips FP-Growth, the most
-expensive stage.
+Caching is stage-aware, and the compute path itself is staged:
+
+* **corpus stage** -- the synthetic corpus depends only on ``(seed, scale)``;
+  it is persisted through :mod:`repro.recipedb.io_json` next to the artifact
+  store and kept in a small in-memory LRU together with its per-region
+  transaction databases, so every ``min_support`` sweep entry reuses the same
+  corpus *and* the same compiled
+  :class:`~repro.mining.bitmatrix.TransactionMatrix` bitsets;
+* **mining stage** -- keyed by ``(seed, scale, min_support,
+  max_pattern_length)``; a clustering-only config change reuses it outright.
+  When only ``min_support`` *rises*, downward closure makes any cached run at
+  a lower support a superset of the requested one, so the service filters
+  that superset by the new support count instead of re-running the miner
+  (the ``mining_incremental`` flag records this);
+* **clustering + validation stages** -- always recomputed on an analysis
+  miss (they are cheap relative to mining).
 
 The service records where every answer came from (``memory`` / ``disk`` /
 ``computed``) so callers, benchmarks and the CLI can report cache
@@ -29,8 +40,10 @@ from typing import Iterable
 from repro.core.config import AnalysisConfig, DEFAULT_CONFIG
 from repro.core.pipeline import CuisineClusteringPipeline
 from repro.core.results import AnalysisResults
-from repro.errors import ServeError
+from repro.errors import SerializationError, ServeError
+from repro.mining.itemsets import MiningResult, TransactionDatabase, minimum_support_count
 from repro.recipedb.database import RecipeDatabase
+from repro.recipedb.io_json import load_json, save_json
 from repro.recipedb.stats import corpus_statistics
 from repro.serve import codec
 from repro.serve.store import ArtifactStore
@@ -39,6 +52,10 @@ __all__ = ["ServedAnalysis", "AnalysisService"]
 
 ANALYSIS_KIND = "analysis"
 MINING_KIND = "mining"
+MINING_INDEX_KIND = "miningindex"
+CORPUS_FILE_PREFIX = "corpus-"
+
+_CORPUS_MEMORY_LIMIT = 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +67,7 @@ class ServedAnalysis:
     key: str
     elapsed_seconds: float
     mining_reused: bool = False
+    mining_incremental: bool = False
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -57,6 +75,7 @@ class ServedAnalysis:
             "key": self.key,
             "elapsed_seconds": self.elapsed_seconds,
             "mining_reused": self.mining_reused,
+            "mining_incremental": self.mining_incremental,
         }
 
 
@@ -77,6 +96,11 @@ class AnalysisService:
             store = ArtifactStore(Path(store), max_memory_entries=max_memory_entries)
         self.store = store
         self._decoded: dict[str, AnalysisResults] = {}
+        # Corpus stage cache: corpus key -> (RecipeDatabase, per-region
+        # TransactionDatabase map).  The transaction databases memoize their
+        # compiled bit matrices, so a min_support sweep compiles each region
+        # exactly once.
+        self._corpora: dict[str, tuple[RecipeDatabase, dict[str, TransactionDatabase]]] = {}
 
     # -- read path --------------------------------------------------------------------
 
@@ -136,7 +160,7 @@ class AnalysisService:
                     elapsed_seconds=time.perf_counter() - started,
                 )
 
-        results, mining_reused = self._compute(config)
+        results, mining_reused, mining_incremental = self._compute(config)
         self.store.put(ANALYSIS_KIND, key, codec.results_to_dict(results))
         self._remember_decoded(key, results)
         return ServedAnalysis(
@@ -145,6 +169,7 @@ class AnalysisService:
             key=key,
             elapsed_seconds=time.perf_counter() - started,
             mining_reused=mining_reused,
+            mining_incremental=mining_incremental,
         )
 
     def warm(self, configs: Iterable[AnalysisConfig] | AnalysisConfig) -> list[ServedAnalysis]:
@@ -159,7 +184,15 @@ class AnalysisService:
         self._decoded.pop(key, None)
         removed = self.store.delete(ANALYSIS_KIND, key)
         if mining:
-            removed = self.store.delete(MINING_KIND, codec.mining_key(config)) or removed
+            mining_key = codec.mining_key(config)
+            removed = self.store.delete(MINING_KIND, mining_key) or removed
+            # Keep the family index in sync so the incremental fast path
+            # never walks a dangling entry.
+            group_key = codec.mining_group_key(config)
+            index = self._mining_index(group_key)
+            if mining_key in index:
+                index.pop(mining_key)
+                self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
         return removed
 
     def cached_keys(self) -> list[str]:
@@ -167,7 +200,7 @@ class AnalysisService:
         return self.store.keys(ANALYSIS_KIND)
 
     def stats(self) -> dict[str, int]:
-        """Store traffic counters (memory/disk hits, misses, writes)."""
+        """Store traffic counters (memory/disk hits, misses, writes, evictions)."""
         return self.store.stats.to_dict()
 
     def _remember_decoded(self, key: str, results: AnalysisResults) -> None:
@@ -184,23 +217,157 @@ class AnalysisService:
         while len(self._decoded) > limit:
             self._decoded.pop(next(iter(self._decoded)))
 
+    # -- corpus stage -----------------------------------------------------------------
+
+    def corpus_path(self, config: AnalysisConfig) -> Path:
+        """On-disk location of the persisted corpus for *config*'s seed/scale."""
+        return self.store.root / f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}.json"
+
+    def corpus_files(self) -> list[Path]:
+        """Every corpus file currently persisted next to the artifact store."""
+        if not self.store.root.is_dir():
+            return []
+        return sorted(self.store.root.glob(f"{CORPUS_FILE_PREFIX}*.json"))
+
+    def _corpus_and_transactions(
+        self, config: AnalysisConfig, pipeline: CuisineClusteringPipeline
+    ) -> tuple[RecipeDatabase, dict[str, TransactionDatabase]]:
+        """The corpus for *config* plus its shared transaction databases.
+
+        Memory first, then the ``io_json`` file next to the artifact store,
+        then regeneration (which persists the corpus for the next miss).
+        """
+        key = codec.corpus_key(config)
+        cached = self._corpora.get(key)
+        if cached is not None:
+            return cached
+
+        corpus: RecipeDatabase | None = None
+        path = self.corpus_path(config)
+        if path.exists():
+            try:
+                corpus = load_json(path)
+            except SerializationError:
+                corpus = None  # truncated / hand-edited file: regenerate
+        if corpus is None:
+            corpus = pipeline.build_corpus()
+            self.store.root.mkdir(parents=True, exist_ok=True)
+            save_json(corpus, path)
+
+        transactions = pipeline.build_transactions(corpus)
+        self._corpora[key] = (corpus, transactions)
+        while len(self._corpora) > _CORPUS_MEMORY_LIMIT:
+            self._corpora.pop(next(iter(self._corpora)))
+        return corpus, transactions
+
+    # -- mining stage -----------------------------------------------------------------
+
+    def _mining_index(self, group_key: str) -> dict[str, float]:
+        """The ``mining key -> min_support`` index of one mining family."""
+        payload = self.store.get(MINING_INDEX_KIND, group_key)
+        if payload is None:
+            return {}
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return {}
+        index: dict[str, float] = {}
+        for mining_key, min_support in entries.items():
+            try:
+                index[str(mining_key)] = float(min_support)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+        return index
+
+    def _register_mining(self, config: AnalysisConfig, mining_key: str) -> None:
+        """Record a persisted mining run in its family index."""
+        group_key = codec.mining_group_key(config)
+        index = self._mining_index(group_key)
+        index[mining_key] = config.min_support
+        self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
+
+    def _incremental_mining(
+        self, config: AnalysisConfig
+    ) -> dict[str, MiningResult] | None:
+        """Derive the mining results for *config* from a cached lower-support run.
+
+        Downward closure: every itemset frequent at ``min_support`` is also
+        frequent at any lower threshold, so a cached run of the same family
+        (same seed/scale/max length) at ``min_support' <= min_support`` is a
+        superset -- filtering it by the new absolute count is exactly what
+        the miner would return.  Prefers the tightest (largest) cached
+        support to minimise filtering work; returns ``None`` when no usable
+        superset exists.
+        """
+        group_key = codec.mining_group_key(config)
+        index = self._mining_index(group_key)
+        candidates = sorted(
+            (
+                (min_support, mining_key)
+                for mining_key, min_support in index.items()
+                if min_support <= config.min_support
+            ),
+            key=lambda entry: -entry[0],
+        )
+        dangling: list[str] = []
+        chosen: dict[str, MiningResult] | None = None
+        for min_support, mining_key in candidates:
+            payload = self.store.get(MINING_KIND, mining_key)
+            if payload is None:
+                dangling.append(mining_key)
+                continue
+            try:
+                superset = codec.mining_from_dict(payload)
+            except ServeError:
+                self.store.delete(MINING_KIND, mining_key)
+                dangling.append(mining_key)
+                continue
+            chosen = {
+                region: self._filter_by_support(result, config.min_support)
+                for region, result in superset.items()
+            }
+            break
+        if dangling:
+            # Prune entries whose artifacts are gone (deleted or corrupt) so
+            # later lookups stop paying a store miss per stale key.
+            for mining_key in dangling:
+                index.pop(mining_key, None)
+            self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
+        return chosen
+
+    @staticmethod
+    def _filter_by_support(result: MiningResult, min_support: float) -> MiningResult:
+        """Re-threshold a mining result at a higher support (exact semantics).
+
+        Keeps patterns whose absolute support meets the new per-region count
+        (``max(1, ceil(min_support * n))`` -- the same rule every miner
+        applies), producing a result equal to a fresh mine at *min_support*.
+        """
+        min_count = minimum_support_count(min_support, result.n_transactions)
+        return MiningResult(
+            (p for p in result.patterns if p.absolute_support >= min_count),
+            n_transactions=result.n_transactions,
+            min_support=min_support,
+            algorithm=result.algorithm,
+        )
+
     # -- compute path -----------------------------------------------------------------
 
-    def _compute(self, config: AnalysisConfig) -> tuple[AnalysisResults, bool]:
-        """Run the pipeline, reusing cached mining results when available.
+    def _compute(self, config: AnalysisConfig) -> tuple[AnalysisResults, bool, bool]:
+        """Run the pipeline, reusing every cached stage available.
 
-        Mirrors :meth:`CuisineClusteringPipeline.run` stage by stage; the
-        corpus is always regenerated (it is deterministic in seed/scale and
-        cheap relative to mining), while the FP-Growth pass is served from
-        the mining-stage cache when a compatible config already ran.
+        Mirrors :meth:`CuisineClusteringPipeline.run` stage by stage: the
+        corpus comes from the corpus cache (with its shared transaction
+        matrices), the mining stage from the mining cache, the incremental
+        filter, or a fresh FP-Growth pass -- in that order of preference.
         """
         pipeline = CuisineClusteringPipeline(config)
-        corpus = pipeline.build_corpus()
+        corpus, transactions = self._corpus_and_transactions(config, pipeline)
         if len(corpus.region_names()) < 2:
             raise ServeError("the corpus must contain at least two cuisines")
 
         mining_cache_key = codec.mining_key(config)
         mining_reused = False
+        mining_incremental = False
         mining_payload = self.store.get(MINING_KIND, mining_cache_key)
         mining_results = None
         if mining_payload is not None:
@@ -210,8 +377,17 @@ class AnalysisService:
             except ServeError:
                 self.store.delete(MINING_KIND, mining_cache_key)
         if mining_results is None:
-            mining_results = pipeline.mine_patterns(corpus)
-            self.store.put(MINING_KIND, mining_cache_key, codec.mining_to_dict(mining_results))
+            mining_results = self._incremental_mining(config)
+            if mining_results is not None:
+                mining_reused = True
+                mining_incremental = True
+        if mining_results is None:
+            mining_results = pipeline.mine_patterns(corpus, transactions)
+        if not mining_reused or mining_incremental:
+            self.store.put(
+                MINING_KIND, mining_cache_key, codec.mining_to_dict(mining_results)
+            )
+            self._register_mining(config, mining_cache_key)
 
         table1 = pipeline.build_table1(corpus, mining_results)
         pattern_features = pipeline.build_pattern_features(mining_results)
@@ -250,4 +426,4 @@ class AnalysisService:
             geography_validation=geography_validation,
             claim_checks=claim_checks,
         )
-        return results, mining_reused
+        return results, mining_reused, mining_incremental

@@ -39,6 +39,7 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     corrupt_recovered: int = 0
+    evictions: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -47,6 +48,7 @@ class StoreStats:
             "misses": self.misses,
             "writes": self.writes,
             "corrupt_recovered": self.corrupt_recovered,
+            "evictions": self.evictions,
         }
 
 
@@ -186,6 +188,7 @@ class ArtifactStore:
         self._memory.move_to_end(cache_key)
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
+            self.stats.evictions += 1
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt artifact aside so the slot can be rewritten."""

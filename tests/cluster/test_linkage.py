@@ -9,7 +9,7 @@ from scipy.cluster import hierarchy as scipy_hierarchy
 from scipy.spatial.distance import pdist as scipy_pdist, squareform
 
 from repro.errors import ClusteringError
-from repro.cluster.linkage import LINKAGE_METHODS, LinkageMatrix, linkage
+from repro.cluster.linkage import LINKAGE_METHODS, LinkageMatrix, linkage, linkage_naive
 from repro.distances.pdist import CondensedDistanceMatrix, pairwise_distances
 from repro.features.matrix import FeatureMatrix
 
@@ -105,4 +105,111 @@ class TestAgainstScipy:
         reference = scipy_hierarchy.linkage(scipy_pdist(points), method=method)
         np.testing.assert_allclose(
             np.sort(ours.heights), np.sort(reference[:, 2]), rtol=1e-8, atol=1e-10
+        )
+
+
+class TestChainMatchesNaive:
+    """The O(n²) chain implementation must be bit-identical to the greedy scan."""
+
+    @pytest.mark.parametrize("method", LINKAGE_METHODS)
+    def test_random_points_bit_identical(self, method):
+        rng = np.random.default_rng(99)
+        for n in (2, 3, 5, 9, 17, 33):
+            condensed = _condensed_from_points(rng.normal(size=(n, 3)))
+            fast = linkage(condensed, method=method)
+            reference = linkage_naive(condensed, method=method)
+            assert np.array_equal(fast.merges, reference.merges), (method, n)
+            assert fast == reference
+
+    @pytest.mark.parametrize("method", LINKAGE_METHODS)
+    def test_tied_distances_bit_identical(self, method):
+        """Exact ties (duplicate points, grids) keep the historical tie-breaks."""
+        cases = [
+            np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0], [5.0, 5.0], [9.0, 0.0]]),
+            np.array([[float(i), float(j)] for i in range(3) for j in range(3)]),
+            np.array([[float(i), float(j)] for i in range(4) for j in range(4)]),
+            np.zeros((6, 2)),
+            np.array([[float(i), 0.0] for i in range(8)]),
+        ]
+        for points in cases:
+            condensed = _condensed_from_points(points)
+            fast = linkage(condensed, method=method)
+            reference = linkage_naive(condensed, method=method)
+            assert np.array_equal(fast.merges, reference.merges), (
+                method,
+                points.shape,
+            )
+
+    @pytest.mark.parametrize("method", LINKAGE_METHODS)
+    def test_binary_features_bit_identical(self, method):
+        """Binary feature matrices (the pipeline's real inputs) tie heavily."""
+        rng = np.random.default_rng(3)
+        values = (rng.random(size=(18, 24)) < 0.25).astype(float)
+        features = FeatureMatrix(
+            tuple(f"r{i}" for i in range(18)),
+            tuple(f"c{j}" for j in range(24)),
+            values,
+        )
+        for metric in ("euclidean", "cosine", "jaccard"):
+            condensed = pairwise_distances(features, metric=metric)
+            fast = linkage(condensed, method=method)
+            reference = linkage_naive(condensed, method=method)
+            assert np.array_equal(fast.merges, reference.merges), (method, metric)
+
+    @pytest.mark.parametrize("method", LINKAGE_METHODS)
+    def test_near_tie_band_bit_identical(self, method):
+        """Distinct distances within the naive scan's 1e-15 tie band (e.g.
+        near-duplicate points) must keep its earliest-pair resolution."""
+        condensed = CondensedDistanceMatrix(
+            ("a", "b", "c"), np.array([1.0 + 2e-16, 2.700000001, 1.0])
+        )
+        assert np.array_equal(
+            linkage(condensed, method=method).merges,
+            linkage_naive(condensed, method=method).merges,
+        )
+
+    @pytest.mark.parametrize("method", LINKAGE_METHODS)
+    def test_quantized_distinct_distances_bit_identical(self, method):
+        """Distinct lattice distances can make *derived* heights collide
+        exactly mid-run; these inputs must route to the exact greedy path."""
+        # A condensed vector that historically produced a mid-run tie at
+        # height 5.25 under average/weighted linkage.
+        distances = np.array(
+            [2.75, 0.75, 7.75, 13.75, 6.0, 9.25, 3.25, 4.0,
+             3.0, 3.5, 9.75, 10.5, 5.25, 10.25, 6.5]
+        )
+        condensed = CondensedDistanceMatrix(
+            tuple(f"p{i}" for i in range(6)), distances
+        )
+        assert np.array_equal(
+            linkage(condensed, method=method).merges,
+            linkage_naive(condensed, method=method).merges,
+        )
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            n = int(rng.integers(3, 10))
+            values = rng.choice(
+                np.arange(1, 80), size=n * (n - 1) // 2, replace=False
+            ) * 0.25
+            condensed = CondensedDistanceMatrix(
+                tuple(f"p{i}" for i in range(n)), values.astype(float)
+            )
+            assert np.array_equal(
+                linkage(condensed, method=method).merges,
+                linkage_naive(condensed, method=method).merges,
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(2, 14),
+        st.sampled_from(LINKAGE_METHODS),
+    )
+    def test_property_bit_identical(self, seed, n_points, method):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n_points, 3))
+        condensed = _condensed_from_points(points)
+        assert np.array_equal(
+            linkage(condensed, method=method).merges,
+            linkage_naive(condensed, method=method).merges,
         )

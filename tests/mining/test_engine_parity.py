@@ -1,0 +1,86 @@
+"""Property tests: all miners × all engines produce identical pattern sets.
+
+The three miners (Apriori, Eclat, FP-Growth) are interchangeable by
+contract, and each now has two counting engines -- the historical
+pure-Python path and the packed-bitset ``TransactionMatrix`` path.  These
+tests drive all six combinations over randomized transaction databases and
+several ``min_support`` / ``max_length`` settings, asserting identical
+itemsets *and* identical (absolute and relative) supports, with the
+pure-Python FP-Growth run as the reference semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mining.apriori import AprioriMiner
+from repro.mining.eclat import EclatMiner
+from repro.mining.fpgrowth import FPGrowthMiner
+from repro.mining.itemsets import TransactionDatabase
+
+MINERS = (AprioriMiner, EclatMiner, FPGrowthMiner)
+ENGINES = ("python", "bitset")
+
+ITEMS = [f"item{k:02d}" for k in range(12)]
+
+transactions_strategy = st.lists(
+    st.lists(st.sampled_from(ITEMS), min_size=1, max_size=6),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _signature(result):
+    """Everything that must agree: items, absolute and relative supports."""
+    return {
+        pattern.items: (pattern.absolute_support, pattern.support)
+        for pattern in result
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transactions=transactions_strategy,
+    min_support=st.sampled_from([0.05, 0.15, 0.3, 0.6]),
+    max_length=st.sampled_from([1, 2, 3, None]),
+)
+def test_all_miners_and_engines_agree(transactions, min_support, max_length):
+    database = TransactionDatabase(transactions)
+    reference = _signature(
+        FPGrowthMiner(min_support, max_length=max_length, engine="python").mine(database)
+    )
+    for miner_cls in MINERS:
+        for engine in ENGINES:
+            miner = miner_cls(min_support, max_length=max_length, engine=engine)
+            assert _signature(miner.mine(database)) == reference, (
+                miner_cls.__name__,
+                engine,
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(transactions=transactions_strategy, min_support=st.sampled_from([0.1, 0.25]))
+def test_bitset_results_sorted_identically(transactions, min_support):
+    """Full MiningResult equality: ordering and metadata, not just the sets."""
+    database = TransactionDatabase(transactions)
+    for miner_cls in MINERS:
+        python = miner_cls(min_support, max_length=3, engine="python").mine(database)
+        bitset = miner_cls(min_support, max_length=3, engine="bitset").mine(database)
+        assert python == bitset
+
+
+@pytest.mark.parametrize("miner_cls", MINERS)
+def test_unknown_engine_rejected(miner_cls):
+    from repro.errors import MiningError
+
+    with pytest.raises(MiningError):
+        miner_cls(0.2, engine="fortran")
+
+
+@pytest.mark.parametrize("miner_cls", MINERS)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_empty_database_yields_empty_result(miner_cls, engine):
+    result = miner_cls(0.2, engine=engine).mine([])
+    assert len(result) == 0
+    assert result.n_transactions == 0

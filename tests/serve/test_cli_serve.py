@@ -19,6 +19,34 @@ def cache_dir(tmp_path_factory):
     return cache
 
 
+class TestServeStats:
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        cache = tmp_path / "empty-cache"
+        assert main([*ARGS, "serve-stats", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "Persisted artifacts" in out
+        assert "Store traffic" in out
+        assert "evictions" in out
+
+    def test_stats_json_reports_artifacts(self, cache_dir, capsys):
+        assert main(
+            [*ARGS, "serve-stats", "--cache-dir", str(cache_dir), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_dir"] == str(cache_dir)
+        assert payload["artifacts"]["analyses"] >= 1
+        assert payload["artifacts"]["mining_runs"] >= 1
+        assert payload["artifacts"]["corpora"] >= 1
+        assert set(payload["counters"]) >= {
+            "memory_hits",
+            "disk_hits",
+            "misses",
+            "writes",
+            "corrupt_recovered",
+            "evictions",
+        }
+
+
 class TestServeWarm:
     def test_first_warm_computes_then_hits(self, tmp_path, capsys):
         cache = tmp_path / "cache"

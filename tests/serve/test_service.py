@@ -29,9 +29,9 @@ def mining_calls(monkeypatch):
     calls = []
     original = CuisineClusteringPipeline.mine_patterns
 
-    def counting(self, database):
+    def counting(self, database, transactions=None):
         calls.append(self.config)
-        return original(self, database)
+        return original(self, database, transactions)
 
     monkeypatch.setattr(CuisineClusteringPipeline, "mine_patterns", counting)
     return calls
@@ -59,12 +59,37 @@ class TestCacheHits:
         assert not changed.mining_reused
         assert len(mining_calls) == 2
 
-    def test_changed_support_misses(self, service, mining_calls):
+    def test_lowered_support_remines(self, service, mining_calls):
+        # Lowering the threshold needs patterns the cached run never mined,
+        # so the incremental fast path cannot apply.
         service.get_or_run(CONFIG)
-        changed = service.get_or_run(CONFIG.with_overrides(min_support=0.3))
+        changed = service.get_or_run(CONFIG.with_overrides(min_support=0.1))
         assert changed.source == "computed"
         assert not changed.mining_reused
+        assert not changed.mining_incremental
         assert len(mining_calls) == 2
+
+    def test_raised_support_filters_cached_superset(self, service, mining_calls):
+        # Downward closure: raising min_support must *not* re-run the miner —
+        # the cached 0.2 run is a superset of the 0.3 run.
+        service.get_or_run(CONFIG)
+        assert len(mining_calls) == 1
+        changed = service.get_or_run(CONFIG.with_overrides(min_support=0.3))
+        assert changed.source == "computed"
+        assert changed.mining_reused
+        assert changed.mining_incremental
+        assert len(mining_calls) == 1  # zero additional miner invocations
+
+    def test_incremental_mining_equals_fresh_mine(self, tmp_path):
+        # The filtered superset must be indistinguishable from a fresh run.
+        raised = CONFIG.with_overrides(min_support=0.3)
+        warm = AnalysisService(tmp_path / "warm")
+        warm.get_or_run(CONFIG)
+        incremental = warm.get_or_run(raised)
+        assert incremental.mining_incremental
+        cold = AnalysisService(tmp_path / "cold").get_or_run(raised)
+        assert not cold.mining_incremental
+        assert incremental.results == cold.results
 
     def test_clustering_only_change_reuses_mining(self, service, mining_calls):
         service.get_or_run(CONFIG)
@@ -175,5 +200,76 @@ class TestServedResults:
         service.get_or_run(CONFIG)
         service.get_or_run(CONFIG)
         stats = service.stats()
-        assert stats["writes"] == 2  # analysis + mining artifacts
+        assert stats["writes"] == 3  # analysis + mining + mining-index artifacts
         assert stats["memory_hits"] >= 1
+        assert "evictions" in stats
+
+
+class TestCorpusCache:
+    def test_corpus_persisted_and_reused(self, service, mining_calls, tmp_path):
+        service.get_or_run(CONFIG)
+        corpus_file = service.corpus_path(CONFIG)
+        assert corpus_file.exists()
+        # A clustering-only sweep entry shares the corpus key.
+        assert service.corpus_path(
+            CONFIG.with_overrides(min_support=0.3)
+        ) == corpus_file
+
+        # A fresh service over the same directory must load the corpus from
+        # disk, not regenerate it: poison the generator to prove it.
+        fresh = AnalysisService(tmp_path / "cache")
+        boom = pytest.MonkeyPatch()
+        try:
+            boom.setattr(
+                CuisineClusteringPipeline,
+                "build_corpus",
+                lambda self: (_ for _ in ()).throw(AssertionError("regenerated")),
+            )
+            served = fresh.get_or_run(CONFIG.with_overrides(min_support=0.3))
+        finally:
+            boom.undo()
+        assert served.source == "computed"
+        assert served.results.corpus_stats == service.get_or_run(CONFIG).results.corpus_stats
+
+    def test_corrupt_corpus_file_regenerates(self, service, tmp_path):
+        first = service.get_or_run(CONFIG)
+        service.corpus_path(CONFIG).write_text("{broken", encoding="utf-8")
+        fresh = AnalysisService(tmp_path / "cache")
+        fresh.invalidate(CONFIG, mining=True)
+        recovered = fresh.get_or_run(CONFIG)
+        assert recovered.source == "computed"
+        assert recovered.results == first.results
+
+    def test_hand_edited_corpus_with_bad_shape_regenerates(self, service, tmp_path):
+        # Valid JSON whose region entries have the wrong shape must read as
+        # a serialization failure (and thus regenerate), not crash the read.
+        first = service.get_or_run(CONFIG)
+        service.corpus_path(CONFIG).write_text(
+            '{"format_version": 1, "regions": ["oops"], "recipes": []}',
+            encoding="utf-8",
+        )
+        fresh = AnalysisService(tmp_path / "cache")
+        fresh.invalidate(CONFIG, mining=True)
+        recovered = fresh.get_or_run(CONFIG)
+        assert recovered.source == "computed"
+        assert recovered.results == first.results
+
+    def test_transaction_matrices_shared_across_sweep(self, service, monkeypatch):
+        """A min_support sweep compiles each region's TransactionMatrix once."""
+        from repro.mining.bitmatrix import TransactionMatrix
+
+        compilations = []
+        original = TransactionMatrix.__init__
+
+        def counting(self, transactions):
+            compilations.append(len(transactions))
+            original(self, transactions)
+
+        monkeypatch.setattr(TransactionMatrix, "__init__", counting)
+        service.get_or_run(CONFIG)
+        first = len(compilations)
+        assert first > 0
+        # Lowered support cannot reuse cached mining, so the miner runs again
+        # — but over the already-compiled matrices.
+        service.get_or_run(CONFIG.with_overrides(min_support=0.15))
+        assert len(compilations) == first

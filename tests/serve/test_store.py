@@ -95,6 +95,23 @@ class TestLRU:
         assert store.stats.memory_hits == 0
         assert store.stats.disk_hits == 1
 
+    def test_evictions_counted(self, store):
+        assert store.stats.evictions == 0
+        store.put("analysis", KEY_A, {"v": "a"})
+        store.put("analysis", KEY_B, {"v": "b"})
+        assert store.stats.evictions == 0  # capacity 2: nothing evicted yet
+        store.put("analysis", KEY_C, {"v": "c"})  # evicts A
+        assert store.stats.evictions == 1
+        store.get("analysis", KEY_A)  # disk hit re-remembers A, evicting B
+        assert store.stats.evictions == 2
+        assert store.stats.to_dict()["evictions"] == 2
+
+    def test_zero_capacity_never_evicts(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_memory_entries=0)
+        store.put("analysis", KEY_A, {"v": 1})
+        store.put("analysis", KEY_B, {"v": 2})
+        assert store.stats.evictions == 0
+
 
 class TestCorruptRecovery:
     def test_truncated_file_is_a_miss(self, store):
