@@ -14,7 +14,14 @@ Subcommands:
   the store's traffic counters);
 * ``query`` -- read-path queries against a cached analysis (nearest cuisines,
   pattern search, authenticity profiles, cuisine cards);
-* ``classify`` -- classify ingredient lists against the cached cuisines.
+* ``classify`` -- classify ingredient lists against the cached cuisines;
+* ``store-migrate`` -- move cached artifacts between storage backends or
+  directory layouts.
+
+Every serve subcommand takes ``--store-backend`` (sharded ``directory``
+default, ``sqlite``, ``memory``), ``--store-shards`` for the directory
+layout, and ``--eviction`` / ``--disk-eviction`` policy specs such as
+``lru:32+ttl:600`` or ``maxbytes:1048576`` (see ``docs/storage-engine.md``).
 
 Example::
 
@@ -22,6 +29,7 @@ Example::
     repro-cuisines serve-warm --cache-dir .repro-cache
     repro-cuisines query --cache-dir .repro-cache --nearest Japanese
     repro-cuisines classify --cache-dir .repro-cache "soy sauce, mirin, rice"
+    repro-cuisines store-migrate --cache-dir .repro-cache --to-backend sqlite
 """
 
 from __future__ import annotations
@@ -38,7 +46,10 @@ from repro.core.table1 import compare_with_paper
 from repro.errors import ReproError
 from repro.recipedb import load_csv, load_json, load_jsonl, save_csv, save_json, save_jsonl
 from repro.recipedb.database import RecipeDatabase
-from repro.serve import AnalysisService, CuisineClassifier, QueryEngine
+from repro.serve import AnalysisService, ArtifactStore, CuisineClassifier, QueryEngine
+from repro.serve.backends import BACKEND_NAMES, DEFAULT_SHARDS, create_backend
+from repro.serve.eviction import parse_policy
+from repro.serve.migrate import migrate_backend
 from repro.viz.ascii_dendrogram import render_dendrogram
 from repro.viz.report import write_report
 from repro.viz.tables import format_table
@@ -112,25 +123,109 @@ def build_parser() -> argparse.ArgumentParser:
             help="serve-cache directory (default .repro-cache)",
         )
 
+    def add_store_options(sub: argparse.ArgumentParser) -> None:
+        add_cache_dir(sub)
+        sub.add_argument(
+            "--store-backend",
+            choices=list(BACKEND_NAMES),
+            default="directory",
+            help="artifact storage backend (default directory)",
+        )
+        sub.add_argument(
+            "--store-shards",
+            type=int,
+            default=DEFAULT_SHARDS,
+            metavar="N",
+            help=f"directory-backend shard count, 0 = flat legacy layout "
+                 f"(default {DEFAULT_SHARDS})",
+        )
+        sub.add_argument(
+            "--eviction",
+            metavar="SPEC",
+            default=None,
+            help="memory-front eviction policy, e.g. lru:32, ttl:600, "
+                 "maxbytes:1048576 or compositions like lru:32+ttl:600 "
+                 "(default lru bounded by the store's memory capacity)",
+        )
+        sub.add_argument(
+            "--disk-eviction",
+            metavar="SPEC",
+            default=None,
+            help="eviction policy applied to the backend after writes "
+                 "(bounds what stays durable; off by default)",
+        )
+
     warm = subparsers.add_parser(
         "serve-warm", help="populate the serve cache for this config"
     )
-    add_cache_dir(warm)
+    add_store_options(warm)
 
     stats = subparsers.add_parser(
         "serve-stats", help="print serve-cache statistics (artifacts + traffic)"
     )
-    add_cache_dir(stats)
+    add_store_options(stats)
     stats.add_argument(
         "--json",
         action="store_true",
         help="print the statistics as JSON on stdout (machine-readable)",
     )
 
+    migrate = subparsers.add_parser(
+        "store-migrate", help="move cached artifacts between storage backends"
+    )
+    migrate.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".repro-cache"),
+        help="source cache directory (default .repro-cache)",
+    )
+    migrate.add_argument(
+        "--from-backend",
+        choices=list(BACKEND_NAMES),
+        default="directory",
+        help="source backend (default directory)",
+    )
+    migrate.add_argument(
+        "--to-backend",
+        choices=list(BACKEND_NAMES),
+        required=True,
+        help="destination backend",
+    )
+    migrate.add_argument(
+        "--dest-cache-dir",
+        type=Path,
+        default=None,
+        help="destination cache directory (default: same as --cache-dir)",
+    )
+    migrate.add_argument(
+        "--from-shards",
+        type=int,
+        default=DEFAULT_SHARDS,
+        metavar="N",
+        help=f"source directory layout, 0 = flat (default {DEFAULT_SHARDS})",
+    )
+    migrate.add_argument(
+        "--to-shards",
+        type=int,
+        default=DEFAULT_SHARDS,
+        metavar="N",
+        help=f"destination directory layout, 0 = flat (default {DEFAULT_SHARDS})",
+    )
+    migrate.add_argument(
+        "--delete-source",
+        action="store_true",
+        help="remove each artifact from the source after copying (a move)",
+    )
+    migrate.add_argument(
+        "--json",
+        action="store_true",
+        help="print the migration report as JSON on stdout",
+    )
+
     query = subparsers.add_parser(
         "query", help="read-path queries against the cached analysis"
     )
-    add_cache_dir(query)
+    add_store_options(query)
     query.add_argument("--nearest", metavar="CUISINE", help="k nearest cuisines")
     query.add_argument(
         "--figure",
@@ -152,7 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify = subparsers.add_parser(
         "classify", help="classify ingredient lists against the cached cuisines"
     )
-    add_cache_dir(classify)
+    add_store_options(classify)
     classify.add_argument(
         "recipes",
         nargs="*",
@@ -280,8 +375,23 @@ def _command_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_for(args: argparse.Namespace) -> ArtifactStore:
+    backend = create_backend(
+        getattr(args, "store_backend", "directory"),
+        args.cache_dir,
+        shards=getattr(args, "store_shards", DEFAULT_SHARDS),
+    )
+    memory_spec = getattr(args, "eviction", None)
+    disk_spec = getattr(args, "disk_eviction", None)
+    memory_policy = parse_policy(memory_spec) if memory_spec is not None else None
+    disk_policy = parse_policy(disk_spec) if disk_spec is not None else None
+    return ArtifactStore(
+        backend=backend, memory_policy=memory_policy, disk_policy=disk_policy
+    )
+
+
 def _service_for(args: argparse.Namespace) -> AnalysisService:
-    return AnalysisService(args.cache_dir)
+    return AnalysisService(_store_for(args))
 
 
 def _serve_analysis(args: argparse.Namespace, service: AnalysisService):
@@ -327,14 +437,21 @@ def _command_serve_stats(args: argparse.Namespace) -> int:
     }
     payload = {
         "cache_dir": str(store.root),
+        "backend": store.backend.describe(),
         "max_memory_entries": store.max_memory_entries,
+        "eviction": store.memory_policy.describe(),
+        "disk_eviction": store.disk_policy.describe() if store.disk_policy else "none",
+        "store_bytes": store.total_bytes(),
         "artifacts": artifacts,
         "counters": service.stats(),
     }
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
-    print(f"serve cache at {store.root} (memory capacity {store.max_memory_entries})")
+    print(
+        f"serve cache at {store.root} [{store.backend.describe()}] "
+        f"({store.total_bytes()} bytes stored, eviction {store.memory_policy.describe()})"
+    )
     print(
         format_table(
             [{"artifact": name, "count": count} for name, count in artifacts.items()],
@@ -350,6 +467,40 @@ def _command_serve_stats(args: argparse.Namespace) -> int:
             title="Store traffic (this process)",
         )
     )
+    return 0
+
+
+def _command_store_migrate(args: argparse.Namespace) -> int:
+    destination_dir = args.dest_cache_dir if args.dest_cache_dir is not None else args.cache_dir
+    if args.from_backend == args.to_backend and destination_dir == args.cache_dir:
+        # directory layouts can still differ by shard count; every other
+        # backend pair over one cache dir is the same storage location.
+        if args.from_backend != "directory" or args.from_shards == args.to_shards:
+            raise ReproError(
+                "source and destination are the same storage location; change "
+                "--to-backend, --dest-cache-dir or (for directory) --to-shards"
+            )
+    if args.from_backend == "memory":
+        raise ReproError(
+            "cannot migrate from the memory backend: it is ephemeral and "
+            "empty in a fresh process"
+        )
+    source = create_backend(args.from_backend, args.cache_dir, shards=args.from_shards)
+    destination = create_backend(args.to_backend, destination_dir, shards=args.to_shards)
+    report = migrate_backend(source, destination, delete_source=args.delete_source)
+    source.close()
+    destination.close()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(f"migrated {report.migrated} artifacts ({report.bytes_moved} bytes) "
+          f"from {report.source} to {report.destination}")
+    for kind, count in sorted(report.per_kind.items()):
+        print(f"  {kind}: {count}")
+    if report.skipped_corrupt:
+        print(f"skipped {report.skipped_corrupt} corrupt artifacts (quarantined at source)")
+    if args.delete_source:
+        print(f"removed {report.deleted_source} artifacts from the source")
     return 0
 
 
@@ -460,6 +611,7 @@ _COMMANDS = {
     "figures": _command_figures,
     "serve-warm": _command_serve_warm,
     "serve-stats": _command_serve_stats,
+    "store-migrate": _command_store_migrate,
     "query": _command_query,
     "classify": _command_classify,
 }

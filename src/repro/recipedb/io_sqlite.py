@@ -27,7 +27,7 @@ from repro.errors import SerializationError
 from repro.recipedb.database import RecipeDatabase
 from repro.recipedb.models import EntityKind, Recipe, Region
 
-__all__ = ["SCHEMA_STATEMENTS", "save_sqlite", "load_sqlite", "corpus_summary"]
+__all__ = ["SCHEMA_STATEMENTS", "connect", "save_sqlite", "load_sqlite", "corpus_summary"]
 
 SCHEMA_STATEMENTS: tuple[str, ...] = (
     """
@@ -64,13 +64,23 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
 )
 
 
-def _connect(path: str | Path) -> sqlite3.Connection:
+def connect(path: str | Path) -> sqlite3.Connection:
+    """Open a SQLite database with the library's shared connection settings.
+
+    Raises :class:`SerializationError` (a :class:`~repro.errors.ReproError`)
+    instead of :class:`sqlite3.Error` so callers across subsystems -- corpus
+    I/O here, the serve layer's :class:`~repro.serve.backends.SqliteBackend`
+    -- share one failure mode.
+    """
     try:
         connection = sqlite3.connect(str(path))
     except sqlite3.Error as exc:  # pragma: no cover - environment dependent
         raise SerializationError(f"could not open sqlite database {path}: {exc}") from exc
     connection.execute("PRAGMA foreign_keys = ON")
     return connection
+
+
+_connect = connect  # internal alias kept for the readers below
 
 
 def save_sqlite(database: RecipeDatabase, path: str | Path) -> Path:

@@ -15,8 +15,22 @@ Layout
     from :class:`~repro.core.config.AnalysisConfig` (full-analysis key and the
     mining-stage key that ignores clustering-only parameters).
 ``store``
-    :class:`~repro.serve.store.ArtifactStore` -- a disk-backed JSON artifact
-    store with an in-memory LRU front and corrupt-file recovery.
+    :class:`~repro.serve.store.ArtifactStore` -- the storage engine: a
+    policy-bounded memory front over a pluggable durable backend, with
+    corrupt-artifact quarantine on every read path.
+``backends``
+    The :class:`~repro.serve.backends.StorageBackend` implementations --
+    sharded :class:`~repro.serve.backends.DirectoryBackend`, WAL-mode
+    :class:`~repro.serve.backends.SqliteBackend` and the ephemeral
+    :class:`~repro.serve.backends.MemoryBackend`.
+``eviction``
+    Composable :class:`~repro.serve.eviction.EvictionPolicy` primitives
+    (:class:`~repro.serve.eviction.LRU`, :class:`~repro.serve.eviction.TTL`,
+    :class:`~repro.serve.eviction.MaxBytes`) bounding the memory front and,
+    optionally, the backend itself.
+``migrate``
+    :func:`~repro.serve.migrate.migrate_backend` -- move artifacts between
+    any two backends or directory layouts (also ``store-migrate`` in the CLI).
 ``service``
     :class:`~repro.serve.service.AnalysisService` -- the memoizing facade:
     ``get_or_run(config)`` hits memory → disk → recompute, reusing cached
@@ -47,6 +61,13 @@ The CLI exposes the same flows as ``repro-cuisines serve-warm``, ``query``
 and ``classify``; see ``examples/serve_and_query.py`` for a full tour.
 """
 
+from repro.serve.backends import (
+    DirectoryBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    create_backend,
+)
 from repro.serve.classify import Classification, CuisineClassifier
 from repro.serve.codec import (
     analysis_key,
@@ -54,6 +75,16 @@ from repro.serve.codec import (
     results_from_dict,
     results_to_dict,
 )
+from repro.serve.eviction import (
+    LRU,
+    TTL,
+    CompositePolicy,
+    EvictionPolicy,
+    MaxBytes,
+    NoEviction,
+    parse_policy,
+)
+from repro.serve.migrate import MigrationReport, migrate_backend
 from repro.serve.queries import PatternHit, QueryEngine
 from repro.serve.service import AnalysisService, ServedAnalysis
 from repro.serve.store import ArtifactStore, StoreStats
@@ -63,6 +94,20 @@ __all__ = [
     "ServedAnalysis",
     "ArtifactStore",
     "StoreStats",
+    "StorageBackend",
+    "DirectoryBackend",
+    "SqliteBackend",
+    "MemoryBackend",
+    "create_backend",
+    "EvictionPolicy",
+    "NoEviction",
+    "LRU",
+    "TTL",
+    "MaxBytes",
+    "CompositePolicy",
+    "parse_policy",
+    "MigrationReport",
+    "migrate_backend",
     "QueryEngine",
     "PatternHit",
     "CuisineClassifier",

@@ -1,0 +1,114 @@
+"""The storage backend protocol behind :class:`~repro.serve.store.ArtifactStore`.
+
+A backend is a dumb, durable map ``(kind, key) -> serialized JSON text``.  It
+knows nothing about caching, eviction policies or payload validity -- those
+live in the store engine -- but it owns atomicity (a reader never observes a
+half-written artifact) and quarantine (moving a payload the engine has judged
+corrupt out of the addressable namespace so the slot can be rewritten).
+
+Keys are hex digests and kinds are slugs, exactly as in the original flat
+directory store; the validators live here so every backend enforces the same
+namespace.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ServeError
+
+__all__ = [
+    "BackendEntry",
+    "StorageBackend",
+    "validate_kind",
+    "validate_key",
+    "KEY_CHARS",
+]
+
+KEY_CHARS = frozenset("0123456789abcdef")
+
+
+def validate_kind(kind: str) -> str:
+    if not kind or not kind.replace("-", "").replace("_", "").isalnum():
+        raise ServeError(f"artifact kind must be a non-empty slug, got {kind!r}")
+    return kind
+
+
+def validate_key(key: str) -> str:
+    if not key or not set(key) <= KEY_CHARS:
+        raise ServeError(f"artifact key must be a hex digest, got {key!r}")
+    return key
+
+
+@dataclass(frozen=True, slots=True)
+class BackendEntry:
+    """One stored artifact as the backend sees it (for eviction / migration)."""
+
+    kind: str
+    key: str
+    size_bytes: int
+    stored_at: float  # wall-clock write time (mtime for files)
+
+
+class StorageBackend(ABC):
+    """Durable ``(kind, key) -> text`` map with atomic writes and quarantine.
+
+    Attributes
+    ----------
+    name:
+        Short backend slug (``"directory"``, ``"sqlite"``, ``"memory"``) used
+        in stats output and the CLI.
+    root:
+        Directory for auxiliary files stored *next to* the artifacts (corpus
+        snapshots, ...).  ``None`` when the backend has no natural directory.
+    """
+
+    name: str = "abstract"
+    root: Path | None = None
+
+    @abstractmethod
+    def read(self, kind: str, key: str) -> str | None:
+        """The stored text for one artifact, or ``None`` when absent."""
+
+    @abstractmethod
+    def write(self, kind: str, key: str, text: str) -> None:
+        """Durably store *text* under ``(kind, key)`` (atomic replace)."""
+
+    @abstractmethod
+    def delete(self, kind: str, key: str) -> bool:
+        """Drop one artifact; ``True`` when it existed."""
+
+    @abstractmethod
+    def exists(self, kind: str, key: str) -> bool:
+        """Whether ``(kind, key)`` is stored (no payload read)."""
+
+    @abstractmethod
+    def keys(self, kind: str) -> list[str]:
+        """Every stored key of one kind, sorted."""
+
+    @abstractmethod
+    def quarantine(self, kind: str, key: str) -> None:
+        """Move a corrupt payload out of the namespace (best effort)."""
+
+    @abstractmethod
+    def entries(self) -> Iterator[BackendEntry]:
+        """Every stored artifact with its size and write time."""
+
+    def scan(self) -> Iterator[tuple[str, str]]:
+        """Every stored ``(kind, key)`` pair (drives migration)."""
+        for entry in self.entries():
+            yield entry.kind, entry.key
+
+    def total_bytes(self) -> int:
+        """Bytes currently stored across all artifacts."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def close(self) -> None:  # pragma: no cover - default is a no-op
+        """Release any held resources (connections, handles)."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for stats output."""
+        return self.name

@@ -1,0 +1,186 @@
+"""Sharded directory backend: one JSON file per artifact under prefix subdirs.
+
+This is the original flat-directory layout scaled past ~10⁴ artifacts: files
+land in ``root/<shard>/<kind>-<key>.json`` where ``<shard>`` is the key's
+two-hex-digit prefix bucketed over ``shards`` subdirectories (256 by default,
+so bucket == ``key[:2]``).  ``shards=0`` (or 1) keeps the historical flat
+layout, which ``store-migrate`` can convert in either direction.
+
+A sharded backend still *reads* legacy flat files at the root (reads,
+existence probes, scans and deletes all fall back to ``root/<kind>-<key>.json``
+when the sharded path is absent), so a cache warmed before sharding keeps
+serving instead of silently recomputing; writes always go to the sharded
+location, and ``store-migrate --from-shards 0`` converts the layout properly.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ServeError
+from repro.serve.backends.base import (
+    KEY_CHARS,
+    BackendEntry,
+    StorageBackend,
+    validate_key,
+    validate_kind,
+)
+
+__all__ = ["DirectoryBackend", "DEFAULT_SHARDS", "AUXILIARY_PREFIXES"]
+
+DEFAULT_SHARDS = 256
+
+_SHARD_GLOB = "[0-9a-f][0-9a-f]"
+
+# Service-level files persisted *next to* the artifacts (corpus snapshots,
+# see repro.serve.service.CORPUS_FILE_PREFIX).  In the flat layout they share
+# the artifact directory, so scans must not treat them as store artifacts --
+# otherwise migration would carry them away from where the service looks for
+# them and a disk eviction policy could delete them.
+AUXILIARY_PREFIXES: tuple[str, ...] = ("corpus-",)
+
+
+class DirectoryBackend(StorageBackend):
+    """Artifacts as JSON files sharded across ``key[:2]`` prefix subdirectories."""
+
+    name = "directory"
+
+    def __init__(self, root: Path | str, *, shards: int = DEFAULT_SHARDS) -> None:
+        if not 0 <= shards <= 256:
+            raise ServeError(f"shards must be in [0, 256], got {shards}")
+        self.root = Path(root)
+        self.shards = shards
+
+    # -- layout -----------------------------------------------------------------------
+
+    def _shard_dir(self, key: str) -> Path:
+        if self.shards <= 1:
+            return self.root
+        bucket = int(key[:2].ljust(2, "0"), 16) % self.shards
+        return self.root / f"{bucket:02x}"
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """The canonical on-disk path of one artifact (shard dir + filename)."""
+        return self._shard_dir(validate_key(key)) / f"{validate_kind(kind)}-{key}.json"
+
+    def _stored_path(self, kind: str, key: str) -> Path | None:
+        """Where the artifact actually lives: sharded path, else legacy flat."""
+        path = self.path_for(kind, key)
+        if path.exists():
+            return path
+        if self.shards > 1:
+            legacy = self.root / path.name
+            if legacy.exists():
+                return legacy
+        return None
+
+    def _artifact_files(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        # Sharded scans include legacy flat files at the root so pre-sharding
+        # caches stay visible; the sharded copy wins when both exist.
+        patterns = ("*.json",) if self.shards <= 1 else (f"{_SHARD_GLOB}/*.json", "*.json")
+        seen: set[str] = set()
+        for pattern in patterns:
+            for path in self.root.glob(pattern):
+                if path.name.startswith(AUXILIARY_PREFIXES) or path.name in seen:
+                    continue
+                seen.add(path.name)
+                yield path
+
+    @staticmethod
+    def _parse_stem(stem: str) -> tuple[str, str] | None:
+        kind, separator, key = stem.rpartition("-")
+        if not separator or not kind or not key or not set(key) <= KEY_CHARS:
+            return None
+        return kind, key
+
+    # -- reads ------------------------------------------------------------------------
+
+    def read(self, kind: str, key: str) -> str | None:
+        path = self._stored_path(kind, key)
+        if path is None:
+            return None
+        try:
+            return path.read_text(encoding="utf-8")
+        except FileNotFoundError:  # pragma: no cover - raced with a delete
+            return None
+
+    def exists(self, kind: str, key: str) -> bool:
+        return self._stored_path(kind, key) is not None
+
+    def keys(self, kind: str) -> list[str]:
+        prefix = f"{validate_kind(kind)}-"
+        found = []
+        for path in self._artifact_files():
+            if path.stem.startswith(prefix):
+                key = path.stem[len(prefix):]
+                if key and set(key) <= KEY_CHARS:
+                    found.append(key)
+        return sorted(found)
+
+    def entries(self) -> Iterator[BackendEntry]:
+        for path in self._artifact_files():
+            parsed = self._parse_stem(path.stem)
+            if parsed is None:
+                continue
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced with a delete
+                continue
+            yield BackendEntry(parsed[0], parsed[1], stat.st_size, stat.st_mtime)
+
+    # -- writes -----------------------------------------------------------------------
+
+    def write(self, kind: str, key: str, text: str) -> None:
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic replace so a crashed writer can never leave a half-written
+        # artifact under the final name.
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{kind}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def delete(self, kind: str, key: str) -> bool:
+        # Remove the sharded copy *and* any legacy flat one, so a delete can
+        # never resurrect a stale pre-sharding file through the read fallback.
+        existed = False
+        path = self.path_for(kind, key)
+        for candidate in {path, self.root / path.name}:
+            try:
+                candidate.unlink()
+                existed = True
+            except FileNotFoundError:
+                pass
+        return existed
+
+    def quarantine(self, kind: str, key: str) -> None:
+        path = self._stored_path(kind, key)
+        if path is None:
+            return
+        try:
+            # os.replace overwrites a stale *.json.corrupt left by an earlier
+            # quarantine of the same slot, so collisions cannot wedge the slot.
+            os.replace(path, path.with_suffix(".json.corrupt"))
+        except OSError:  # pragma: no cover - quarantine is best-effort
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def describe(self) -> str:
+        layout = "flat" if self.shards <= 1 else f"{self.shards} shards"
+        return f"directory ({layout}) at {self.root}"

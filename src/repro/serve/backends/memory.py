@@ -1,0 +1,82 @@
+"""In-process backend: artifacts live in a dict and die with the process.
+
+Two uses: hermetic tests (the whole serve suite runs against it without
+touching disk), and hot read replicas -- a second :class:`ArtifactStore`
+warmed via ``store-migrate`` from a durable backend serves reads at memory
+speed with zero I/O.
+
+The text payloads go through the same serialize-then-parse read path as the
+durable backends, so engine-level validation and quarantine behave
+identically (a hand-corrupted entry is quarantined into a side dict, not
+silently served).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.serve.backends.base import (
+    BackendEntry,
+    StorageBackend,
+    validate_key,
+    validate_kind,
+)
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(StorageBackend):
+    """Ephemeral dict-backed artifact storage."""
+
+    name = "memory"
+
+    def __init__(
+        self,
+        *,
+        root: Path | str | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        # root only anchors auxiliary files (corpus snapshots) when the
+        # backend serves an AnalysisService; pure artifact use needs none.
+        # clock stamps writes -- share the store's injected clock when a
+        # time-based disk policy must be deterministic under test.
+        self.root = Path(root) if root is not None else None
+        self._clock = clock
+        self._data: dict[tuple[str, str], tuple[str, float]] = {}
+        self._quarantined: dict[tuple[str, str], str] = {}
+
+    def read(self, kind: str, key: str) -> str | None:
+        stored = self._data.get((validate_kind(kind), validate_key(key)))
+        return None if stored is None else stored[0]
+
+    def exists(self, kind: str, key: str) -> bool:
+        return (validate_kind(kind), validate_key(key)) in self._data
+
+    def keys(self, kind: str) -> list[str]:
+        validate_kind(kind)
+        return sorted(key for stored_kind, key in self._data if stored_kind == kind)
+
+    def entries(self) -> Iterator[BackendEntry]:
+        stamped = sorted(self._data.items(), key=lambda item: item[1][1])
+        for (kind, key), (text, stored_at) in stamped:
+            yield BackendEntry(kind, key, len(text.encode("utf-8")), stored_at)
+
+    def write(self, kind: str, key: str, text: str) -> None:
+        self._data[(validate_kind(kind), validate_key(key))] = (text, self._clock())
+
+    def delete(self, kind: str, key: str) -> bool:
+        return self._data.pop((validate_kind(kind), validate_key(key)), None) is not None
+
+    def quarantine(self, kind: str, key: str) -> None:
+        stored = self._data.pop((kind, key), None)
+        if stored is not None:
+            self._quarantined[(kind, key)] = stored[0]
+
+    def quarantined(self) -> list[tuple[str, str]]:
+        """Every quarantined ``(kind, key)`` pair (for tests)."""
+        return sorted(self._quarantined)
+
+    def describe(self) -> str:
+        return "memory (ephemeral)"

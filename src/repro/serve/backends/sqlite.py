@@ -1,0 +1,168 @@
+"""SQLite backend: every artifact is a row in one single-file database.
+
+Reuses :func:`repro.recipedb.io_sqlite.connect` so the serve layer and the
+corpus exporter share connection settings and failure modes, and turns on WAL
+journaling so a reader never blocks on (or observes half of) a concurrent
+write -- the single-file equivalent of the directory backend's atomic
+``os.replace``.
+
+Quarantine moves a corrupt row into a ``quarantined_artifacts`` side table
+(replacing any stale quarantine of the same slot), preserving the bad payload
+for post-mortems exactly like the directory backend's ``*.json.corrupt``
+files.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ServeError
+from repro.recipedb.io_sqlite import connect
+from repro.serve.backends.base import (
+    BackendEntry,
+    StorageBackend,
+    validate_key,
+    validate_kind,
+)
+
+__all__ = ["SqliteBackend", "ARTIFACT_SCHEMA_STATEMENTS"]
+
+ARTIFACT_SCHEMA_STATEMENTS: tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS artifacts (
+        kind       TEXT NOT NULL,
+        key        TEXT NOT NULL,
+        payload    TEXT NOT NULL,
+        n_bytes    INTEGER NOT NULL,
+        updated_at REAL NOT NULL,
+        PRIMARY KEY (kind, key)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS quarantined_artifacts (
+        kind           TEXT NOT NULL,
+        key            TEXT NOT NULL,
+        payload        TEXT NOT NULL,
+        quarantined_at REAL NOT NULL,
+        PRIMARY KEY (kind, key)
+    )
+    """,
+)
+
+
+class SqliteBackend(StorageBackend):
+    """Artifacts as rows of a WAL-mode SQLite file."""
+
+    name = "sqlite"
+
+    def __init__(self, path: Path | str, *, root: Path | str | None = None) -> None:
+        self.path = Path(path)
+        self.root = Path(root) if root is not None else self.path.parent
+        self._connection: sqlite3.Connection | None = None
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._connection is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            connection = connect(self.path)
+            connection.execute("PRAGMA journal_mode = WAL")
+            connection.execute("PRAGMA synchronous = NORMAL")
+            with connection:
+                for statement in ARTIFACT_SCHEMA_STATEMENTS:
+                    connection.execute(statement)
+            self._connection = connection
+        return self._connection
+
+    def _execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
+        connection = self._connect()
+        try:
+            with connection:
+                return connection.execute(sql, parameters)
+        except sqlite3.Error as exc:
+            raise ServeError(f"sqlite artifact store {self.path}: {exc}") from exc
+
+    # -- reads ------------------------------------------------------------------------
+
+    def read(self, kind: str, key: str) -> str | None:
+        row = self._execute(
+            "SELECT payload FROM artifacts WHERE kind = ? AND key = ?",
+            (validate_kind(kind), validate_key(key)),
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def exists(self, kind: str, key: str) -> bool:
+        row = self._execute(
+            "SELECT 1 FROM artifacts WHERE kind = ? AND key = ?",
+            (validate_kind(kind), validate_key(key)),
+        ).fetchone()
+        return row is not None
+
+    def keys(self, kind: str) -> list[str]:
+        rows = self._execute(
+            "SELECT key FROM artifacts WHERE kind = ? ORDER BY key",
+            (validate_kind(kind),),
+        ).fetchall()
+        return [str(key) for (key,) in rows]
+
+    def entries(self) -> Iterator[BackendEntry]:
+        rows = self._execute(
+            "SELECT kind, key, n_bytes, updated_at FROM artifacts ORDER BY updated_at"
+        ).fetchall()
+        for kind, key, n_bytes, updated_at in rows:
+            yield BackendEntry(str(kind), str(key), int(n_bytes), float(updated_at))
+
+    # -- writes -----------------------------------------------------------------------
+
+    def write(self, kind: str, key: str, text: str) -> None:
+        self._execute(
+            "INSERT OR REPLACE INTO artifacts (kind, key, payload, n_bytes, updated_at)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (
+                validate_kind(kind),
+                validate_key(key),
+                text,
+                len(text.encode("utf-8")),
+                time.time(),
+            ),
+        )
+
+    def delete(self, kind: str, key: str) -> bool:
+        cursor = self._execute(
+            "DELETE FROM artifacts WHERE kind = ? AND key = ?",
+            (validate_kind(kind), validate_key(key)),
+        )
+        return cursor.rowcount > 0
+
+    def quarantine(self, kind: str, key: str) -> None:
+        connection = self._connect()
+        try:
+            with connection:
+                connection.execute(
+                    "INSERT OR REPLACE INTO quarantined_artifacts"
+                    " (kind, key, payload, quarantined_at)"
+                    " SELECT kind, key, payload, ? FROM artifacts"
+                    " WHERE kind = ? AND key = ?",
+                    (time.time(), kind, key),
+                )
+                connection.execute(
+                    "DELETE FROM artifacts WHERE kind = ? AND key = ?", (kind, key)
+                )
+        except sqlite3.Error:  # pragma: no cover - quarantine is best-effort
+            pass
+
+    def quarantined(self) -> list[tuple[str, str]]:
+        """Every quarantined ``(kind, key)`` pair (for tests and post-mortems)."""
+        rows = self._execute(
+            "SELECT kind, key FROM quarantined_artifacts ORDER BY kind, key"
+        ).fetchall()
+        return [(str(kind), str(key)) for kind, key in rows]
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def describe(self) -> str:
+        return f"sqlite (WAL) at {self.path}"

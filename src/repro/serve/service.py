@@ -131,10 +131,10 @@ class AnalysisService:
         started = time.perf_counter()
 
         cached = self._decoded.get(key)
-        if cached is not None and self.store.path_for(ANALYSIS_KIND, key).exists():
-            # Check the disk file directly (not the store's LRU) so that
-            # invalidate() on another service handle over the same directory
-            # is honoured even for already-decoded entries.
+        if cached is not None and self.store.exists(ANALYSIS_KIND, key):
+            # Probe the backend directly (not the store's memory front) so
+            # that invalidate() on another service handle over the same
+            # backend is honoured even for already-decoded entries.
             self.store.stats.memory_hits += 1
             return ServedAnalysis(
                 results=cached,
@@ -219,15 +219,26 @@ class AnalysisService:
 
     # -- corpus stage -----------------------------------------------------------------
 
+    def _corpus_root(self) -> Path:
+        """The directory holding corpus snapshots, next to the artifact store."""
+        root = self.store.root
+        if root is None:
+            raise ServeError(
+                "this store's backend has no root directory for corpus files; "
+                "construct the backend with a root (e.g. MemoryBackend(root=...))"
+            )
+        return root
+
     def corpus_path(self, config: AnalysisConfig) -> Path:
         """On-disk location of the persisted corpus for *config*'s seed/scale."""
-        return self.store.root / f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}.json"
+        return self._corpus_root() / f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}.json"
 
     def corpus_files(self) -> list[Path]:
         """Every corpus file currently persisted next to the artifact store."""
-        if not self.store.root.is_dir():
+        root = self.store.root
+        if root is None or not root.is_dir():
             return []
-        return sorted(self.store.root.glob(f"{CORPUS_FILE_PREFIX}*.json"))
+        return sorted(root.glob(f"{CORPUS_FILE_PREFIX}*.json"))
 
     def _corpus_and_transactions(
         self, config: AnalysisConfig, pipeline: CuisineClusteringPipeline
@@ -251,7 +262,7 @@ class AnalysisService:
                 corpus = None  # truncated / hand-edited file: regenerate
         if corpus is None:
             corpus = pipeline.build_corpus()
-            self.store.root.mkdir(parents=True, exist_ok=True)
+            path.parent.mkdir(parents=True, exist_ok=True)
             save_json(corpus, path)
 
         transactions = pipeline.build_transactions(corpus)

@@ -1,32 +1,47 @@
-"""Disk-backed JSON artifact store with an in-memory LRU front.
+"""The artifact storage engine: memory front + pluggable durable backend.
 
-The store is the persistence half of the serve layer: artifacts (serialised
-analyses, mining results, ...) are JSON documents keyed by ``(kind, key)``
-where *kind* namespaces the artifact type and *key* is a deterministic config
-digest from :mod:`repro.serve.codec`.  Reads hit the in-memory LRU first,
-then disk; writes go through to both.
+Artifacts (serialised analyses, mining results, ...) are JSON documents keyed
+by ``(kind, key)`` where *kind* namespaces the artifact type and *key* is a
+deterministic config digest from :mod:`repro.serve.codec`.  The engine layers
+three concerns:
 
-Corrupt or truncated files on disk -- a crashed writer, a partial copy -- are
-treated as cache misses: the offending file is moved aside to ``*.corrupt``
-so the next write can repopulate the slot, and a counter records the
-recovery.  The store never raises on bad cached data; the worst case is a
-recompute.
+* a **memory front** of decoded payloads, bounded by a composable
+  :class:`~repro.serve.eviction.EvictionPolicy` (LRU by default, TTL and
+  size bounds available);
+* a **storage backend** (:mod:`repro.serve.backends`) owning durability --
+  sharded directory of JSON files, single-file SQLite, or ephemeral memory;
+* **validation + quarantine**: payloads are parsed and shape-checked on
+  every backend read, and corrupt data (a crashed writer, a hand-edited row)
+  is quarantined through the backend so the slot can be rewritten.  The
+  store never raises on bad cached data; the worst case is a recompute.
+
+``ArtifactStore(root)`` keeps the original facade: it builds a sharded
+:class:`~repro.serve.backends.DirectoryBackend` under *root*, so existing
+callers see the same API with a scalable layout underneath.  An optional
+*disk_policy* applies the same eviction abstraction to the backend itself,
+bounding what is kept durable (by TTL or total bytes).
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
+import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.errors import ServeError
+from repro.serve.backends import DirectoryBackend, StorageBackend
+from repro.serve.backends.base import validate_key, validate_kind
 from repro.serve.codec import dumps
+from repro.serve.eviction import EntryInfo, EvictionPolicy, LRU
 
 __all__ = ["StoreStats", "ArtifactStore"]
 
+# Backwards-compatible aliases: these validators predate the backends package.
+_validate_kind = validate_kind
+_validate_key = validate_key
 _KEY_CHARS = set("0123456789abcdef")
 
 
@@ -38,8 +53,11 @@ class StoreStats:
     disk_hits: int = 0
     misses: int = 0
     writes: int = 0
+    deletes: int = 0
     corrupt_recovered: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
+    bytes_written: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -47,155 +65,268 @@ class StoreStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "writes": self.writes,
+            "deletes": self.deletes,
             "corrupt_recovered": self.corrupt_recovered,
             "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
+            "bytes_written": self.bytes_written,
         }
 
 
-def _validate_kind(kind: str) -> str:
-    if not kind or not kind.replace("-", "").replace("_", "").isalnum():
-        raise ServeError(f"artifact kind must be a non-empty slug, got {kind!r}")
-    return kind
+@dataclass(slots=True)
+class _MemoryEntry:
+    """One memory-front slot: the decoded payload plus its policy metadata."""
 
+    payload: dict[str, object]
+    size_bytes: int
+    stored_at: float
+    last_access: float
 
-def _validate_key(key: str) -> str:
-    if not key or not set(key) <= _KEY_CHARS:
-        raise ServeError(f"artifact key must be a hex digest, got {key!r}")
-    return key
+    def info(self) -> EntryInfo:
+        return EntryInfo(self.size_bytes, self.stored_at, self.last_access)
 
 
 class ArtifactStore:
-    """JSON artifact store: in-memory LRU in front of a directory of files.
+    """JSON artifact store: policy-bounded memory front over a storage backend.
 
     Parameters
     ----------
     root:
-        Directory holding the artifact files (created on first write).
+        Directory for the default sharded :class:`DirectoryBackend` (created
+        on first write).  Ignored when *backend* is given.
     max_memory_entries:
-        How many payloads the LRU keeps; 0 disables the memory layer.
+        How many payloads the memory front keeps under the default LRU
+        policy; 0 disables the memory layer.  Ignored when *memory_policy*
+        is given.
+    backend:
+        Explicit storage backend; overrides *root*.
+    memory_policy:
+        Eviction policy for the memory front (default ``LRU(max_memory_entries)``).
+    disk_policy:
+        Optional eviction policy applied to the backend after every write,
+        bounding what stays durable.  Recency on disk is write time, so TTL
+        and MaxBytes are the natural disk bounds.
+    clock:
+        Time source for policy decisions (injectable for tests).
     """
 
-    def __init__(self, root: Path | str, *, max_memory_entries: int = 32) -> None:
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        max_memory_entries: int = 32,
+        backend: StorageBackend | None = None,
+        memory_policy: EvictionPolicy | None = None,
+        disk_policy: EvictionPolicy | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         if max_memory_entries < 0:
             raise ServeError("max_memory_entries must be non-negative")
-        self.root = Path(root)
+        if backend is None:
+            if root is None:
+                raise ServeError("ArtifactStore needs a root directory or a backend")
+            backend = DirectoryBackend(Path(root))
+        self._backend = backend
         self.max_memory_entries = max_memory_entries
+        self._memory_enabled = memory_policy is not None or max_memory_entries > 0
+        self.memory_policy = (
+            memory_policy if memory_policy is not None else LRU(max_memory_entries)
+        )
+        self.disk_policy = disk_policy
+        self._clock = clock
         self.stats = StoreStats()
-        self._memory: OrderedDict[tuple[str, str], dict[str, object]] = OrderedDict()
+        self._memory: OrderedDict[tuple[str, str], _MemoryEntry] = OrderedDict()
 
-    # -- paths ------------------------------------------------------------------------
+    # -- backend ----------------------------------------------------------------------
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The durable backend behind this store."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def root(self) -> Path | None:
+        """The backend's directory for auxiliary files (``None`` if it has none)."""
+        return self._backend.root
 
     def path_for(self, kind: str, key: str) -> Path:
-        """The on-disk path of one artifact."""
-        return self.root / f"{_validate_kind(kind)}-{_validate_key(key)}.json"
+        """The on-disk path of one artifact (directory-backed stores only)."""
+        path_for = getattr(self._backend, "path_for", None)
+        if path_for is None:
+            raise ServeError(
+                f"the {self._backend.name!r} backend has no per-artifact paths"
+            )
+        return path_for(kind, key)
+
+    def total_bytes(self) -> int:
+        """Bytes currently stored in the backend."""
+        return self._backend.total_bytes()
+
+    def close(self) -> None:
+        """Release backend resources (connections, handles)."""
+        self._backend.close()
 
     # -- reads ------------------------------------------------------------------------
 
     def get(self, kind: str, key: str) -> dict[str, object] | None:
-        """Fetch an artifact payload: memory, then disk, else ``None``.
+        """Fetch an artifact payload: memory, then the backend, else ``None``.
 
-        A memory hit still requires the disk file to exist (one ``stat``),
-        so deleting an artifact through another store handle over the same
-        directory invalidates every handle's memory layer too.
+        A memory hit still requires the artifact to exist in the backend (one
+        existence probe), so deleting an artifact through another store
+        handle over the same backend invalidates every handle's memory layer
+        too.
         """
+        now = self._evict_due()
         cache_key = (kind, key)
-        if cache_key in self._memory:
-            if self.path_for(kind, key).exists():
+        entry = self._memory.get(cache_key)
+        if entry is not None:
+            if self._backend.exists(kind, key):
+                entry.last_access = now
                 self._memory.move_to_end(cache_key)
                 self.stats.memory_hits += 1
-                return self._memory[cache_key]
+                return entry.payload
             self._memory.pop(cache_key, None)
-        path = self.path_for(kind, key)
-        try:
-            text = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
+        payload, text = self._read_validated(kind, key)
+        if payload is None:
             self.stats.misses += 1
             return None
+        self.stats.disk_hits += 1
+        self._remember(cache_key, payload, text)
+        return payload
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Whether a *readable* artifact exists in memory or the backend.
+
+        Validates through the same read path as :meth:`get`: an on-disk
+        artifact that :meth:`get` would quarantine and miss reports ``False``
+        here too (and is quarantined on the spot), never a phantom ``True``.
+        """
+        if (kind, key) in self._memory:
+            # Same invalidation rule as get(): the backend copy must still exist.
+            return self._backend.exists(kind, key)
+        payload, text = self._read_validated(kind, key)
+        if payload is None:
+            return False
+        self._remember((kind, key), payload, text)
+        return True
+
+    def exists(self, kind: str, key: str) -> bool:
+        """Whether the backend holds ``(kind, key)`` (no payload read or validation).
+
+        The cheap durability probe behind memory-layer invalidation; use
+        :meth:`contains` when the answer must mean "readable".
+        """
+        return self._backend.exists(kind, key)
+
+    def keys(self, kind: str) -> list[str]:
+        """Every key stored in the backend for one artifact kind (sorted)."""
+        return self._backend.keys(kind)
+
+    def _read_validated(
+        self, kind: str, key: str
+    ) -> tuple[dict[str, object] | None, str]:
+        """Read + parse one backend payload, quarantining corrupt data."""
+        text = self._backend.read(kind, key)
+        if text is None:
+            return None, ""
         try:
             payload = json.loads(text)
             if not isinstance(payload, dict):
                 raise ValueError("artifact root must be a JSON object")
         except (json.JSONDecodeError, ValueError):
-            self._quarantine(path)
+            self._backend.quarantine(kind, key)
             self.stats.corrupt_recovered += 1
-            self.stats.misses += 1
-            return None
-        self.stats.disk_hits += 1
-        self._remember(cache_key, payload)
-        return payload
-
-    def contains(self, kind: str, key: str) -> bool:
-        """Whether the artifact exists in memory or on disk."""
-        return (kind, key) in self._memory or self.path_for(kind, key).exists()
-
-    def keys(self, kind: str) -> list[str]:
-        """Every key stored on disk for one artifact kind (sorted)."""
-        prefix = f"{_validate_kind(kind)}-"
-        if not self.root.is_dir():
-            return []
-        return sorted(
-            path.stem[len(prefix):]
-            for path in self.root.glob(f"{prefix}*.json")
-            if set(path.stem[len(prefix):]) <= _KEY_CHARS
-        )
+            return None, ""
+        return payload, text
 
     # -- writes -----------------------------------------------------------------------
 
-    def put(self, kind: str, key: str, payload: dict[str, object]) -> Path:
-        """Persist an artifact payload (atomic write) and cache it in memory."""
-        path = self.path_for(kind, key)
-        self.root.mkdir(parents=True, exist_ok=True)
-        # Atomic replace so a crashed writer can never leave a half-written
-        # artifact under the final name.
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=self.root, prefix=f".{kind}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(dumps(payload))
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except FileNotFoundError:
-                pass
-            raise
+    def put(self, kind: str, key: str, payload: dict[str, object]) -> Path | None:
+        """Persist an artifact payload and cache it in memory.
+
+        Returns the artifact's path for path-addressable backends, ``None``
+        otherwise.
+        """
+        text = dumps(payload)
+        self._backend.write(kind, key, text)
         self.stats.writes += 1
-        self._remember((kind, key), payload)
-        return path
+        self.stats.bytes_written += len(text.encode("utf-8"))
+        self._remember((kind, key), payload, text)
+        self.sweep_disk()
+        path_for = getattr(self._backend, "path_for", None)
+        return path_for(kind, key) if path_for is not None else None
 
     def delete(self, kind: str, key: str) -> bool:
-        """Drop an artifact from memory and disk; True when anything existed."""
+        """Drop an artifact from memory and the backend; True when anything existed."""
         existed = self._memory.pop((kind, key), None) is not None
-        path = self.path_for(kind, key)
-        try:
-            path.unlink()
-            existed = True
-        except FileNotFoundError:
-            pass
+        existed = self._backend.delete(kind, key) or existed
+        if existed:
+            self.stats.deletes += 1
         return existed
 
     def clear_memory(self) -> None:
-        """Empty the LRU layer (disk artifacts stay)."""
+        """Empty the memory front (backend artifacts stay)."""
         self._memory.clear()
 
     # -- internals --------------------------------------------------------------------
 
-    def _remember(self, cache_key: tuple[str, str], payload: dict[str, object]) -> None:
-        if self.max_memory_entries == 0:
+    def _remember(
+        self, cache_key: tuple[str, str], payload: dict[str, object], text: str
+    ) -> None:
+        if not self._memory_enabled:
             return
-        self._memory[cache_key] = payload
+        now = self._clock()
+        self._memory[cache_key] = _MemoryEntry(
+            payload, len(text.encode("utf-8")), now, now
+        )
         self._memory.move_to_end(cache_key)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
+        self._evict_due(now)
 
-    def _quarantine(self, path: Path) -> None:
-        """Move a corrupt artifact aside so the slot can be rewritten."""
-        try:
-            os.replace(path, path.with_suffix(".json.corrupt"))
-        except OSError:  # pragma: no cover - quarantine is best-effort
-            try:
-                path.unlink()
-            except OSError:
-                pass
+    def _evict_due(self, now: float | None = None) -> float:
+        """Apply the memory policy; returns the clock reading used."""
+        if now is None:
+            now = self._clock()
+        if not self._memory:
+            return now
+        view = [(key, entry.info()) for key, entry in self._memory.items()]
+        for victim in self.memory_policy.victims(view, now):
+            if self._memory.pop(victim, None) is not None:
+                self.stats.evictions += 1
+        return now
+
+    def sweep_disk(self) -> int:
+        """Apply the disk policy to the backend now; returns entries evicted.
+
+        Runs automatically after every :meth:`put`, which keeps the bound
+        strict but costs one full backend listing (a stat per file on the
+        directory backend) per write -- O(n²) listing work across an
+        n-artifact warm.  Batch writers that can tolerate transient
+        overshoot should construct the store without *disk_policy* and call
+        this explicitly once per batch.
+
+        Policy ``now`` comes from the store's clock and is compared against
+        backend write stamps (file mtime / ``time.time()``), so time-based
+        disk policies need both on the same clock -- true by default; under
+        an injected test clock, share it with ``MemoryBackend(clock=...)``.
+        """
+        if self.disk_policy is None:
+            return 0
+        evicted = 0
+        now = self._clock()
+        stored = sorted(self._backend.entries(), key=lambda entry: entry.stored_at)
+        view = [
+            ((entry.kind, entry.key), EntryInfo(entry.size_bytes, entry.stored_at, entry.stored_at))
+            for entry in stored
+        ]
+        for kind, key in self.disk_policy.victims(view, now):
+            if self._backend.delete(kind, key):
+                self.stats.disk_evictions += 1
+                evicted += 1
+            # The memory copy would be dropped on its next read anyway (the
+            # backend existence probe fails); drop it now to free the slot.
+            self._memory.pop((kind, key), None)
+        return evicted

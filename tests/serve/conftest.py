@@ -1,0 +1,37 @@
+"""Serve-suite fixtures: every storage backend behind one parametrized store.
+
+The ``any_backend`` / ``any_store`` fixtures fan the serve tests out over all
+three :class:`~repro.serve.backends.StorageBackend` implementations, so the
+engine's contract (reads, writes, quarantine, eviction, stats) is asserted
+identically against the sharded directory layout, the WAL sqlite file and
+the in-process memory map.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.backends import BACKEND_NAMES, StorageBackend, create_backend
+from repro.serve.store import ArtifactStore
+
+__all__ = ["BACKEND_NAMES"]
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend_name(request) -> str:
+    """Every storage backend name, one test instantiation per backend."""
+    return request.param
+
+
+@pytest.fixture()
+def any_backend(backend_name, tmp_path) -> StorageBackend:
+    """A fresh backend of each flavour rooted in the test's tmp dir."""
+    backend = create_backend(backend_name, tmp_path / "cache")
+    yield backend
+    backend.close()
+
+
+@pytest.fixture()
+def any_store(any_backend) -> ArtifactStore:
+    """An ArtifactStore over each backend with a capacity-2 memory front."""
+    return ArtifactStore(backend=any_backend, max_memory_entries=2)

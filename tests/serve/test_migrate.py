@@ -1,0 +1,205 @@
+"""Backend migration: byte-identical round-trips across backends and layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.backends import DirectoryBackend, MemoryBackend, SqliteBackend
+from repro.serve.migrate import migrate_backend
+from repro.serve.store import ArtifactStore
+
+KEY_A = "a" * 8
+KEY_B = "1b" + "c" * 6
+KEY_C = "f0" + "d" * 6
+
+SEED_ARTIFACTS = {
+    ("analysis", KEY_A): '{"figure":2,"patterns":[1,2]}',
+    ("mining", KEY_B): '{"patterns":{"Japanese":3}}',
+    ("miningindex", KEY_C): '{"entries":{}}',
+}
+
+
+def seed(backend) -> None:
+    for (kind, key), text in SEED_ARTIFACTS.items():
+        backend.write(kind, key, text)
+
+
+def snapshot(backend) -> dict[tuple[str, str], str]:
+    return {(kind, key): backend.read(kind, key) for kind, key in backend.scan()}
+
+
+class TestMigrateBackend:
+    def test_directory_to_sqlite_round_trip_is_byte_identical(self, tmp_path):
+        source = DirectoryBackend(tmp_path / "dir")
+        seed(source)
+        middle = SqliteBackend(tmp_path / "artifacts.sqlite")
+        report = migrate_backend(source, middle)
+        assert report.migrated == len(SEED_ARTIFACTS)
+        assert report.bytes_moved == sum(len(t) for t in SEED_ARTIFACTS.values())
+        assert report.per_kind == {"analysis": 1, "mining": 1, "miningindex": 1}
+        assert snapshot(middle) == SEED_ARTIFACTS
+        # ... and back into a fresh directory tree.
+        destination = DirectoryBackend(tmp_path / "dir2")
+        migrate_backend(middle, destination)
+        assert snapshot(destination) == SEED_ARTIFACTS
+        middle.close()
+
+    def test_any_backend_to_memory_replica(self, any_backend):
+        seed(any_backend)
+        replica = MemoryBackend()
+        report = migrate_backend(any_backend, replica)
+        assert report.migrated == len(SEED_ARTIFACTS)
+        assert snapshot(replica) == SEED_ARTIFACTS
+        # The source is untouched without delete_source.
+        assert snapshot(any_backend) == SEED_ARTIFACTS
+
+    def test_delete_source_moves(self, tmp_path):
+        source = DirectoryBackend(tmp_path / "dir")
+        seed(source)
+        destination = SqliteBackend(tmp_path / "artifacts.sqlite")
+        report = migrate_backend(source, destination, delete_source=True)
+        assert report.deleted_source == len(SEED_ARTIFACTS)
+        assert snapshot(source) == {}
+        assert snapshot(destination) == SEED_ARTIFACTS
+        destination.close()
+
+    def test_flat_to_sharded_layout_same_root(self, tmp_path):
+        flat = DirectoryBackend(tmp_path, shards=0)
+        seed(flat)
+        sharded = DirectoryBackend(tmp_path, shards=256)
+        report = migrate_backend(flat, sharded, delete_source=True)
+        assert report.migrated == len(SEED_ARTIFACTS)
+        assert snapshot(sharded) == SEED_ARTIFACTS
+        assert snapshot(flat) == {}
+        assert (tmp_path / KEY_B[:2] / f"mining-{KEY_B}.json").exists()
+
+    def test_flat_migration_leaves_corpus_snapshots_in_place(self, tmp_path):
+        # Corpus files are service auxiliaries living next to the artifacts
+        # in the flat layout; the service looks them up at the cache root,
+        # so a migration must neither move nor delete them.
+        flat = DirectoryBackend(tmp_path, shards=0)
+        seed(flat)
+        corpus = tmp_path / ("corpus-" + "9" * 8 + ".json")
+        corpus.write_text('{"format_version":1}', encoding="utf-8")
+        report = migrate_backend(flat, DirectoryBackend(tmp_path), delete_source=True)
+        assert report.migrated == len(SEED_ARTIFACTS)
+        assert "corpus" not in report.per_kind
+        assert corpus.exists()
+
+    def test_same_layout_migration_is_noop(self, tmp_path):
+        source = DirectoryBackend(tmp_path)
+        seed(source)
+        report = migrate_backend(source, DirectoryBackend(tmp_path))
+        assert report.migrated == 0
+        assert snapshot(source) == SEED_ARTIFACTS
+
+    def test_corrupt_source_artifact_is_skipped_and_quarantined(self, tmp_path):
+        source = DirectoryBackend(tmp_path / "dir")
+        seed(source)
+        source.write("analysis", KEY_C, "{broken")
+        destination = MemoryBackend()
+        report = migrate_backend(source, destination)
+        assert report.migrated == len(SEED_ARTIFACTS)
+        assert report.skipped_corrupt == 1
+        assert snapshot(destination) == SEED_ARTIFACTS
+        assert not source.exists("analysis", KEY_C)  # quarantined away
+
+    def test_migrated_store_serves_identically(self, tmp_path):
+        source_store = ArtifactStore(tmp_path / "dir")
+        source_store.put("analysis", KEY_A, {"b": 1, "a": 2})
+        destination = SqliteBackend(tmp_path / "artifacts.sqlite")
+        migrate_backend(source_store.backend, destination)
+        served = ArtifactStore(backend=destination)
+        assert served.get("analysis", KEY_A) == {"b": 1, "a": 2}
+        assert served.stats.disk_hits == 1
+        destination.close()
+
+
+class TestMigrateCLI:
+    @pytest.fixture()
+    def flat_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        backend = DirectoryBackend(cache, shards=0)
+        seed(backend)
+        return cache
+
+    def test_cli_flat_to_sqlite(self, flat_cache, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "store-migrate",
+                "--cache-dir", str(flat_cache),
+                "--from-shards", "0",
+                "--to-backend", "sqlite",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"migrated {len(SEED_ARTIFACTS)} artifacts" in out
+        replica = SqliteBackend(flat_cache / "artifacts.sqlite")
+        assert snapshot(replica) == SEED_ARTIFACTS
+        replica.close()
+
+    def test_cli_rejects_identity_migration(self, flat_cache, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "store-migrate",
+                "--cache-dir", str(flat_cache),
+                "--to-backend", "directory",
+            ]
+        )
+        assert code == 1
+        assert "same storage location" in capsys.readouterr().err
+
+    def test_cli_rejects_sqlite_to_same_sqlite(self, flat_cache, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "store-migrate",
+                "--cache-dir", str(flat_cache),
+                "--from-backend", "sqlite",
+                "--to-backend", "sqlite",
+            ]
+        )
+        assert code == 1
+        assert "same storage location" in capsys.readouterr().err
+
+    def test_cli_rejects_memory_source(self, flat_cache, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "store-migrate",
+                "--cache-dir", str(flat_cache),
+                "--from-backend", "memory",
+                "--to-backend", "sqlite",
+            ]
+        )
+        assert code == 1
+        assert "memory backend" in capsys.readouterr().err
+
+    def test_cli_json_report(self, flat_cache, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main(
+            [
+                "store-migrate",
+                "--cache-dir", str(flat_cache),
+                "--from-shards", "0",
+                "--to-backend", "directory",
+                "--to-shards", "256",
+                "--delete-source",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["migrated"] == len(SEED_ARTIFACTS)
+        assert report["deleted_source"] == len(SEED_ARTIFACTS)
+        assert report["per_kind"]["analysis"] == 1

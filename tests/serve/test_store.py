@@ -67,6 +67,20 @@ class TestBasicOperations:
         path = store.put("analysis", KEY_A, {"b": 1, "a": 2})
         assert path.read_text(encoding="utf-8") == '{"a":2,"b":1}'
 
+    def test_directory_layout_is_sharded_by_key_prefix(self, store):
+        path = store.put("analysis", KEY_A, {})
+        assert path.parent.name == KEY_A[:2]
+        assert path == store.path_for("analysis", KEY_A)
+        assert store.keys("analysis") == [KEY_A]
+
+    def test_delete_increments_deletes_counter(self, store):
+        store.put("analysis", KEY_A, {})
+        assert store.delete("analysis", KEY_A)
+        assert store.stats.deletes == 1
+        assert not store.delete("analysis", KEY_A)  # nothing existed
+        assert store.stats.deletes == 1
+        assert store.stats.to_dict()["deletes"] == 1
+
 
 class TestLRU:
     def test_capacity_evicts_oldest(self, store):
@@ -112,6 +126,26 @@ class TestLRU:
         store.put("analysis", KEY_B, {"v": 2})
         assert store.stats.evictions == 0
 
+    def test_eviction_counters_under_interleaved_traffic(self, store):
+        # Capacity 2.  Evictions must count only policy-driven memory drops,
+        # never explicit deletes, and vice versa.
+        store.put("analysis", KEY_A, {"v": "a"})  # memory: [A]
+        store.put("analysis", KEY_B, {"v": "b"})  # memory: [A, B]
+        store.get("analysis", KEY_A)              # memory: [B, A]
+        store.put("analysis", KEY_C, {"v": "c"})  # evicts B
+        assert store.stats.evictions == 1
+        store.delete("analysis", KEY_A)           # a delete, not an eviction
+        assert store.stats.deletes == 1
+        assert store.stats.evictions == 1
+        store.get("analysis", KEY_B)              # disk hit refills: [C, B]
+        assert store.stats.disk_hits == 1
+        assert store.stats.evictions == 1         # capacity not exceeded
+        store.put("analysis", KEY_A, {"v": "a2"})  # evicts C
+        assert store.stats.evictions == 2
+        assert store.stats.deletes == 1
+        counters = store.stats.to_dict()
+        assert counters["evictions"] == 2 and counters["deletes"] == 1
+
 
 class TestCorruptRecovery:
     def test_truncated_file_is_a_miss(self, store):
@@ -146,6 +180,36 @@ class TestCorruptRecovery:
         store.path_for("analysis", KEY_A).write_text("garbage", encoding="utf-8")
         # Still in memory, so the corrupt disk copy is never read.
         assert store.get("analysis", KEY_A) == {"v": 1}
+
+    def test_quarantine_collision_with_stale_corrupt_file(self, store):
+        # A previous quarantine already parked a *.json.corrupt under the
+        # target name; quarantining again must not wedge the slot.
+        store.put("analysis", KEY_A, {"v": 1})
+        store.clear_memory()
+        path = store.path_for("analysis", KEY_A)
+        stale = path.with_suffix(".json.corrupt")
+        stale.write_text("stale quarantine", encoding="utf-8")
+        path.write_text("fresh corruption", encoding="utf-8")
+        assert store.get("analysis", KEY_A) is None
+        assert store.stats.corrupt_recovered == 1
+        assert not path.exists()
+        # The newer corruption replaced the stale quarantine file.
+        assert stale.read_text(encoding="utf-8") == "fresh corruption"
+        store.put("analysis", KEY_A, {"v": 2})
+        store.clear_memory()
+        assert store.get("analysis", KEY_A) == {"v": 2}
+
+    def test_contains_validates_through_read_path(self, store):
+        # A corrupt on-disk artifact that get() would quarantine and miss
+        # must not report True from contains().
+        store.put("analysis", KEY_A, {"v": 1})
+        store.clear_memory()
+        path = store.path_for("analysis", KEY_A)
+        path.write_text("garbage", encoding="utf-8")
+        assert not store.contains("analysis", KEY_A)
+        assert store.stats.corrupt_recovered == 1
+        assert not path.exists()  # quarantined on the spot
+        assert path.with_suffix(".json.corrupt").exists()
 
     def test_external_delete_invalidates_memory_layer(self, store, tmp_path):
         store.put("analysis", KEY_A, {"v": 1})
