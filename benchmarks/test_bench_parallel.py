@@ -1,0 +1,216 @@
+"""C2 — parallel zero-copy mining + engine-level closed filtering.
+
+Two gates for the PR-4 cold-path work:
+
+* **Region fan-out**: mining many per-region sub-problems through
+  ``mine_regions_parallel`` over memory-mapped sidecar tasks must be ≥2×
+  faster at 4 workers than the serial legacy path -- and byte-identical at
+  every worker count.  The speedup gate needs real cores: on a runner with
+  fewer than 4 CPUs the scaling curve is still measured and recorded in
+  ``BENCH_core.json`` (the worker-scaling trajectory), but the wall-clock
+  assertion is skipped -- a process pool cannot beat serial on one core.
+* **Closed filter**: the tidset/containment engine path of
+  ``closed_patterns(result, matrix=...)`` must be ≥5× faster than the
+  pure-Python ``closed_patterns_naive`` on a ties-heavy ≥2k-transaction
+  database (repeated template transactions make equal-support groups large,
+  which is exactly where the quadratic naive filter drowns).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.mining.closed import closed_patterns, closed_patterns_naive
+from repro.mining.fpgrowth import FPGrowthMiner
+from repro.mining.itemsets import TransactionDatabase
+from repro.mining.parallel import mine_regions_parallel, tasks_from_sidecars
+from repro.serve.codec import dumps, mining_to_dict
+from repro.viz.tables import format_table
+
+from _bench_report import record
+
+# -- region fan-out workload ---------------------------------------------------------
+
+N_REGIONS = 12
+N_TRANSACTIONS_PER_REGION = 3000
+FANOUT_VOCABULARY = 180
+FANOUT_MIN_SUPPORT = 0.02
+FANOUT_MAX_LENGTH = 3
+WORKER_CURVE = (0, 1, 2, 4)
+GATE_WORKERS = 4
+REQUIRED_MINING_SPEEDUP = 2.0
+
+# -- closed-filter workload ----------------------------------------------------------
+
+N_TRANSACTIONS_CLOSED = 2048  # the ISSUE floor is >= 2k
+N_TEMPLATES = 40
+CLOSED_VOCABULARY = 64
+CLOSED_MIN_SUPPORT = 0.015
+CLOSED_MAX_LENGTH = 4
+REQUIRED_CLOSED_SPEEDUP = 5.0
+
+
+def _region_database(seed: int) -> TransactionDatabase:
+    """One region's dense, skewed transactions (recipe-like popularity)."""
+    rng = np.random.default_rng(seed)
+    items = np.array([f"item{k:03d}" for k in range(FANOUT_VOCABULARY)])
+    weights = 1.0 / np.arange(1, FANOUT_VOCABULARY + 1) ** 0.9
+    weights /= weights.sum()
+    transactions = []
+    for _ in range(N_TRANSACTIONS_PER_REGION):
+        size = int(rng.integers(6, 16))
+        chosen = rng.choice(FANOUT_VOCABULARY, size=size, replace=False, p=weights)
+        transactions.append(items[chosen].tolist())
+    return TransactionDatabase(transactions)
+
+
+def test_parallel_region_fanout_speedup(tmp_path):
+    databases = {f"region{k:02d}": _region_database(seed=k) for k in range(N_REGIONS)}
+    sidecars = {}
+    started = time.perf_counter()
+    for region, database in databases.items():
+        prefix = tmp_path / region
+        database.matrix().save(prefix, fingerprint="bench")
+        sidecars[region] = prefix
+    compile_seconds = time.perf_counter() - started
+    tasks = tasks_from_sidecars(sidecars, fingerprint="bench")
+    miner = FPGrowthMiner(FANOUT_MIN_SUPPORT, max_length=FANOUT_MAX_LENGTH)
+
+    timings: dict[int, float] = {}
+    reference_bytes: str | None = None
+    for workers in WORKER_CURVE:
+        started = time.perf_counter()
+        results = mine_regions_parallel(tasks, miner, workers=workers)
+        timings[workers] = time.perf_counter() - started
+        encoded = dumps(mining_to_dict(results))
+        if reference_bytes is None:
+            reference_bytes = encoded
+            assert sum(len(result) for result in results.values()) > 0
+        else:
+            assert encoded == reference_bytes, (
+                f"workers={workers} output differs from serial"
+            )
+
+    cpus = os.cpu_count() or 1
+    rows = [
+        {
+            "workers": workers,
+            "seconds": round(seconds, 3),
+            "speedup": round(timings[0] / seconds, 2),
+        }
+        for workers, seconds in timings.items()
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            ["workers", "seconds", "speedup"],
+            title=(
+                f"region fan-out over {N_REGIONS} regions × "
+                f"{N_TRANSACTIONS_PER_REGION} transactions ({cpus} CPUs)"
+            ),
+        )
+    )
+    record(
+        "parallel_mining",
+        {
+            "n_regions": N_REGIONS,
+            "n_transactions_per_region": N_TRANSACTIONS_PER_REGION,
+            "vocabulary": FANOUT_VOCABULARY,
+            "min_support": FANOUT_MIN_SUPPORT,
+            "max_length": FANOUT_MAX_LENGTH,
+            "cpu_count": cpus,
+            "sidecar_compile_seconds": compile_seconds,
+            "required_speedup": REQUIRED_MINING_SPEEDUP,
+            "gate_workers": GATE_WORKERS,
+            "gated": cpus >= GATE_WORKERS,
+            "byte_identical": True,
+            "curve": [
+                {
+                    "workers": workers,
+                    "seconds": seconds,
+                    "speedup": timings[0] / seconds,
+                }
+                for workers, seconds in timings.items()
+            ],
+        },
+    )
+    if cpus < GATE_WORKERS:
+        pytest.skip(
+            f"speedup gate needs >= {GATE_WORKERS} CPUs (runner has {cpus}); "
+            "scaling curve recorded, byte-identity asserted"
+        )
+    speedup = timings[0] / timings[GATE_WORKERS]
+    assert speedup >= REQUIRED_MINING_SPEEDUP, (
+        f"{GATE_WORKERS}-worker fan-out only {speedup:.2f}x faster than serial; "
+        f"expected >= {REQUIRED_MINING_SPEEDUP}x"
+    )
+
+
+def _ties_heavy_database(seed: int = 5) -> TransactionDatabase:
+    """Templates repeated verbatim: huge equal-support groups of patterns."""
+    rng = np.random.default_rng(seed)
+    items = np.array([f"item{k:03d}" for k in range(CLOSED_VOCABULARY)])
+    templates = [
+        items[
+            rng.choice(
+                CLOSED_VOCABULARY, size=int(rng.integers(9, 13)), replace=False
+            )
+        ].tolist()
+        for _ in range(N_TEMPLATES)
+    ]
+    return TransactionDatabase(
+        [templates[i % N_TEMPLATES] for i in range(N_TRANSACTIONS_CLOSED)]
+    )
+
+
+def test_engine_closed_filter_speedup():
+    database = _ties_heavy_database()
+    matrix = database.matrix()
+    result = FPGrowthMiner(CLOSED_MIN_SUPPORT, max_length=CLOSED_MAX_LENGTH).mine(
+        database
+    )
+
+    started = time.perf_counter()
+    naive = closed_patterns_naive(result)
+    naive_seconds = time.perf_counter() - started
+
+    engine_seconds = float("inf")
+    engine = None
+    for _ in range(3):
+        started = time.perf_counter()
+        engine = closed_patterns(result, matrix=matrix)
+        engine_seconds = min(engine_seconds, time.perf_counter() - started)
+
+    assert engine == naive, "engine and naive closed filters disagree"
+    speedup = naive_seconds / engine_seconds
+    print(
+        f"\nclosed filter over {len(result)} patterns "
+        f"(n={N_TRANSACTIONS_CLOSED}): naive {naive_seconds:.3f}s, "
+        f"engine {engine_seconds:.3f}s, speedup {speedup:.1f}x "
+        f"({len(naive)} closed)"
+    )
+    record(
+        "closed_filter",
+        {
+            "n_transactions": N_TRANSACTIONS_CLOSED,
+            "n_templates": N_TEMPLATES,
+            "vocabulary": CLOSED_VOCABULARY,
+            "min_support": CLOSED_MIN_SUPPORT,
+            "max_length": CLOSED_MAX_LENGTH,
+            "patterns": len(result),
+            "closed_patterns": len(naive),
+            "naive_seconds": naive_seconds,
+            "engine_seconds": engine_seconds,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_CLOSED_SPEEDUP,
+        },
+    )
+    assert speedup >= REQUIRED_CLOSED_SPEEDUP, (
+        f"engine closed filter only {speedup:.1f}x faster than the python "
+        f"pass; expected >= {REQUIRED_CLOSED_SPEEDUP}x"
+    )

@@ -22,6 +22,11 @@ Every serve subcommand takes ``--store-backend`` (sharded ``directory``
 default, ``sqlite``, ``memory``), ``--store-shards`` for the directory
 layout, and ``--eviction`` / ``--disk-eviction`` policy specs such as
 ``lru:32+ttl:600`` or ``maxbytes:1048576`` (see ``docs/storage-engine.md``).
+``analyze``, ``serve-warm`` and ``query`` additionally take ``--workers N``
+to fan per-cuisine mining out over a process pool of N workers sharing the
+memory-mapped matrix sidecars (results are byte-identical to serial; see
+``docs/parallel-mining.md``); ``serve-stats`` accepts the flag too and
+reports the configured worker count.
 
 Example::
 
@@ -94,7 +99,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the paper-vs-measured comparison",
     )
 
+    def add_workers(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="mining worker processes: 0 = serial (default; or "
+                 "$REPRO_MINING_WORKERS), N fans regions out over a process "
+                 "pool with byte-identical results",
+        )
+
     analyze = subparsers.add_parser("analyze", help="run the full pipeline")
+    add_workers(analyze)
     analyze.add_argument(
         "--report", type=Path, default=None, help="write a markdown report to this path"
     )
@@ -159,11 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-warm", help="populate the serve cache for this config"
     )
     add_store_options(warm)
+    add_workers(warm)
 
     stats = subparsers.add_parser(
         "serve-stats", help="print serve-cache statistics (artifacts + traffic)"
     )
     add_store_options(stats)
+    add_workers(stats)
     stats.add_argument(
         "--json",
         action="store_true",
@@ -226,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
         "query", help="read-path queries against the cached analysis"
     )
     add_store_options(query)
+    add_workers(query)
     query.add_argument("--nearest", metavar="CUISINE", help="k nearest cuisines")
     query.add_argument(
         "--figure",
@@ -340,7 +360,9 @@ def _command_mine(args: argparse.Namespace) -> int:
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
-    pipeline = CuisineClusteringPipeline(_config_from_args(args))
+    pipeline = CuisineClusteringPipeline(
+        _config_from_args(args), workers=getattr(args, "workers", None)
+    )
     database = _resolve_corpus(args, pipeline)
     results = pipeline.run(database)
     summary = results.summary()
@@ -391,7 +413,7 @@ def _store_for(args: argparse.Namespace) -> ArtifactStore:
 
 
 def _service_for(args: argparse.Namespace) -> AnalysisService:
-    return AnalysisService(_store_for(args))
+    return AnalysisService(_store_for(args), workers=getattr(args, "workers", None))
 
 
 def _serve_analysis(args: argparse.Namespace, service: AnalysisService):
@@ -414,11 +436,17 @@ def _command_serve_warm(args: argparse.Namespace) -> int:
         )
     service = _service_for(args)
     served = service.get_or_run(_config_from_args(args))
+    workers_note = (
+        f", {served.workers} workers ({served.worker_compiles} matrix compiles)"
+        if served.workers
+        else ""
+    )
     print(
         f"cache {'hit' if served.source != 'computed' else 'miss'}: "
         f"analysis {served.key[:12]} served from {served.source} "
         f"in {served.elapsed_seconds:.3f}s"
         + (" (mining reused)" if served.mining_reused else "")
+        + workers_note
     )
     print(f"cached analyses in {args.cache_dir}: {len(service.cached_keys())}")
     return 0
@@ -441,6 +469,7 @@ def _command_serve_stats(args: argparse.Namespace) -> int:
         "max_memory_entries": store.max_memory_entries,
         "eviction": store.memory_policy.describe(),
         "disk_eviction": store.disk_policy.describe() if store.disk_policy else "none",
+        "workers": service.workers,
         "store_bytes": store.total_bytes(),
         "artifacts": artifacts,
         "counters": service.stats(),
@@ -450,7 +479,8 @@ def _command_serve_stats(args: argparse.Namespace) -> int:
         return 0
     print(
         f"serve cache at {store.root} [{store.backend.describe()}] "
-        f"({store.total_bytes()} bytes stored, eviction {store.memory_policy.describe()})"
+        f"({store.total_bytes()} bytes stored, eviction {store.memory_policy.describe()}, "
+        f"mining workers {service.workers})"
     )
     print(
         format_table(

@@ -55,6 +55,11 @@ from repro.geo.comparison import (
 from repro.geo.regions import REGION_GEOGRAPHY
 from repro.mining.fpgrowth import FPGrowthMiner
 from repro.mining.itemsets import MiningResult, TransactionDatabase
+from repro.mining.parallel import (
+    RegionTask,
+    mine_regions_parallel,
+    resolve_workers,
+)
 from repro.recipedb.database import RecipeDatabase
 from repro.recipedb.models import EntityKind
 from repro.recipedb.stats import corpus_statistics
@@ -63,10 +68,21 @@ __all__ = ["CuisineClusteringPipeline", "run_full_analysis"]
 
 
 class CuisineClusteringPipeline:
-    """End-to-end reproduction pipeline."""
+    """End-to-end reproduction pipeline.
 
-    def __init__(self, config: AnalysisConfig | None = None) -> None:
+    *workers* controls the mining stage's process-pool fan-out: ``0`` (the
+    default) keeps the serial legacy path, ``N`` mines the per-cuisine
+    sub-problems over ``N`` worker processes with deterministically merged
+    (byte-identical) results.  ``None`` defers to the
+    ``REPRO_MINING_WORKERS`` environment variable, which is how CI runs the
+    whole suite under a 2-worker pool.
+    """
+
+    def __init__(
+        self, config: AnalysisConfig | None = None, *, workers: int | None = None
+    ) -> None:
         self.config = config if config is not None else DEFAULT_CONFIG
+        self.workers = resolve_workers(workers)
 
     # -- stage 1: corpus -------------------------------------------------------------
 
@@ -83,6 +99,8 @@ class CuisineClusteringPipeline:
         self,
         database: RecipeDatabase,
         transactions: Mapping[str, TransactionDatabase] | None = None,
+        *,
+        workers: int | None = None,
     ) -> dict[str, MiningResult]:
         """Mine frequent patterns per cuisine with FP-Growth.
 
@@ -90,21 +108,32 @@ class CuisineClusteringPipeline:
         databases (e.g. from :meth:`build_transactions`); passing the same
         mapping across several ``min_support`` runs lets every run share the
         compiled :class:`~repro.mining.bitmatrix.TransactionMatrix` each
-        database memoizes.
+        database memoizes.  With ``workers > 0`` that sharing holds only for
+        matrices compiled *before* the fan-out (they ship to the workers
+        pickled; matrices compiled inside a worker die with it) -- repeated
+        parallel runs that want zero re-compiles should go through the serve
+        layer's persisted sidecars instead.  *workers* overrides the
+        pipeline's fan-out for this call (``None`` = use ``self.workers``);
+        results are identical at every worker count.
         """
         if transactions is None:
             transactions = self.build_transactions(database)
-        miner = FPGrowthMiner(
-            min_support=self.config.min_support,
-            max_length=self.config.max_pattern_length,
-        )
-        results: dict[str, MiningResult] = {}
+        miner = self.build_miner()
+        tasks: list[RegionTask] = []
         for region in database.region_names():
             regional = transactions.get(region)
             if regional is None or len(regional) == 0:
                 raise PipelineError(f"region {region!r} has no recipes to mine")
-            results[region] = miner.mine(regional)
-        return results
+            tasks.append(RegionTask(region, database=regional))
+        effective = self.workers if workers is None else resolve_workers(workers)
+        return mine_regions_parallel(tasks, miner, workers=effective)
+
+    def build_miner(self) -> FPGrowthMiner:
+        """The configured (picklable) miner the mining stage fans out."""
+        return FPGrowthMiner(
+            min_support=self.config.min_support,
+            max_length=self.config.max_pattern_length,
+        )
 
     def build_transactions(
         self, database: RecipeDatabase
@@ -260,6 +289,7 @@ def run_full_analysis(
     config: AnalysisConfig | None = None,
     *,
     database: RecipeDatabase | None = None,
+    workers: int | None = None,
 ) -> AnalysisResults:
     """Convenience wrapper: run the whole pipeline with an optional config/corpus."""
-    return CuisineClusteringPipeline(config).run(database)
+    return CuisineClusteringPipeline(config, workers=workers).run(database)

@@ -17,6 +17,7 @@ __all__ = [
     "SerializationError",
     "GenerationError",
     "MiningError",
+    "SidecarError",
     "FeatureError",
     "DistanceError",
     "ClusteringError",
@@ -61,6 +62,10 @@ class GenerationError(ReproError):
 
 class MiningError(ReproError):
     """Frequent-pattern mining received invalid parameters or transactions."""
+
+
+class SidecarError(MiningError):
+    """A persisted transaction-matrix sidecar is missing, corrupt or stale."""
 
 
 class FeatureError(ReproError):

@@ -1,21 +1,45 @@
 """Frequent-pattern mining: FP-Growth (primary), Apriori and Eclat baselines."""
 
 from repro.mining.apriori import AprioriMiner, apriori
-from repro.mining.closed import closed_patterns, maximal_patterns, redundancy_ratio
+from repro.mining.bitmatrix import TransactionMatrix
+from repro.mining.closed import (
+    closed_patterns,
+    closed_patterns_naive,
+    maximal_patterns,
+    maximal_patterns_naive,
+    redundancy_ratio,
+)
 from repro.mining.eclat import EclatMiner, eclat
 from repro.mining.fpgrowth import FPGrowthMiner, fpgrowth
 from repro.mining.fptree import FPNode, FPTree
 from repro.mining.itemsets import MiningResult, Pattern, TransactionDatabase
+from repro.mining.parallel import (
+    ParallelMiningReport,
+    RegionTask,
+    mine_regions_parallel,
+    mine_regions_with_report,
+    tasks_from_sidecars,
+    tasks_from_transactions,
+)
 from repro.mining.rules import AssociationRule, generate_rules
 
 __all__ = [
     "AprioriMiner",
     "apriori",
+    "TransactionMatrix",
     "closed_patterns",
+    "closed_patterns_naive",
     "maximal_patterns",
+    "maximal_patterns_naive",
     "redundancy_ratio",
     "EclatMiner",
     "eclat",
+    "ParallelMiningReport",
+    "RegionTask",
+    "mine_regions_parallel",
+    "mine_regions_with_report",
+    "tasks_from_sidecars",
+    "tasks_from_transactions",
     "FPGrowthMiner",
     "fpgrowth",
     "FPNode",

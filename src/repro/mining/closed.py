@@ -8,20 +8,160 @@ formalisation of that redundancy removal:
 * an itemset is **maximal** when no proper superset is frequent at all.
 
 Both filters operate on a :class:`~repro.mining.itemsets.MiningResult` and
-return a new result, so they compose with any miner.
+return a new result, so they compose with any miner.  Two implementations
+exist:
+
+* the historical pure-Python pass (:func:`closed_patterns_naive` /
+  :func:`maximal_patterns_naive`), which compares frozensets pairwise within
+  equal-support groups -- quadratic in the group size;
+* the **engine path**, used when the caller supplies the region's compiled
+  :class:`~repro.mining.bitmatrix.TransactionMatrix`: an itemset has an
+  equal-support (resp. frequent) superset *in the result* iff some single-item
+  extension does, so one vectorized AND + popcount of every pattern's tid-set
+  against every item row decides all patterns at once.
+
+``closed_patterns(result, matrix=...)`` dispatches between them.  The engine
+path is exact for any *complete* miner output (everything the miners return:
+all frequent itemsets up to their length bound); a result that was manually
+``filter()``-ed afterwards is no longer complete and must use the naive path.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.mining.itemsets import MiningResult
+import numpy as np
 
-__all__ = ["closed_patterns", "maximal_patterns", "redundancy_ratio"]
+from repro.errors import MiningError
+from repro.mining.bitmatrix import TransactionMatrix
+from repro.mining.itemsets import MiningResult, minimum_support_count
+
+__all__ = [
+    "closed_patterns",
+    "closed_patterns_naive",
+    "maximal_patterns",
+    "maximal_patterns_naive",
+    "redundancy_ratio",
+]
+
+#: Patterns per vectorized block: bounds the ``(block, n_transactions)``
+#: containment matrix to a few MB while keeping the matmuls large enough to
+#: amortize dispatch.
+_BLOCK = 1024
 
 
-def closed_patterns(result: MiningResult) -> MiningResult:
-    """Keep only closed itemsets (no superset with identical support)."""
+def closed_patterns(
+    result: MiningResult, *, matrix: TransactionMatrix | None = None
+) -> MiningResult:
+    """Keep only closed itemsets (no superset with identical support).
+
+    With *matrix* (the compiled transaction matrix of the database the
+    patterns were mined from) the closure checks run as tidset popcounts on
+    the bitset engine; without it the historical pure-Python filter runs.
+    Both produce identical results on complete miner outputs.
+    """
+    if matrix is None:
+        return closed_patterns_naive(result)
+    keep = _engine_survivors(result, matrix, mode="closed")
+    return MiningResult(
+        (pattern for pattern, kept in zip(result, keep) if kept),
+        n_transactions=result.n_transactions,
+        min_support=result.min_support,
+        algorithm=f"{result.algorithm}+closed",
+    )
+
+
+def maximal_patterns(
+    result: MiningResult, *, matrix: TransactionMatrix | None = None
+) -> MiningResult:
+    """Keep only maximal itemsets (no frequent proper superset).
+
+    Same dispatch as :func:`closed_patterns`: *matrix* selects the vectorized
+    engine path, ``None`` the pure-Python baseline.
+    """
+    if matrix is None:
+        return maximal_patterns_naive(result)
+    keep = _engine_survivors(result, matrix, mode="maximal")
+    return MiningResult(
+        (pattern for pattern, kept in zip(result, keep) if kept),
+        n_transactions=result.n_transactions,
+        min_support=result.min_support,
+        algorithm=f"{result.algorithm}+maximal",
+    )
+
+
+def _engine_survivors(
+    result: MiningResult, matrix: TransactionMatrix, mode: str
+) -> np.ndarray:
+    """Boolean keep-mask over ``result``'s patterns, decided on the engine.
+
+    A pattern P in a complete result has a superset in the result with equal
+    support (closed check) or with frequent support (maximal check) iff some
+    single-item extension ``P ∪ {j}`` qualifies: any qualifying superset Q
+    yields a qualifying extension through each ``j ∈ Q \\ P`` (supports are
+    sandwiched by anti-monotonicity), and the extension itself is short and
+    frequent enough to be in the result.  Patterns at the result's maximum
+    length are kept outright -- their extensions exceed the miner's length
+    bound, so the pure-Python filter never sees those supersets either (and
+    on an unbounded complete result no qualifying extension can exist, or it
+    would have been mined).
+    """
+    patterns = list(result)
+    if not patterns:
+        return np.zeros(0, dtype=bool)
+    n_items = matrix.n_items
+    n_patterns = len(patterns)
+    max_length = max(pattern.length for pattern in patterns)
+    min_count = minimum_support_count(result.min_support, result.n_transactions)
+
+    # (n_items, n_transactions) presence as float32: exact for the integer
+    # counts involved (far below 2**24) and eligible for BLAS matmuls, which
+    # is what makes the whole filter two gemms instead of a Python loop.
+    presence = np.unpackbits(
+        matrix.packed_rows, axis=1, count=matrix.n_transactions
+    ).astype(np.float32)
+
+    # Pattern membership indicator (n_patterns, n_items), and each pattern's
+    # own item-id columns for masking self-extensions later.
+    membership = np.zeros((n_patterns, n_items), dtype=np.float32)
+    for index, pattern in enumerate(patterns):
+        ids = matrix.ids_of(pattern.items)  # raises MiningError on unknown items
+        membership[index, ids] = 1.0
+    lengths = membership.sum(axis=1)
+    supports = np.fromiter(
+        (pattern.absolute_support for pattern in patterns),
+        dtype=np.int64,
+        count=n_patterns,
+    )
+
+    keep = np.ones(n_patterns, dtype=bool)
+    for start in range(0, n_patterns, _BLOCK):
+        stop = min(start + _BLOCK, n_patterns)
+        # contain[p, t] == 1 iff transaction t holds every item of pattern p:
+        # the item-hit count reaches the pattern length.
+        hits = membership[start:stop] @ presence
+        contain = (hits == lengths[start:stop, None]).astype(np.float32)
+        block_supports = contain.sum(axis=1).astype(np.int64)
+        if not np.array_equal(block_supports, supports[start:stop]):
+            raise MiningError(
+                "transaction matrix does not match the mining result "
+                "(different database or stale sidecar?)"
+            )
+        # extension[p, j] == support(P ∪ {j}); for j ∈ P it degenerates to
+        # support(P), masked out below through the membership indicator.
+        extension = contain @ presence.T
+        if mode == "closed":
+            qualifying = extension == supports[start:stop, None]
+        else:
+            qualifying = extension >= min_count
+        qualifying &= membership[start:stop] == 0.0  # real extensions only
+        qualifying[lengths[start:stop] >= max_length] = False
+        keep[start:stop] = ~qualifying.any(axis=1)
+    return keep
+
+
+def closed_patterns_naive(result: MiningResult) -> MiningResult:
+    """The pure-Python closed filter (parity baseline for the engine path)."""
     patterns = list(result)
     # Group by absolute support; a pattern can only be "closed away" by a
     # superset with the same support, so comparisons stay within groups.
@@ -45,12 +185,9 @@ def closed_patterns(result: MiningResult) -> MiningResult:
     )
 
 
-def maximal_patterns(result: MiningResult) -> MiningResult:
-    """Keep only maximal itemsets (no frequent proper superset)."""
+def maximal_patterns_naive(result: MiningResult) -> MiningResult:
+    """The pure-Python maximal filter (parity baseline for the engine path)."""
     patterns = list(result)
-    # Sort by descending length so any potential superset is seen before its
-    # subsets; then a pattern is maximal iff no already-accepted itemset (or
-    # any frequent itemset) strictly contains it.
     all_itemsets = [p.items for p in patterns]
     maximal = []
     for pattern in patterns:
@@ -64,15 +201,18 @@ def maximal_patterns(result: MiningResult) -> MiningResult:
     )
 
 
-def redundancy_ratio(result: MiningResult) -> float:
+def redundancy_ratio(
+    result: MiningResult, *, matrix: TransactionMatrix | None = None
+) -> float:
     """Fraction of mined patterns that are *not* closed (0 when result is empty).
 
     A high ratio means the raw pattern list is dominated by redundant subsets
     of equally-supported supersets -- the situation the paper's frozenset
-    de-duplication is meant to address.
+    de-duplication is meant to address.  *matrix* selects the engine-backed
+    closure check, as in :func:`closed_patterns`.
     """
     total = len(result)
     if total == 0:
         return 0.0
-    closed = len(closed_patterns(result))
+    closed = len(closed_patterns(result, matrix=matrix))
     return (total - closed) / total

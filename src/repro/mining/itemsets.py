@@ -36,7 +36,15 @@ def minimum_support_count(min_support: float, n_transactions: int) -> int:
 
 
 class TransactionDatabase:
-    """An immutable list of transactions (item frozensets) with support helpers."""
+    """An immutable list of transactions (item frozensets) with support helpers.
+
+    A database normally materialises its transactions up front; one built
+    with :meth:`from_matrix` instead wraps an already-compiled (possibly
+    memory-mapped) :class:`~repro.mining.bitmatrix.TransactionMatrix` and
+    reconstructs the frozensets only if something actually needs them -- the
+    default bitset miners never do, so a worker process serving a persisted
+    matrix sidecar touches nothing but the mapped arrays.
+    """
 
     def __init__(self, transactions: Iterable[Iterable[str]]) -> None:
         materialised: list[frozenset[str]] = []
@@ -45,31 +53,56 @@ class TransactionDatabase:
             if not items:
                 continue  # empty transactions carry no information for mining
             materialised.append(items)
-        self._transactions: tuple[frozenset[str], ...] = tuple(materialised)
+        self._transactions: tuple[frozenset[str], ...] | None = tuple(materialised)
         self._matrix = None  # compiled TransactionMatrix, built on first use
+
+    @classmethod
+    def from_matrix(cls, matrix) -> "TransactionDatabase":
+        """Wrap a compiled matrix without materialising the transactions.
+
+        The matrix must come from a database with no empty transactions
+        (always true for one compiled by this class), so its transaction
+        count and the reconstructed frozensets match ``__init__`` exactly.
+        """
+        database = cls.__new__(cls)
+        database._transactions = None
+        database._matrix = matrix
+        return database
+
+    def _materialised(self) -> tuple[frozenset[str], ...]:
+        """The transaction tuple, reconstructed from the matrix when lazy."""
+        if self._transactions is None:
+            items = self._matrix.items
+            self._transactions = tuple(
+                frozenset(items[i] for i in ids.tolist())
+                for ids in self._matrix.transaction_id_arrays()
+            )
+        return self._transactions
 
     # -- container protocol -----------------------------------------------------
 
     def __len__(self) -> int:
+        if self._transactions is None:
+            return self._matrix.n_transactions
         return len(self._transactions)
 
     def __iter__(self) -> Iterator[frozenset[str]]:
-        return iter(self._transactions)
+        return iter(self._materialised())
 
     def __getitem__(self, index: int) -> frozenset[str]:
-        return self._transactions[index]
+        return self._materialised()[index]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TransactionDatabase):
             return NotImplemented
-        return self._transactions == other._transactions
+        return self._materialised() == other._materialised()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TransactionDatabase(n={len(self)})"
 
     @property
     def transactions(self) -> tuple[frozenset[str], ...]:
-        return self._transactions
+        return self._materialised()
 
     # -- compiled engine --------------------------------------------------------------
 
@@ -86,10 +119,40 @@ class TransactionDatabase:
             self._matrix = TransactionMatrix(self._transactions)
         return self._matrix
 
+    @property
+    def has_matrix(self) -> bool:
+        """Whether a compiled matrix is already memoized (or attached)."""
+        return self._matrix is not None
+
+    def attach_matrix(self, matrix) -> "TransactionDatabase":
+        """Adopt an already-compiled matrix (e.g. loaded from a sidecar).
+
+        The caller vouches that *matrix* was compiled from these exact
+        transactions; only the cheap structural invariant is checked here --
+        sidecar fingerprints (see :meth:`TransactionMatrix.load`) are the
+        mechanism that ties a persisted matrix to its source corpus.
+        """
+        if self._transactions is not None and matrix.n_transactions != len(self):
+            raise MiningError(
+                f"matrix covers {matrix.n_transactions} transactions, "
+                f"database has {len(self)}"
+            )
+        self._matrix = matrix
+        return self
+
     # -- support utilities ----------------------------------------------------------
 
     def item_counts(self) -> dict[str, int]:
         """Absolute frequency of every single item."""
+        if self._transactions is None:
+            # Matrix-backed: the precomputed popcount vector already holds
+            # every item's frequency (every vocabulary item occurs at least
+            # once, so no zero entries need filtering).
+            supports = self._matrix.item_supports
+            return {
+                item: int(supports[index])
+                for index, item in enumerate(self._matrix.items)
+            }
         counts: dict[str, int] = {}
         for transaction in self._transactions:
             for item in transaction:
@@ -98,6 +161,8 @@ class TransactionDatabase:
 
     def vocabulary(self) -> frozenset[str]:
         """Every distinct item across all transactions."""
+        if self._transactions is None:
+            return frozenset(self._matrix.items)
         items: set[str] = set()
         for transaction in self._transactions:
             items |= transaction
@@ -105,6 +170,8 @@ class TransactionDatabase:
 
     def absolute_support(self, itemset: Iterable[str]) -> int:
         """Number of transactions containing every item of *itemset*."""
+        if self._matrix is not None:
+            return self._matrix.support(itemset)
         target = frozenset(itemset)
         if not target:
             return len(self._transactions)
@@ -112,13 +179,13 @@ class TransactionDatabase:
 
     def support(self, itemset: Iterable[str]) -> float:
         """Relative support of *itemset* (0 when the database is empty)."""
-        if not self._transactions:
+        if len(self) == 0:
             return 0.0
-        return self.absolute_support(itemset) / len(self._transactions)
+        return self.absolute_support(itemset) / len(self)
 
     def minimum_count(self, min_support: float) -> int:
         """Convert a relative support threshold to an absolute count (≥ 1)."""
-        return minimum_support_count(min_support, len(self._transactions))
+        return minimum_support_count(min_support, len(self))
 
     @classmethod
     def from_recipes(cls, recipes: Iterable[object]) -> "TransactionDatabase":

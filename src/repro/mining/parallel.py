@@ -1,0 +1,225 @@
+"""Process-pool fan-out of per-region frequent-pattern mining.
+
+Per-cuisine mining is embarrassingly parallel: the regions share no state, so
+the cold path scales by fanning :class:`RegionTask`\\ s out over a process
+pool.  Two task flavours exist:
+
+* **in-memory** -- the task carries its :class:`TransactionDatabase`; the
+  worker pickles it in and (for the bitset engine) compiles the region's
+  :class:`~repro.mining.bitmatrix.TransactionMatrix` locally.  Right for
+  one-shot pipeline runs where nothing is persisted;
+* **sidecar** -- the task carries only the *path prefix* of a matrix sidecar
+  persisted by :meth:`TransactionMatrix.save`.  The worker memory-maps the
+  packed rows read-only, so N workers share one physical copy through the
+  page cache and perform **zero** matrix compiles.  This is the serve layer's
+  warm path.
+
+Results merge deterministically: the output mapping is built in sorted region
+order regardless of worker completion order, so ``workers=N`` output is
+byte-identical (via :func:`repro.serve.codec.dumps`) to the ``workers=0``
+serial legacy path for every miner and engine.
+
+``workers=0`` runs everything serially in-process (no pool, no pickling) --
+the legacy behaviour and still the fastest option for small corpora where
+fork + IPC overhead exceeds the mining work itself (see
+``docs/parallel-mining.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import MiningError
+from repro.mining.bitmatrix import TransactionMatrix
+from repro.mining.itemsets import MiningResult, TransactionDatabase
+
+__all__ = [
+    "WORKERS_ENV",
+    "RegionTask",
+    "RegionOutcome",
+    "ParallelMiningReport",
+    "resolve_workers",
+    "tasks_from_transactions",
+    "tasks_from_sidecars",
+    "mine_regions_parallel",
+    "mine_regions_with_report",
+]
+
+#: Environment default for the worker count (0 = serial).  CI exercises the
+#: whole mining suite under ``REPRO_MINING_WORKERS=2``.
+WORKERS_ENV = "REPRO_MINING_WORKERS"
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker count: ``None`` falls back to ``$REPRO_MINING_WORKERS``."""
+    if workers is None:
+        try:
+            workers = int(os.environ.get(WORKERS_ENV, "0"))
+        except ValueError:
+            workers = 0
+    if workers < 0:
+        raise MiningError(f"workers must be non-negative, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True, slots=True)
+class RegionTask:
+    """One region's mining job: an in-memory database *or* a sidecar prefix.
+
+    *fingerprint* (sidecar tasks only) is the expected corpus fingerprint;
+    the worker's :meth:`TransactionMatrix.load` rejects a stale sidecar whose
+    corpus changed after it was written.
+    """
+
+    region: str
+    database: TransactionDatabase | None = None
+    sidecar: str | None = None
+    fingerprint: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.database is None) == (self.sidecar is None):
+            raise MiningError(
+                f"region task {self.region!r} needs exactly one of "
+                "database= or sidecar="
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class RegionOutcome:
+    """How one region was mined: pattern count + whether a matrix was compiled."""
+
+    region: str
+    n_patterns: int
+    compiled: bool  # True when the mining process compiled a fresh matrix
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelMiningReport:
+    """Fan-out telemetry: requested/used workers and per-region outcomes."""
+
+    workers: int  # requested worker count (0 = serial legacy path)
+    pool_size: int  # actual processes used (0 when serial)
+    outcomes: tuple[RegionOutcome, ...]
+
+    @property
+    def compiles(self) -> int:
+        """How many regions compiled a matrix instead of sharing a mapped one."""
+        return sum(1 for outcome in self.outcomes if outcome.compiled)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "workers": self.workers,
+            "pool_size": self.pool_size,
+            "regions": len(self.outcomes),
+            "matrix_compiles": self.compiles,
+        }
+
+
+def tasks_from_transactions(
+    transactions: Mapping[str, TransactionDatabase],
+) -> list[RegionTask]:
+    """In-memory tasks for every region, in sorted (deterministic) order."""
+    return [
+        RegionTask(region, database=transactions[region])
+        for region in sorted(transactions)
+    ]
+
+
+def tasks_from_sidecars(
+    sidecars: Mapping[str, Path | str], *, fingerprint: str | None = None
+) -> list[RegionTask]:
+    """Sidecar tasks from a ``region -> path prefix`` mapping, sorted."""
+    return [
+        RegionTask(region, sidecar=str(sidecars[region]), fingerprint=fingerprint)
+        for region in sorted(sidecars)
+    ]
+
+
+def _task_database(task: RegionTask) -> tuple[TransactionDatabase, bool]:
+    """The task's database plus whether its matrix is already available."""
+    if task.sidecar is not None:
+        matrix = TransactionMatrix.load(
+            task.sidecar, mmap=True, expected_fingerprint=task.fingerprint
+        )
+        return TransactionDatabase.from_matrix(matrix), True
+    return task.database, task.database.has_matrix
+
+
+def _mine_region(miner, task: RegionTask) -> tuple[str, MiningResult, bool]:
+    """Worker entry point: mine one region; top-level so pools can pickle it."""
+    database, had_matrix = _task_database(task)
+    result = miner.mine(database)
+    compiled = not had_matrix and database.has_matrix
+    return task.region, result, compiled
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap start, shared imports); fall back to the default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def mine_regions_with_report(
+    tasks: list[RegionTask] | tuple[RegionTask, ...],
+    miner,
+    *,
+    workers: int | None = None,
+) -> tuple[dict[str, MiningResult], ParallelMiningReport]:
+    """Mine every region task and report how the fan-out behaved.
+
+    *miner* is any picklable object with a ``mine(database) -> MiningResult``
+    method (the three miners all qualify).  ``workers=0`` mines serially in
+    this process; ``workers=N`` fans the tasks out over an ``N``-process pool
+    (never more processes than tasks).  Either way the result mapping is
+    assembled in sorted region order, so parallel output is indistinguishable
+    from serial.
+    """
+    workers = resolve_workers(workers)
+    regions = [task.region for task in tasks]
+    if len(set(regions)) != len(regions):
+        raise MiningError("duplicate region in mining tasks")
+    ordered = sorted(tasks, key=lambda task: task.region)
+
+    raw: dict[str, tuple[MiningResult, bool]] = {}
+    pool_size = 0
+    if workers == 0 or len(ordered) <= 1:
+        for task in ordered:
+            region, result, compiled = _mine_region(miner, task)
+            raw[region] = (result, compiled)
+    else:
+        pool_size = min(workers, len(ordered))
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=_pool_context()
+        ) as pool:
+            for region, result, compiled in pool.map(
+                _mine_region, [miner] * len(ordered), ordered
+            ):
+                raw[region] = (result, compiled)
+
+    results = {region: raw[region][0] for region in sorted(raw)}
+    report = ParallelMiningReport(
+        workers=workers,
+        pool_size=pool_size,
+        outcomes=tuple(
+            RegionOutcome(region, len(raw[region][0]), raw[region][1])
+            for region in sorted(raw)
+        ),
+    )
+    return results, report
+
+
+def mine_regions_parallel(
+    tasks: list[RegionTask] | tuple[RegionTask, ...],
+    miner,
+    *,
+    workers: int | None = None,
+) -> dict[str, MiningResult]:
+    """Mine every region task; see :func:`mine_regions_with_report`."""
+    results, _report = mine_regions_with_report(tasks, miner, workers=workers)
+    return results

@@ -9,7 +9,14 @@ corpus statistics).
 from repro.recipedb.database import RecipeDatabase
 from repro.recipedb.index import InvertedIndex, RegionIndex, build_entity_indexes
 from repro.recipedb.io_csv import iter_csv, load_csv, save_csv
-from repro.recipedb.io_json import iter_jsonl, load_json, load_jsonl, save_json, save_jsonl
+from repro.recipedb.io_json import (
+    corpus_fingerprint,
+    iter_jsonl,
+    load_json,
+    load_jsonl,
+    save_json,
+    save_jsonl,
+)
 from repro.recipedb.io_sqlite import corpus_summary, load_sqlite, save_sqlite
 from repro.recipedb.models import (
     EntityKind,
@@ -60,6 +67,7 @@ __all__ = [
     "iter_csv",
     "load_csv",
     "save_csv",
+    "corpus_fingerprint",
     "iter_jsonl",
     "load_json",
     "load_jsonl",

@@ -11,6 +11,7 @@ Two formats are supported:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -26,7 +27,27 @@ __all__ = [
     "save_jsonl",
     "load_jsonl",
     "iter_jsonl",
+    "corpus_fingerprint",
 ]
+
+
+def corpus_fingerprint(path: str | Path) -> str:
+    """Content digest of a persisted corpus artifact.
+
+    The key that ties derived sidecar artifacts (compiled transaction-matrix
+    sidecars, see :meth:`repro.mining.bitmatrix.TransactionMatrix.save`) to
+    the exact corpus bytes they were built from: rewrite the corpus and every
+    sidecar carrying the old fingerprint goes stale.
+    """
+    source = Path(path)
+    digest = hashlib.sha256()
+    try:
+        with source.open("rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError as exc:
+        raise SerializationError(f"could not fingerprint {source}: {exc}") from exc
+    return digest.hexdigest()
 
 FORMAT_VERSION = 1
 

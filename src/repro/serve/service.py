@@ -25,6 +25,15 @@ Caching is stage-aware, and the compute path itself is staged:
 * **clustering + validation stages** -- always recomputed on an analysis
   miss (they are cheap relative to mining).
 
+The mining stage itself runs at hardware speed: per-region compiled
+:class:`~repro.mining.bitmatrix.TransactionMatrix` bitsets are persisted as
+**memory-mappable sidecars** in a ``corpus-<key>.matrices/`` directory next
+to the corpus snapshot, keyed by the corpus file's content fingerprint.  A
+warm service (``workers=N``) fans the regions out over a process pool whose
+workers map those sidecars read-only -- one physical copy shared through the
+page cache, **zero** matrix re-compiles -- and merges the results
+deterministically, byte-identical to the serial path.
+
 The service records where every answer came from (``memory`` / ``disk`` /
 ``computed``) so callers, benchmarks and the CLI can report cache
 effectiveness.
@@ -32,6 +41,7 @@ effectiveness.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -40,10 +50,17 @@ from typing import Iterable
 from repro.core.config import AnalysisConfig, DEFAULT_CONFIG
 from repro.core.pipeline import CuisineClusteringPipeline
 from repro.core.results import AnalysisResults
-from repro.errors import SerializationError, ServeError
+from repro.errors import MiningError, PipelineError, SerializationError, ServeError
+from repro.mining.bitmatrix import TransactionMatrix
 from repro.mining.itemsets import MiningResult, TransactionDatabase, minimum_support_count
+from repro.mining.parallel import (
+    mine_regions_with_report,
+    resolve_workers,
+    tasks_from_sidecars,
+    tasks_from_transactions,
+)
 from repro.recipedb.database import RecipeDatabase
-from repro.recipedb.io_json import load_json, save_json
+from repro.recipedb.io_json import corpus_fingerprint, load_json, save_json
 from repro.recipedb.stats import corpus_statistics
 from repro.serve import codec
 from repro.serve.store import ArtifactStore
@@ -54,13 +71,22 @@ ANALYSIS_KIND = "analysis"
 MINING_KIND = "mining"
 MINING_INDEX_KIND = "miningindex"
 CORPUS_FILE_PREFIX = "corpus-"
+MATRIX_DIR_SUFFIX = ".matrices"
+MATRIX_MANIFEST_VERSION = 1
 
 _CORPUS_MEMORY_LIMIT = 4
 
 
 @dataclass(frozen=True, slots=True)
 class ServedAnalysis:
-    """One served analysis plus its provenance."""
+    """One served analysis plus its provenance.
+
+    ``workers`` is the service's configured fan-out; ``worker_compiles``
+    counts how many regions had to compile a fresh
+    :class:`~repro.mining.bitmatrix.TransactionMatrix` inside a worker
+    process during this serve (0 when every worker shared a memory-mapped
+    sidecar, and for every non-mining source).
+    """
 
     results: AnalysisResults
     source: str  # "memory" | "disk" | "computed"
@@ -68,6 +94,8 @@ class ServedAnalysis:
     elapsed_seconds: float
     mining_reused: bool = False
     mining_incremental: bool = False
+    workers: int = 0
+    worker_compiles: int = 0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -76,6 +104,8 @@ class ServedAnalysis:
             "elapsed_seconds": self.elapsed_seconds,
             "mining_reused": self.mining_reused,
             "mining_incremental": self.mining_incremental,
+            "workers": self.workers,
+            "worker_compiles": self.worker_compiles,
         }
 
 
@@ -87,6 +117,7 @@ class AnalysisService:
         store: ArtifactStore | Path | str | None = None,
         *,
         max_memory_entries: int = 8,
+        workers: int | None = None,
     ) -> None:
         if store is None:
             store = ArtifactStore(
@@ -95,12 +126,18 @@ class AnalysisService:
         elif not isinstance(store, ArtifactStore):
             store = ArtifactStore(Path(store), max_memory_entries=max_memory_entries)
         self.store = store
+        #: Mining fan-out: 0 = serial, N = process pool over memory-mapped
+        #: matrix sidecars; ``None`` defers to ``$REPRO_MINING_WORKERS``.
+        self.workers = resolve_workers(workers)
         self._decoded: dict[str, AnalysisResults] = {}
         # Corpus stage cache: corpus key -> (RecipeDatabase, per-region
-        # TransactionDatabase map).  The transaction databases memoize their
-        # compiled bit matrices, so a min_support sweep compiles each region
-        # exactly once.
-        self._corpora: dict[str, tuple[RecipeDatabase, dict[str, TransactionDatabase]]] = {}
+        # TransactionDatabase map, corpus-file fingerprint).  The transaction
+        # databases memoize their compiled bit matrices, so a min_support
+        # sweep compiles each region exactly once; the fingerprint ties the
+        # persisted matrix sidecars to the exact corpus bytes.
+        self._corpora: dict[
+            str, tuple[RecipeDatabase, dict[str, TransactionDatabase], str]
+        ] = {}
 
     # -- read path --------------------------------------------------------------------
 
@@ -119,12 +156,15 @@ class AnalysisService:
         config = config if config is not None else DEFAULT_CONFIG
         if database is not None:
             started = time.perf_counter()
-            results = CuisineClusteringPipeline(config).run(database)
+            results = CuisineClusteringPipeline(config, workers=self.workers).run(
+                database
+            )
             return ServedAnalysis(
                 results=results,
                 source="computed",
                 key=codec.analysis_key(config),
                 elapsed_seconds=time.perf_counter() - started,
+                workers=self.workers,
             )
 
         key = codec.analysis_key(config)
@@ -141,6 +181,7 @@ class AnalysisService:
                 source="memory",
                 key=key,
                 elapsed_seconds=time.perf_counter() - started,
+                workers=self.workers,
             )
         self._decoded.pop(key, None)
 
@@ -158,9 +199,12 @@ class AnalysisService:
                     source="disk",
                     key=key,
                     elapsed_seconds=time.perf_counter() - started,
+                    workers=self.workers,
                 )
 
-        results, mining_reused, mining_incremental = self._compute(config)
+        results, mining_reused, mining_incremental, worker_compiles = self._compute(
+            config
+        )
         self.store.put(ANALYSIS_KIND, key, codec.results_to_dict(results))
         self._remember_decoded(key, results)
         return ServedAnalysis(
@@ -170,6 +214,8 @@ class AnalysisService:
             elapsed_seconds=time.perf_counter() - started,
             mining_reused=mining_reused,
             mining_incremental=mining_incremental,
+            workers=self.workers,
+            worker_compiles=worker_compiles,
         )
 
     def warm(self, configs: Iterable[AnalysisConfig] | AnalysisConfig) -> list[ServedAnalysis]:
@@ -219,19 +265,11 @@ class AnalysisService:
 
     # -- corpus stage -----------------------------------------------------------------
 
-    def _corpus_root(self) -> Path:
-        """The directory holding corpus snapshots, next to the artifact store."""
-        root = self.store.root
-        if root is None:
-            raise ServeError(
-                "this store's backend has no root directory for corpus files; "
-                "construct the backend with a root (e.g. MemoryBackend(root=...))"
-            )
-        return root
-
     def corpus_path(self, config: AnalysisConfig) -> Path:
         """On-disk location of the persisted corpus for *config*'s seed/scale."""
-        return self._corpus_root() / f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}.json"
+        return self.store.aux_path(
+            f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}.json"
+        )
 
     def corpus_files(self) -> list[Path]:
         """Every corpus file currently persisted next to the artifact store."""
@@ -242,11 +280,13 @@ class AnalysisService:
 
     def _corpus_and_transactions(
         self, config: AnalysisConfig, pipeline: CuisineClusteringPipeline
-    ) -> tuple[RecipeDatabase, dict[str, TransactionDatabase]]:
-        """The corpus for *config* plus its shared transaction databases.
+    ) -> tuple[RecipeDatabase, dict[str, TransactionDatabase], str]:
+        """The corpus for *config*, its transaction databases, its fingerprint.
 
         Memory first, then the ``io_json`` file next to the artifact store,
-        then regeneration (which persists the corpus for the next miss).
+        then regeneration (which persists the corpus for the next miss).  The
+        returned fingerprint digests the corpus file's bytes; matrix sidecars
+        carry it so they go stale with the corpus.
         """
         key = codec.corpus_key(config)
         cached = self._corpora.get(key)
@@ -264,12 +304,105 @@ class AnalysisService:
             corpus = pipeline.build_corpus()
             path.parent.mkdir(parents=True, exist_ok=True)
             save_json(corpus, path)
+        fingerprint = corpus_fingerprint(path)
 
         transactions = pipeline.build_transactions(corpus)
-        self._corpora[key] = (corpus, transactions)
+        self._corpora[key] = (corpus, transactions, fingerprint)
         while len(self._corpora) > _CORPUS_MEMORY_LIMIT:
             self._corpora.pop(next(iter(self._corpora)))
-        return corpus, transactions
+        return corpus, transactions, fingerprint
+
+    # -- compiled-matrix sidecars -----------------------------------------------------
+
+    def matrix_dir(self, config: AnalysisConfig) -> Path:
+        """Directory of the persisted per-region matrix sidecars for *config*."""
+        return self.store.aux_path(
+            f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}{MATRIX_DIR_SUFFIX}"
+        )
+
+    def _load_matrix_manifest(
+        self, directory: Path, fingerprint: str
+    ) -> dict[str, str] | None:
+        """The ``region -> sidecar name`` map, or ``None`` when absent/stale."""
+        try:
+            payload = json.loads(
+                (directory / "manifest.json").read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != MATRIX_MANIFEST_VERSION
+            or payload.get("fingerprint") != fingerprint
+        ):
+            return None
+        regions = payload.get("regions")
+        if not isinstance(regions, dict):
+            return None
+        return {str(region): str(name) for region, name in regions.items()}
+
+    def _ensure_matrices(
+        self,
+        config: AnalysisConfig,
+        transactions: dict[str, TransactionDatabase],
+        fingerprint: str,
+    ) -> dict[str, Path]:
+        """Attach persisted matrices, or compile + persist them; region -> prefix.
+
+        Fresh sidecars are memory-mapped straight into the transaction
+        databases (no packbits pass); a missing, stale (corpus fingerprint
+        changed) or unreadable sidecar set is rebuilt from scratch, with the
+        manifest written last so a crash never leaves a loadable-looking but
+        incomplete directory.
+        """
+        directory = self.matrix_dir(config)
+        manifest = self._load_matrix_manifest(directory, fingerprint)
+        if manifest is not None and set(manifest) == set(transactions):
+            # Two-phase: load every sidecar before attaching any, so one
+            # corrupt region never leaves the databases half-attached to a
+            # directory about to be rebuilt.
+            try:
+                loaded = {
+                    region: TransactionMatrix.load(
+                        directory / manifest[region],
+                        mmap=True,
+                        expected_fingerprint=fingerprint,
+                    )
+                    for region in sorted(manifest)
+                }
+            except MiningError:
+                pass  # corrupt sidecar set: rebuild below
+            else:
+                for region, matrix in loaded.items():
+                    if not transactions[region].has_matrix:
+                        transactions[region].attach_matrix(matrix)
+                return {
+                    region: directory / manifest[region] for region in sorted(manifest)
+                }
+        directory.mkdir(parents=True, exist_ok=True)
+        sidecars = {}
+        names: dict[str, str] = {}
+        for index, region in enumerate(sorted(transactions)):
+            name = f"r{index:03d}"
+            prefix = directory / name
+            transactions[region].matrix().save(prefix, fingerprint=fingerprint)
+            sidecars[region] = prefix
+            names[region] = name
+        manifest_path = directory / "manifest.json"
+        temp = manifest_path.with_name(manifest_path.name + ".tmp")
+        temp.write_text(
+            json.dumps(
+                {
+                    "version": MATRIX_MANIFEST_VERSION,
+                    "fingerprint": fingerprint,
+                    "regions": names,
+                },
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+        temp.replace(manifest_path)
+        return sidecars
 
     # -- mining stage -----------------------------------------------------------------
 
@@ -363,22 +496,29 @@ class AnalysisService:
 
     # -- compute path -----------------------------------------------------------------
 
-    def _compute(self, config: AnalysisConfig) -> tuple[AnalysisResults, bool, bool]:
+    def _compute(
+        self, config: AnalysisConfig
+    ) -> tuple[AnalysisResults, bool, bool, int]:
         """Run the pipeline, reusing every cached stage available.
 
         Mirrors :meth:`CuisineClusteringPipeline.run` stage by stage: the
         corpus comes from the corpus cache (with its shared transaction
         matrices), the mining stage from the mining cache, the incremental
-        filter, or a fresh FP-Growth pass -- in that order of preference.
+        filter, or a fresh mining pass -- in that order of preference.  A
+        fresh pass runs through the matrix sidecars and, with ``workers``
+        set, the process-pool fan-out (see :meth:`_mine_fresh`).
         """
-        pipeline = CuisineClusteringPipeline(config)
-        corpus, transactions = self._corpus_and_transactions(config, pipeline)
+        pipeline = CuisineClusteringPipeline(config, workers=self.workers)
+        corpus, transactions, fingerprint = self._corpus_and_transactions(
+            config, pipeline
+        )
         if len(corpus.region_names()) < 2:
             raise ServeError("the corpus must contain at least two cuisines")
 
         mining_cache_key = codec.mining_key(config)
         mining_reused = False
         mining_incremental = False
+        worker_compiles = 0
         mining_payload = self.store.get(MINING_KIND, mining_cache_key)
         mining_results = None
         if mining_payload is not None:
@@ -393,7 +533,9 @@ class AnalysisService:
                 mining_reused = True
                 mining_incremental = True
         if mining_results is None:
-            mining_results = pipeline.mine_patterns(corpus, transactions)
+            mining_results, worker_compiles = self._mine_fresh(
+                config, pipeline, corpus, transactions, fingerprint
+            )
         if not mining_reused or mining_incremental:
             self.store.put(
                 MINING_KIND, mining_cache_key, codec.mining_to_dict(mining_results)
@@ -437,4 +579,43 @@ class AnalysisService:
             geography_validation=geography_validation,
             claim_checks=claim_checks,
         )
-        return results, mining_reused, mining_incremental
+        return results, mining_reused, mining_incremental, worker_compiles
+
+    def _mine_fresh(
+        self,
+        config: AnalysisConfig,
+        pipeline: CuisineClusteringPipeline,
+        corpus: RecipeDatabase,
+        transactions: dict[str, TransactionDatabase],
+        fingerprint: str,
+    ) -> tuple[dict[str, MiningResult], int]:
+        """One full mining pass through the sidecar + fan-out machinery.
+
+        Persisted sidecars are attached (memory-mapped) or built first, so a
+        serial pass reuses mapped matrices and a parallel pass hands workers
+        sidecar *paths* instead of pickled databases -- each worker maps the
+        shared read-only copy and compiles nothing.  Sidecar persistence is
+        best-effort: if the store's filesystem refuses (read-only disk, ...),
+        mining falls back to in-memory tasks, trading the zero-copy warm path
+        for availability.  Returns the results plus the number of in-worker
+        matrix compiles (0 on the sidecar path).
+        """
+        for region in corpus.region_names():
+            regional = transactions.get(region)
+            if regional is None or len(regional) == 0:
+                raise PipelineError(f"region {region!r} has no recipes to mine")
+        sidecars: dict[str, Path] | None
+        try:
+            sidecars = self._ensure_matrices(config, transactions, fingerprint)
+        except (ServeError, OSError, SerializationError):
+            sidecars = None
+        if self.workers <= 0:
+            return pipeline.mine_patterns(corpus, transactions, workers=0), 0
+        if sidecars is not None:
+            tasks = tasks_from_sidecars(sidecars, fingerprint=fingerprint)
+        else:
+            tasks = tasks_from_transactions(transactions)
+        results, report = mine_regions_with_report(
+            tasks, pipeline.build_miner(), workers=self.workers
+        )
+        return results, report.compiles

@@ -153,6 +153,24 @@ class ArtifactStore:
         """The backend's directory for auxiliary files (``None`` if it has none)."""
         return self._backend.root
 
+    def aux_path(self, name: str) -> Path:
+        """Location of one service-level auxiliary file or directory.
+
+        Auxiliaries (corpus snapshots, compiled-matrix sidecar directories)
+        live next to the artifacts but are *not* store artifacts: backend
+        scans, disk eviction and migration all skip them (see
+        ``AUXILIARY_PREFIXES`` in the directory backend).  Raises for
+        rootless backends, which have nowhere to put them.
+        """
+        root = self.root
+        if root is None:
+            raise ServeError(
+                "this store's backend has no root directory for auxiliary "
+                "files; construct the backend with a root "
+                "(e.g. MemoryBackend(root=...))"
+            )
+        return root / name
+
     def path_for(self, kind: str, key: str) -> Path:
         """The on-disk path of one artifact (directory-backed stores only)."""
         path_for = getattr(self._backend, "path_for", None)

@@ -5,9 +5,16 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mining.closed import closed_patterns, maximal_patterns, redundancy_ratio
+from repro.errors import MiningError
+from repro.mining.closed import (
+    closed_patterns,
+    closed_patterns_naive,
+    maximal_patterns,
+    maximal_patterns_naive,
+    redundancy_ratio,
+)
 from repro.mining.fpgrowth import fpgrowth
-from repro.mining.itemsets import MiningResult
+from repro.mining.itemsets import MiningResult, TransactionDatabase
 
 TRANSACTIONS = [
     {"a", "b", "c"},
@@ -72,6 +79,61 @@ class TestMaximalPatterns:
         assert len(closed_patterns(empty)) == 0
         assert len(maximal_patterns(empty)) == 0
         assert redundancy_ratio(empty) == 0.0
+
+
+class TestEngineParity:
+    """The tidset-popcount path must match the pure-Python baseline exactly."""
+
+    transactions_strategy = st.lists(
+        st.sets(st.sampled_from("abcdefgh"), min_size=1, max_size=5),
+        min_size=1,
+        max_size=24,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        transactions=transactions_strategy,
+        min_support=st.sampled_from([0.05, 0.2, 0.4]),
+        max_length=st.sampled_from([1, 2, 3, None]),
+    )
+    def test_closed_and_maximal_match_naive(self, transactions, min_support, max_length):
+        database = TransactionDatabase(transactions)
+        mined = fpgrowth(database, min_support=min_support, max_length=max_length)
+        matrix = database.matrix()
+        assert closed_patterns(mined, matrix=matrix) == closed_patterns_naive(mined)
+        assert maximal_patterns(mined, matrix=matrix) == maximal_patterns_naive(mined)
+
+    def test_dispatch_without_matrix_is_naive(self, mined):
+        assert closed_patterns(mined) == closed_patterns_naive(mined)
+        assert maximal_patterns(mined) == maximal_patterns_naive(mined)
+
+    def test_engine_closed_on_fixture(self, mined):
+        matrix = TransactionDatabase(TRANSACTIONS).matrix()
+        closed_sets = closed_patterns(mined, matrix=matrix).itemsets()
+        assert frozenset({"b"}) not in closed_sets
+        assert frozenset({"a", "b"}) in closed_sets
+        assert frozenset({"a"}) in closed_sets
+
+    def test_mismatched_matrix_rejected(self, mined):
+        other = TransactionDatabase([{"a"}, {"b"}, {"a", "b", "c"}, {"d"}]).matrix()
+        with pytest.raises(MiningError):
+            closed_patterns(mined, matrix=other)
+
+    def test_unknown_items_rejected(self, mined):
+        other = TransactionDatabase([{"x", "y"}, {"z"}]).matrix()
+        with pytest.raises(MiningError):
+            closed_patterns(mined, matrix=other)
+
+    def test_empty_result_engine_path(self):
+        matrix = TransactionDatabase(TRANSACTIONS).matrix()
+        empty = MiningResult([], n_transactions=5, min_support=0.3)
+        assert len(closed_patterns(empty, matrix=matrix)) == 0
+        assert len(maximal_patterns(empty, matrix=matrix)) == 0
+        assert redundancy_ratio(empty, matrix=matrix) == 0.0
+
+    def test_redundancy_ratio_engine_matches_naive(self, mined):
+        matrix = TransactionDatabase(TRANSACTIONS).matrix()
+        assert redundancy_ratio(mined, matrix=matrix) == redundancy_ratio(mined)
 
 
 class TestRedundancyRatio:

@@ -1,0 +1,128 @@
+"""Round-trip and invalidation tests for persisted transaction matrices."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SidecarError
+from repro.mining.bitmatrix import TransactionMatrix, sidecar_paths
+from repro.mining.eclat import EclatMiner
+from repro.mining.fpgrowth import FPGrowthMiner
+from repro.mining.itemsets import TransactionDatabase
+
+TRANSACTIONS = [
+    ["soy sauce", "mirin", "rice"],
+    ["soy sauce", "mirin"],
+    ["rice", "nori"],
+    ["soy sauce"],
+    ["butter", "flour", "rice"],
+]
+
+
+@pytest.fixture()
+def database() -> TransactionDatabase:
+    return TransactionDatabase(TRANSACTIONS)
+
+
+@pytest.fixture()
+def saved(database, tmp_path):
+    prefix = tmp_path / "region"
+    database.matrix().save(prefix, fingerprint="abc123")
+    return prefix
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_arrays_and_vocabulary_survive(self, database, saved, mmap):
+        original = database.matrix()
+        loaded = TransactionMatrix.load(saved, mmap=mmap)
+        assert loaded.items == original.items
+        assert loaded.n_transactions == original.n_transactions
+        assert loaded.n_words == original.n_words
+        assert np.array_equal(loaded.packed_rows, original.packed_rows)
+        assert np.array_equal(loaded.item_supports, original.item_supports)
+        for got, expected in zip(
+            loaded.transaction_id_arrays(), original.transaction_id_arrays()
+        ):
+            assert np.array_equal(got, expected)
+
+    def test_memory_map_is_read_only(self, saved):
+        loaded = TransactionMatrix.load(saved, mmap=True)
+        assert isinstance(loaded.packed_rows.base, np.memmap)
+        with pytest.raises(ValueError):
+            loaded.packed_rows[0, 0] = 1
+
+    def test_mining_on_loaded_matrix_matches_original(self, database, saved):
+        loaded_db = TransactionDatabase.from_matrix(TransactionMatrix.load(saved))
+        for miner in (
+            FPGrowthMiner(0.2, max_length=3),
+            EclatMiner(0.2, max_length=3),
+            FPGrowthMiner(0.2, max_length=3, engine="python"),
+        ):
+            assert miner.mine(loaded_db) == miner.mine(database)
+
+    def test_lazy_database_materialises_identically(self, database, saved):
+        lazy = TransactionDatabase.from_matrix(TransactionMatrix.load(saved))
+        assert len(lazy) == len(database)
+        assert lazy == database  # forces materialisation
+        assert lazy.transactions == database.transactions
+        assert lazy.item_counts() == database.item_counts()
+        assert lazy.vocabulary() == database.vocabulary()
+        assert lazy.absolute_support(["soy sauce", "mirin"]) == 2
+
+    def test_empty_database_round_trips(self, tmp_path):
+        empty = TransactionDatabase([])
+        prefix = tmp_path / "empty"
+        empty.matrix().save(prefix)
+        loaded = TransactionMatrix.load(prefix)
+        assert loaded.n_transactions == 0
+        assert loaded.items == ()
+
+
+class TestInvalidation:
+    def test_fingerprint_mismatch_is_stale(self, saved):
+        with pytest.raises(SidecarError, match="stale"):
+            TransactionMatrix.load(saved, expected_fingerprint="different")
+
+    def test_matching_fingerprint_loads(self, saved):
+        TransactionMatrix.load(saved, expected_fingerprint="abc123")
+
+    def test_missing_sidecar(self, tmp_path):
+        with pytest.raises(SidecarError, match="no matrix sidecar"):
+            TransactionMatrix.load(tmp_path / "nowhere")
+
+    def test_corrupt_meta(self, saved):
+        sidecar_paths(saved)["meta"].write_text("{not json", encoding="utf-8")
+        with pytest.raises(SidecarError):
+            TransactionMatrix.load(saved)
+
+    def test_unknown_version_rejected(self, saved):
+        meta_path = sidecar_paths(saved)["meta"]
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        meta["version"] = 999
+        meta_path.write_text(json.dumps(meta), encoding="utf-8")
+        with pytest.raises(SidecarError, match="version"):
+            TransactionMatrix.load(saved)
+
+    def test_truncated_rows_rejected(self, saved):
+        paths = sidecar_paths(saved)
+        paths["rows"].write_bytes(b"\x93NUMPY garbage")
+        with pytest.raises(SidecarError):
+            TransactionMatrix.load(saved)
+
+    def test_inconsistent_shapes_rejected(self, database, saved):
+        # Overwrite the offsets with a wrong-length array.
+        np.save(sidecar_paths(saved)["offsets"], np.zeros(99, dtype=np.int64))
+        with pytest.raises(SidecarError, match="inconsistent"):
+            TransactionMatrix.load(saved)
+
+    def test_save_overwrites_previous_sidecar(self, database, tmp_path):
+        prefix = tmp_path / "region"
+        database.matrix().save(prefix, fingerprint="one")
+        database.matrix().save(prefix, fingerprint="two")
+        TransactionMatrix.load(prefix, expected_fingerprint="two")
+        with pytest.raises(SidecarError):
+            TransactionMatrix.load(prefix, expected_fingerprint="one")

@@ -1,0 +1,151 @@
+"""Determinism suite for the process-pool mining fan-out.
+
+The contract of :mod:`repro.mining.parallel` is that the worker count is
+*unobservable* in the output: for every miner × engine × worker-count combo
+the merged results must be byte-identical (via the serve codec's canonical
+JSON) to the serial legacy path, whether the tasks carry in-memory databases
+or memory-mapped sidecar prefixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.apriori import AprioriMiner
+from repro.mining.eclat import EclatMiner
+from repro.mining.fpgrowth import FPGrowthMiner
+from repro.mining.itemsets import TransactionDatabase
+from repro.mining.parallel import (
+    RegionTask,
+    mine_regions_parallel,
+    mine_regions_with_report,
+    resolve_workers,
+    tasks_from_sidecars,
+    tasks_from_transactions,
+)
+from repro.serve.codec import dumps, mining_to_dict
+
+MINERS = (AprioriMiner, EclatMiner, FPGrowthMiner)
+ENGINES = ("python", "bitset")
+WORKER_COUNTS = (1, 2, 3)
+
+ITEMS = [f"item{k:02d}" for k in range(24)]
+
+
+def _region_database(seed: int, n: int = 120) -> TransactionDatabase:
+    rng = np.random.default_rng(seed)
+    return TransactionDatabase(
+        [
+            [ITEMS[j] for j in rng.choice(len(ITEMS), size=int(rng.integers(3, 8)), replace=False)]
+            for _ in range(n)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def regions() -> dict[str, TransactionDatabase]:
+    return {f"Region{k}": _region_database(seed=k) for k in range(5)}
+
+
+def _byte_form(results) -> str:
+    return dumps(mining_to_dict(results))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("miner_cls", MINERS)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_parallel_output_byte_identical_to_serial(self, regions, miner_cls, engine):
+        miner = miner_cls(0.08, max_length=3, engine=engine)
+        tasks = tasks_from_transactions(regions)
+        serial = mine_regions_parallel(tasks, miner, workers=0)
+        serial_bytes = _byte_form(serial)
+        assert any(len(result) for result in serial.values())
+        for workers in WORKER_COUNTS:
+            parallel = mine_regions_parallel(tasks, miner, workers=workers)
+            assert parallel == serial
+            assert list(parallel) == list(serial)  # merge order too
+            assert _byte_form(parallel) == serial_bytes
+
+    def test_sidecar_tasks_byte_identical_to_serial(self, regions, tmp_path):
+        sidecars = {}
+        for region, database in regions.items():
+            prefix = tmp_path / region
+            database.matrix().save(prefix, fingerprint="fp")
+            sidecars[region] = prefix
+        miner = FPGrowthMiner(0.08, max_length=3)
+        serial = mine_regions_parallel(
+            tasks_from_transactions(regions), miner, workers=0
+        )
+        for workers in (0, 2):
+            mapped = mine_regions_parallel(
+                tasks_from_sidecars(sidecars, fingerprint="fp"),
+                miner,
+                workers=workers,
+            )
+            assert _byte_form(mapped) == _byte_form(serial)
+
+    def test_sidecar_tasks_never_compile(self, regions, tmp_path):
+        sidecars = {}
+        for region, database in regions.items():
+            prefix = tmp_path / region
+            database.matrix().save(prefix, fingerprint="fp")
+            sidecars[region] = prefix
+        _results, report = mine_regions_with_report(
+            tasks_from_sidecars(sidecars, fingerprint="fp"),
+            EclatMiner(0.08, max_length=3),
+            workers=2,
+        )
+        assert report.compiles == 0
+        assert report.pool_size == 2
+        assert len(report.outcomes) == len(regions)
+
+    def test_in_memory_tasks_compile_in_workers(self):
+        # Fresh databases (no memoized matrix) force one compile per region.
+        fresh = {f"R{k}": _region_database(seed=10 + k, n=40) for k in range(3)}
+        _results, report = mine_regions_with_report(
+            tasks_from_transactions(fresh), EclatMiner(0.1, max_length=2), workers=2
+        )
+        assert report.compiles == len(fresh)
+
+
+class TestTaskValidation:
+    def test_task_needs_exactly_one_source(self, regions):
+        database = next(iter(regions.values()))
+        with pytest.raises(MiningError):
+            RegionTask("R", database=database, sidecar="somewhere")
+        with pytest.raises(MiningError):
+            RegionTask("R")
+
+    def test_duplicate_region_rejected(self, regions):
+        database = next(iter(regions.values()))
+        tasks = [
+            RegionTask("Same", database=database),
+            RegionTask("Same", database=database),
+        ]
+        with pytest.raises(MiningError):
+            mine_regions_parallel(tasks, FPGrowthMiner(0.2))
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(MiningError):
+            resolve_workers(-1)
+
+    def test_empty_task_list(self):
+        assert mine_regions_parallel([], FPGrowthMiner(0.2), workers=2) == {}
+
+
+class TestWorkerResolution:
+    def test_none_defaults_to_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MINING_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.delenv("REPRO_MINING_WORKERS")
+        assert resolve_workers(None) == 0
+
+    def test_garbage_environment_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MINING_WORKERS", "many")
+        assert resolve_workers(None) == 0
+
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MINING_WORKERS", "7")
+        assert resolve_workers(2) == 2

@@ -1,0 +1,126 @@
+"""Service-level matrix sidecar lifecycle: persist, share, invalidate.
+
+The acceptance contract: once a config has been computed, every later mining
+pass over the same corpus -- in this process or any other, serial or fanned
+out over workers -- attaches the persisted memory-mapped matrices instead of
+re-running ``np.packbits`` over the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.mining.bitmatrix import TransactionMatrix
+from repro.serve.service import AnalysisService, MATRIX_DIR_SUFFIX
+
+CONFIG = AnalysisConfig(seed=11, scale=0.02, elbow_k_max=6)
+
+
+@pytest.fixture()
+def service(tmp_path) -> AnalysisService:
+    return AnalysisService(tmp_path / "cache")
+
+
+@pytest.fixture()
+def compile_counter(monkeypatch):
+    """Count TransactionMatrix compiles (the packbits pass) in this process."""
+    calls = []
+    original = TransactionMatrix.__init__
+
+    def counting(self, transactions):
+        calls.append(len(transactions))
+        return original(self, transactions)
+
+    monkeypatch.setattr(TransactionMatrix, "__init__", counting)
+    return calls
+
+
+class TestSidecarLifecycle:
+    def test_compute_persists_sidecars(self, service):
+        service.get_or_run(CONFIG)
+        directory = service.matrix_dir(CONFIG)
+        assert directory.name.endswith(MATRIX_DIR_SUFFIX)
+        manifest = json.loads((directory / "manifest.json").read_text("utf-8"))
+        n_regions = len(manifest["regions"])
+        assert n_regions >= 2
+        assert len(list(directory.glob("*.rows.npy"))) == n_regions
+
+    def test_fresh_service_attaches_instead_of_compiling(
+        self, service, tmp_path, compile_counter
+    ):
+        service.get_or_run(CONFIG)
+        compiles_after_first = len(compile_counter)
+        assert compiles_after_first > 0  # the cold run compiled every region
+
+        reloaded = AnalysisService(tmp_path / "cache")
+        reloaded.invalidate(CONFIG, mining=True)  # force a real mining pass
+        served = reloaded.get_or_run(CONFIG)
+        assert served.source == "computed"
+        assert len(compile_counter) == compiles_after_first  # zero new compiles
+
+    def test_parallel_warm_reports_zero_worker_compiles(self, service, tmp_path):
+        service.get_or_run(CONFIG)
+        parallel = AnalysisService(tmp_path / "cache", workers=2)
+        parallel.invalidate(CONFIG, mining=True)
+        served = parallel.get_or_run(CONFIG)
+        assert served.source == "computed"
+        assert served.workers == 2
+        assert served.worker_compiles == 0
+        assert served.results == service.get_or_run(CONFIG).results
+
+    def test_parallel_and_serial_results_identical(self, tmp_path):
+        serial = AnalysisService(tmp_path / "a", workers=0).get_or_run(CONFIG)
+        parallel = AnalysisService(tmp_path / "b", workers=2).get_or_run(CONFIG)
+        assert serial.results == parallel.results
+
+    def test_corpus_change_invalidates_sidecars(
+        self, service, tmp_path, compile_counter
+    ):
+        service.get_or_run(CONFIG)
+        directory = service.matrix_dir(CONFIG)
+        old_manifest = (directory / "manifest.json").read_text("utf-8")
+
+        # Rewrite the corpus file with different bytes (semantically equal
+        # JSON, so the pipeline still runs): the sidecar fingerprint is a
+        # content digest, so it no longer matches.
+        corpus_path = service.corpus_path(CONFIG)
+        corpus_path.write_text(
+            corpus_path.read_text(encoding="utf-8") + "\n \n", encoding="utf-8"
+        )
+
+        reloaded = AnalysisService(tmp_path / "cache")
+        reloaded.invalidate(CONFIG, mining=True)
+        compiles_before = len(compile_counter)
+        reloaded.get_or_run(CONFIG)
+        assert len(compile_counter) > compiles_before  # matrices recompiled
+        new_manifest = (directory / "manifest.json").read_text("utf-8")
+        assert (
+            json.loads(new_manifest)["fingerprint"]
+            != json.loads(old_manifest)["fingerprint"]
+        )
+
+    def test_corrupt_sidecar_rebuilt(self, service, tmp_path, compile_counter):
+        service.get_or_run(CONFIG)
+        directory = service.matrix_dir(CONFIG)
+        victim = sorted(directory.glob("*.rows.npy"))[0]
+        victim.write_bytes(b"garbage")
+
+        reloaded = AnalysisService(tmp_path / "cache")
+        reloaded.invalidate(CONFIG, mining=True)
+        compiles_before = len(compile_counter)
+        served = reloaded.get_or_run(CONFIG)
+        assert served.source == "computed"
+        assert len(compile_counter) > compiles_before
+        # The rebuilt sidecar is loadable again.
+        assert victim.stat().st_size > len(b"garbage")
+
+    def test_served_workers_recorded_on_cache_hits(self, tmp_path):
+        warm = AnalysisService(tmp_path / "cache", workers=3)
+        warm.get_or_run(CONFIG)
+        hit = warm.get_or_run(CONFIG)
+        assert hit.source == "memory"
+        assert hit.workers == 3
+        assert hit.worker_compiles == 0

@@ -29,9 +29,9 @@ def mining_calls(monkeypatch):
     calls = []
     original = CuisineClusteringPipeline.mine_patterns
 
-    def counting(self, database, transactions=None):
+    def counting(self, database, transactions=None, **kwargs):
         calls.append(self.config)
-        return original(self, database, transactions)
+        return original(self, database, transactions, **kwargs)
 
     monkeypatch.setattr(CuisineClusteringPipeline, "mine_patterns", counting)
     return calls
