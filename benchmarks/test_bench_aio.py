@@ -1,0 +1,90 @@
+"""S2 — async serving: coalescing must collapse a cold thundering herd.
+
+The acceptance bar for the async front-end: **N concurrent requests for one
+cold config perform exactly one compute**, and the coalesced fan-out's wall
+time stays within a small factor of a single cold run (it *is* a single cold
+run plus event-loop bookkeeping).  Warm async reads are measured as a
+throughput figure.  Compute counts gate the test (deterministic); wall-clock
+ratios are recorded into ``BENCH_core.json`` under ``async_serving``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from _bench_report import record
+
+from repro.serve import codec
+from repro.serve.aio import AsyncAnalysisService
+from repro.serve.service import AnalysisService
+
+HERD = 16
+
+
+def test_cold_herd_coalesces_to_one_compute(config, tmp_path):
+    computes: list[str] = []
+    original = AnalysisService._compute
+
+    def counting_compute(self, cfg):
+        computes.append(codec.analysis_key(cfg))
+        return original(self, cfg)
+
+    service = AnalysisService(tmp_path / "cache")
+
+    async def herd():
+        async with AsyncAnalysisService(service) as svc:
+            started = time.perf_counter()
+            served = await asyncio.gather(*(svc.get(config) for _ in range(HERD)))
+            return served, time.perf_counter() - started
+
+    AnalysisService._compute = counting_compute
+    try:
+        served, herd_seconds = asyncio.run(herd())
+    finally:
+        AnalysisService._compute = original
+
+    assert len(computes) == 1, f"{HERD} coalesced requests ran {len(computes)} computes"
+    assert sum(s.coalesced for s in served) == HERD - 1
+    assert all(s.results == served[0].results for s in served)
+
+    # Warm async read throughput (memory hits through the event loop).
+    async def warm_reads(n: int) -> float:
+        async with AsyncAnalysisService(service) as svc:
+            started = time.perf_counter()
+            for _ in range(n):
+                await svc.get(config)
+            return n / (time.perf_counter() - started)
+
+    reads_per_second = asyncio.run(warm_reads(200))
+
+    # A second cold run on a fresh store calibrates the herd overhead.
+    fresh = AnalysisService(tmp_path / "fresh")
+    started = time.perf_counter()
+    fresh.get_or_run(config)
+    single_cold_seconds = time.perf_counter() - started
+
+    overhead = herd_seconds / single_cold_seconds
+    print()
+    print(
+        f"{HERD}-way cold herd: {herd_seconds:.3f}s vs single cold "
+        f"{single_cold_seconds:.3f}s ({overhead:.2f}x); warm async reads "
+        f"{reads_per_second:.0f}/s"
+    )
+    record(
+        "async_serving",
+        {
+            "herd_size": HERD,
+            "computes": len(computes),
+            "coalesced_hits": service.store.stats.coalesced_hits,
+            "herd_seconds": round(herd_seconds, 4),
+            "single_cold_seconds": round(single_cold_seconds, 4),
+            "herd_vs_single_cold": round(overhead, 3),
+            "warm_reads_per_second": round(reads_per_second, 1),
+        },
+    )
+    # Generous bound: the herd is one compute; 2x covers noisy shared runners.
+    assert herd_seconds < 2.0 * single_cold_seconds, (
+        f"coalesced herd took {overhead:.2f}x a single cold run — coalescing "
+        "is not collapsing the thundering herd"
+    )

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Async serving tour: coalesce a thundering herd, refresh in the background.
+
+The :mod:`repro.serve.aio` front door makes the cached analysis service safe
+under concurrent traffic.  This example demonstrates each guarantee in turn:
+
+1. fire 16 **concurrent** requests at one cold config — request coalescing
+   collapses them into a single compute (watch ``coalesced_hits``);
+2. re-warm the artifact with a **background refresh** while reads keep being
+   served from the old copy;
+3. answer read-path queries through :class:`~repro.serve.aio.AsyncQueryEngine`;
+4. talk to the same service over HTTP via
+   :class:`~repro.serve.aio.AnalysisServer` with a raw asyncio client.
+
+Run with::
+
+    python examples/async_serving.py [cache_dir]
+
+The optional ``cache_dir`` (default ``.repro-cache``) persists between runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+
+from repro.core.config import AnalysisConfig
+from repro.serve import AnalysisServer, AnalysisService, AsyncAnalysisService, AsyncQueryEngine
+
+HERD = 16
+
+
+async def http_post(host: str, port: int, path: str, payload: dict) -> dict:
+    """Minimal one-shot HTTP/JSON client (mirrors the server's stdlib spirit)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    body = json.dumps(payload).encode("utf-8")
+    writer.write(
+        f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n".encode("latin-1")
+        + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return json.loads(raw.partition(b"\r\n\r\n")[2])
+
+
+async def main_async() -> int:
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else ".repro-cache"
+    config = AnalysisConfig(seed=2020, scale=0.02, elbow_k_max=10)
+    service = AnalysisService(cache_dir)
+
+    async with AsyncAnalysisService(service, refresh_policy="ttl:0.001") as svc:
+        # 1. A cold thundering herd, coalesced into one flight.
+        started = time.perf_counter()
+        herd = await asyncio.gather(*(svc.get(config) for _ in range(HERD)))
+        elapsed = time.perf_counter() - started
+        carrier = next(s for s in herd if not s.coalesced)
+        print(f"{HERD} concurrent requests in {elapsed:.2f}s "
+              f"(carrier served from {carrier.source!r}, "
+              f"{sum(s.coalesced for s in herd)} coalesced)")
+        print(f"store counters: {svc.stats()}")
+
+        # 2. Background refresh: the artifact is older than the 1ms TTL, so
+        #    one sweep re-warms it; reads keep working throughout.
+        refreshed = await svc.refresh_once()
+        print(f"background refresh re-warmed {len(refreshed)} artifact(s); "
+              f"reads during refresh keep serving the old copy")
+
+        # 3. The async read path.
+        engine = AsyncQueryEngine(svc, config)
+        nearest = await engine.nearest_cuisines("Japanese", k=3)
+        print("nearest to Japanese:",
+              ", ".join(f"{name} ({distance:.2f})" for name, distance in nearest))
+        [label] = await engine.classify([["soy sauce", "mirin", "rice"]])
+        print(f"soy sauce + mirin + rice -> {label.best}")
+
+    # 4. The same surface over HTTP (ephemeral port, two requests, shut down).
+    server = AnalysisServer(AsyncAnalysisService(AnalysisService(cache_dir)))
+    try:
+        host, port = await server.start()
+        print(f"HTTP front door on http://{host}:{port}")
+        payload = await http_post(
+            host, port, "/query",
+            {"config": config.to_dict(), "op": "nearest",
+             "cuisine": "Japanese", "k": 2},
+        )
+        print("HTTP /query nearest:",
+              ", ".join(hit["cuisine"] for hit in payload["nearest"]))
+    finally:
+        await server.aclose()
+    return 0
+
+
+def main() -> int:
+    return asyncio.run(main_async())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,8 +10,11 @@ Subcommands:
   emits the summary dict as JSON on stdout instead);
 * ``figures`` -- print one figure artefact (elbow series or ASCII dendrogram);
 * ``serve-warm`` -- populate the serve cache for the given config;
-* ``serve-stats`` -- print serve-cache statistics (persisted artifacts plus
-  the store's traffic counters);
+* ``serve`` -- run the async HTTP/JSON serving front-end (request
+  coalescing, background refresh; see ``docs/serving.md``);
+* ``serve-stats`` -- print serve-cache statistics (persisted artifacts, the
+  store's configuration incl. active eviction policy specs, and its traffic
+  counters);
 * ``query`` -- read-path queries against a cached analysis (nearest cuisines,
   pattern search, authenticity profiles, cuisine cards);
 * ``classify`` -- classify ingredient lists against the cached cuisines;
@@ -32,6 +35,7 @@ Example::
 
     repro-cuisines analyze --scale 0.05 --report report.md
     repro-cuisines serve-warm --cache-dir .repro-cache
+    repro-cuisines serve --cache-dir .repro-cache --port 8340 --refresh ttl:600
     repro-cuisines query --cache-dir .repro-cache --nearest Japanese
     repro-cuisines classify --cache-dir .repro-cache "soy sauce, mirin, rice"
     repro-cuisines store-migrate --cache-dir .repro-cache --to-backend sqlite
@@ -40,6 +44,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from pathlib import Path
@@ -51,7 +56,14 @@ from repro.core.table1 import compare_with_paper
 from repro.errors import ReproError
 from repro.recipedb import load_csv, load_json, load_jsonl, save_csv, save_json, save_jsonl
 from repro.recipedb.database import RecipeDatabase
-from repro.serve import AnalysisService, ArtifactStore, CuisineClassifier, QueryEngine
+from repro.serve import (
+    AnalysisServer,
+    AnalysisService,
+    ArtifactStore,
+    AsyncAnalysisService,
+    CuisineClassifier,
+    QueryEngine,
+)
 from repro.serve.backends import BACKEND_NAMES, DEFAULT_SHARDS, create_backend
 from repro.serve.eviction import parse_policy
 from repro.serve.migrate import migrate_backend
@@ -177,6 +189,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_options(warm)
     add_workers(warm)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the async HTTP/JSON serving front-end"
+    )
+    add_store_options(serve)
+    add_workers(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8340, help="bind port, 0 = ephemeral (default 8340)"
+    )
+    serve.add_argument(
+        "--serve-threads",
+        type=int,
+        default=4,
+        metavar="N",
+        help="executor threads computing concurrent distinct configs (default 4)",
+    )
+    serve.add_argument(
+        "--refresh",
+        metavar="SPEC",
+        default=None,
+        help="background-refresh staleness policy as an eviction spec, ttl "
+             "terms only (e.g. ttl:600: re-warm analyses older than 600s; "
+             "off by default)",
+    )
+    serve.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds between background refresher sweeps (default 30)",
+    )
+    serve.add_argument(
+        "--warm",
+        action="store_true",
+        help="precompute the configured analysis before accepting requests",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N requests (smoke tests; default: serve forever)",
+    )
 
     stats = subparsers.add_parser(
         "serve-stats", help="print serve-cache statistics (artifacts + traffic)"
@@ -452,36 +508,75 @@ def _command_serve_warm(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve_stats(args: argparse.Namespace) -> int:
-    from repro.serve.service import ANALYSIS_KIND, MINING_INDEX_KIND, MINING_KIND
-
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.corpus is not None:
+        raise ReproError(
+            "serve cannot use --corpus: cache keys only cover the config "
+            "(seed/scale/support), not external corpora"
+        )
     service = _service_for(args)
-    store = service.store
-    artifacts = {
-        "analyses": len(store.keys(ANALYSIS_KIND)),
-        "mining_runs": len(store.keys(MINING_KIND)),
-        "mining_indexes": len(store.keys(MINING_INDEX_KIND)),
-        "corpora": len(service.corpus_files()),
-    }
-    payload = {
-        "cache_dir": str(store.root),
-        "backend": store.backend.describe(),
-        "max_memory_entries": store.max_memory_entries,
-        "eviction": store.memory_policy.describe(),
-        "disk_eviction": store.disk_policy.describe() if store.disk_policy else "none",
-        "workers": service.workers,
-        "store_bytes": store.total_bytes(),
-        "artifacts": artifacts,
-        "counters": service.stats(),
-    }
+    config = _config_from_args(args)
+
+    async def _run() -> None:
+        async_service = AsyncAnalysisService(
+            service,
+            max_threads=args.serve_threads,
+            refresh_policy=args.refresh,
+            refresh_interval=args.refresh_interval,
+        )
+        server = AnalysisServer(
+            async_service,
+            host=args.host,
+            port=args.port,
+            request_limit=args.max_requests,
+        )
+        try:
+            host, port = await server.start()
+            if args.warm:
+                served = await async_service.get(config)
+                print(
+                    f"warmed analysis {served.key[:12]} from {served.source} "
+                    f"in {served.elapsed_seconds:.3f}s",
+                    flush=True,
+                )
+            print(f"serving on http://{host}:{port} (Ctrl-C to stop)", flush=True)
+            await server.serve_until_done()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _command_serve_stats(args: argparse.Namespace) -> int:
+    service = _service_for(args)
+    payload = service.describe()
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
+    store = service.store
     print(
         f"serve cache at {store.root} [{store.backend.describe()}] "
-        f"({store.total_bytes()} bytes stored, eviction {store.memory_policy.describe()}, "
-        f"mining workers {service.workers})"
+        f"({store.total_bytes()} bytes stored, mining workers {service.workers})"
     )
+    configuration = [
+        {"setting": "eviction", "value": payload["eviction"]},
+        {"setting": "disk_eviction", "value": payload["disk_eviction"]},
+        {"setting": "max_memory_entries", "value": payload["max_memory_entries"]},
+        {"setting": "workers", "value": payload["workers"]},
+    ]
+    print(
+        format_table(
+            configuration,
+            ["setting", "value"],
+            title="Store configuration (active policy specs)",
+        )
+    )
+    print()
+    artifacts = payload["artifacts"]
     print(
         format_table(
             [{"artifact": name, "count": count} for name, count in artifacts.items()],
@@ -490,9 +585,10 @@ def _command_serve_stats(args: argparse.Namespace) -> int:
         )
     )
     print()
+    counters = payload["counters"]
     print(
         format_table(
-            [{"counter": name, "value": value} for name, value in service.stats().items()],
+            [{"counter": name, "value": value} for name, value in counters.items()],
             ["counter", "value"],
             title="Store traffic (this process)",
         )
@@ -640,6 +736,7 @@ _COMMANDS = {
     "analyze": _command_analyze,
     "figures": _command_figures,
     "serve-warm": _command_serve_warm,
+    "serve": _command_serve,
     "serve-stats": _command_serve_stats,
     "store-migrate": _command_store_migrate,
     "query": _command_query,

@@ -243,8 +243,20 @@ class CuisineClusteringPipeline:
         corpus = database if database is not None else self.build_corpus()
         if len(corpus.region_names()) < 2:
             raise PipelineError("the corpus must contain at least two cuisines")
+        return self.finish_run(corpus, self.mine_patterns(corpus))
 
-        mining_results = self.mine_patterns(corpus)
+    def finish_run(
+        self,
+        corpus: RecipeDatabase,
+        mining_results: Mapping[str, MiningResult],
+    ) -> AnalysisResults:
+        """Run stages 3-8 (everything after mining) and assemble the bundle.
+
+        Callers that obtained the corpus and mining results elsewhere -- the
+        serve layer's stage caches, a custom miner -- get the identical
+        feature / clustering / validation tail that :meth:`run` performs, so
+        a cached-stage recompute can never drift from a fresh run.
+        """
         table1 = self.build_table1(corpus, mining_results)
         pattern_features = self.build_pattern_features(mining_results)
 
@@ -269,7 +281,7 @@ class CuisineClusteringPipeline:
         return AnalysisResults(
             config=self.config,
             corpus_stats=corpus_statistics(corpus),
-            mining_results=mining_results,
+            mining_results=dict(mining_results),
             table1=table1,
             pattern_features=pattern_features,
             elbow=elbow,

@@ -64,16 +64,18 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
 )
 
 
-def connect(path: str | Path) -> sqlite3.Connection:
+def connect(path: str | Path, *, check_same_thread: bool = True) -> sqlite3.Connection:
     """Open a SQLite database with the library's shared connection settings.
 
     Raises :class:`SerializationError` (a :class:`~repro.errors.ReproError`)
     instead of :class:`sqlite3.Error` so callers across subsystems -- corpus
     I/O here, the serve layer's :class:`~repro.serve.backends.SqliteBackend`
-    -- share one failure mode.
+    -- share one failure mode.  ``check_same_thread=False`` allows callers
+    that serialize access themselves (the serve backend under its lock) to
+    share one connection across threads.
     """
     try:
-        connection = sqlite3.connect(str(path))
+        connection = sqlite3.connect(str(path), check_same_thread=check_same_thread)
     except sqlite3.Error as exc:  # pragma: no cover - environment dependent
         raise SerializationError(f"could not open sqlite database {path}: {exc}") from exc
     connection.execute("PRAGMA foreign_keys = ON")

@@ -35,6 +35,13 @@ Layout
     :class:`~repro.serve.service.AnalysisService` -- the memoizing facade:
     ``get_or_run(config)`` hits memory → disk → recompute, reusing cached
     mining results when only clustering parameters changed.
+``aio``
+    The asyncio front door: :class:`~repro.serve.aio.AsyncAnalysisService`
+    adds single-flight **request coalescing** (N concurrent requests for one
+    cold config perform exactly one compute) and TTL-driven **background
+    refresh**; :class:`~repro.serve.aio.AsyncQueryEngine` wraps the read
+    path and :class:`~repro.serve.aio.AnalysisServer` exposes everything
+    over a stdlib HTTP/JSON loop (the CLI's ``serve`` subcommand).
 ``queries``
     :class:`~repro.serve.queries.QueryEngine` -- nearest-cuisine lookup,
     pattern search, authenticity profiles and cuisine summary cards, all
@@ -57,10 +64,17 @@ Quick start
 >>> classifier = CuisineClassifier.from_results(served.results)
 >>> classifier.classify(["soy sauce", "mirin", "rice"]).best  # doctest: +SKIP
 
-The CLI exposes the same flows as ``repro-cuisines serve-warm``, ``query``
-and ``classify``; see ``examples/serve_and_query.py`` for a full tour.
+The CLI exposes the same flows as ``repro-cuisines serve-warm``, ``serve``
+(the async HTTP front-end), ``query`` and ``classify``; see
+``examples/serve_and_query.py`` and ``examples/async_serving.py`` for full
+tours, and ``docs/serving.md`` for the async semantics.
 """
 
+from repro.serve.aio import (
+    AnalysisServer,
+    AsyncAnalysisService,
+    AsyncQueryEngine,
+)
 from repro.serve.backends import (
     DirectoryBackend,
     MemoryBackend,
@@ -92,6 +106,9 @@ from repro.serve.store import ArtifactStore, StoreStats
 __all__ = [
     "AnalysisService",
     "ServedAnalysis",
+    "AsyncAnalysisService",
+    "AsyncQueryEngine",
+    "AnalysisServer",
     "ArtifactStore",
     "StoreStats",
     "StorageBackend",

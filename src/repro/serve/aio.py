@@ -1,0 +1,813 @@
+"""Asyncio serving front-end: coalesced, non-blocking reads over the service.
+
+:class:`~repro.serve.service.AnalysisService` is synchronous: every caller
+blocks for the full compute on a cold config, and N concurrent requests for
+the same cold config perform N identical computes.  This module puts an
+event-loop front door in front of it:
+
+:class:`AsyncAnalysisService`
+    ``await get(config)`` with **single-flight request coalescing** -- the
+    first request for a config key starts the compute on a thread-pool
+    executor (the event loop never blocks on mining), and every concurrent
+    request for the same key *joins* that in-flight compute instead of
+    starting another.  All waiters receive the same results; joiners are
+    marked ``coalesced`` and counted in ``StoreStats.coalesced_hits``.
+    Waiter cancellation is safe: the shared flight is shielded, so one
+    impatient client never cancels the compute out from under the others.
+
+    A **background refresher** re-warms stale artifacts before they expire:
+    staleness is expressed with the same policy specs the store's eviction
+    uses (``"ttl:600"``, see :mod:`repro.serve.eviction`), and refreshes go
+    through :meth:`AnalysisService.refresh` -- compute-then-swap, so the old
+    artifact keeps serving reads until the new one is ready.
+
+:class:`AsyncQueryEngine`
+    The query/classify read path (:class:`~repro.serve.queries.QueryEngine`
+    + :class:`~repro.serve.classify.CuisineClassifier`) behind ``await``,
+    bound to one config and rebuilt automatically when a refresh swaps the
+    underlying results.
+
+:class:`AnalysisServer`
+    A minimal HTTP/1.1 JSON loop on :func:`asyncio.start_server` (stdlib
+    only, no web framework): ``GET /healthz``, ``GET /stats``,
+    ``POST /analyze``, ``POST /query``, ``POST /classify``.  The CLI's
+    ``serve`` subcommand wires it to the standard store/eviction/workers
+    flags; see ``docs/serving.md`` for the wire format.
+
+Quick start::
+
+    async def main():
+        async with AsyncAnalysisService("cache-dir", refresh_policy="ttl:600") as svc:
+            served = await svc.get(AnalysisConfig(scale=0.02))
+            engine = AsyncQueryEngine(svc, AnalysisConfig(scale=0.02))
+            nearest = await engine.nearest_cuisines("Japanese", k=3)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.config import AnalysisConfig, DEFAULT_CONFIG
+from repro.errors import ReproError, ServeError
+from repro.serve import codec
+from repro.serve.backends.base import BackendEntry
+from repro.serve.classify import Classification, CuisineClassifier
+from repro.serve.eviction import (
+    TTL,
+    CompositePolicy,
+    EntryInfo,
+    EvictionPolicy,
+    NoEviction,
+    parse_policy,
+)
+from repro.serve.queries import PatternHit, QueryEngine
+from repro.serve.service import ANALYSIS_KIND, AnalysisService, ServedAnalysis
+
+__all__ = [
+    "AsyncAnalysisService",
+    "AsyncQueryEngine",
+    "AnalysisServer",
+    "DEFAULT_REFRESH_INTERVAL",
+]
+
+DEFAULT_REFRESH_INTERVAL = 30.0
+DEFAULT_MAX_TRACKED = 64
+
+
+def _validate_refresh_policy(policy: EvictionPolicy | None) -> EvictionPolicy | None:
+    """Only TTL terms make sense as a *staleness* policy; reject the rest.
+
+    Count/byte bounds (``lru:N``, ``maxbytes:N``) always nominate victims
+    once the tracked set exceeds the bound, and refreshing a victim renews
+    its stamp without shrinking the set -- the refresher would recompute a
+    rotating slice of the cache every sweep, forever, achieving nothing.
+    ``none`` is allowed and means "never stale" (equivalent to no policy).
+    """
+    if policy is None or isinstance(policy, TTL):
+        return policy
+    if isinstance(policy, NoEviction):
+        return None
+    if isinstance(policy, CompositePolicy) and all(
+        isinstance(member, TTL) for member in policy.policies
+    ):
+        return policy
+    raise ServeError(
+        f"refresh_policy must use only ttl terms (got {policy.describe()!r}): "
+        "count/byte bounds cannot express staleness"
+    )
+
+
+class AsyncAnalysisService:
+    """Single-flight async facade over one :class:`AnalysisService`.
+
+    Parameters
+    ----------
+    service:
+        The synchronous service to front (or a cache directory / ``None``,
+        which constructs one exactly like ``AnalysisService(...)``).
+    max_threads:
+        Size of the thread-pool executor computes run on.  Distinct configs
+        compute concurrently up to this bound; requests for the *same*
+        config always coalesce into one flight regardless.
+    refresh_policy:
+        Staleness policy for the background refresher, as a policy object or
+        an ``--eviction``-style spec string (``"ttl:600"``).  An artifact the
+        policy would evict is considered stale and re-warmed in place.
+        ``None`` (default) disables background refresh.
+    refresh_interval:
+        Seconds between refresher sweeps once :meth:`start` has run.
+    refresh_lead:
+        Head start in seconds: the refresher evaluates the policy at
+        ``now + refresh_lead``, so artifacts are re-warmed *before* a
+        same-spec disk eviction policy would expire them.
+    max_tracked:
+        How many distinct configs the front-end remembers for the refresher
+        (least recently served forgotten first).  Bounds both memory and the
+        recurring refresh bill when clients probe many one-off configs.
+    """
+
+    def __init__(
+        self,
+        service: AnalysisService | Path | str | None = None,
+        *,
+        max_threads: int = 4,
+        refresh_policy: EvictionPolicy | str | None = None,
+        refresh_interval: float = DEFAULT_REFRESH_INTERVAL,
+        refresh_lead: float = 0.0,
+        max_tracked: int = DEFAULT_MAX_TRACKED,
+    ) -> None:
+        if service is None or isinstance(service, (str, Path)):
+            service = AnalysisService(service)
+        self.service = service
+        if max_threads < 1:
+            raise ServeError("max_threads must be at least 1")
+        if max_tracked < 1:
+            raise ServeError("max_tracked must be at least 1")
+        if isinstance(refresh_policy, str):
+            refresh_policy = parse_policy(refresh_policy)
+        self.refresh_policy = _validate_refresh_policy(refresh_policy)
+        self.max_tracked = max_tracked
+        if refresh_interval <= 0:
+            raise ServeError("refresh_interval must be positive")
+        if refresh_lead < 0:
+            raise ServeError("refresh_lead must be non-negative")
+        self.refresh_interval = float(refresh_interval)
+        self.refresh_lead = float(refresh_lead)
+        self.refresh_errors = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_threads, thread_name_prefix="repro-serve"
+        )
+        self._flights: dict[str, asyncio.Task[ServedAnalysis]] = {}
+        self._refreshing: dict[str, asyncio.Task[ServedAnalysis]] = {}
+        self._known: dict[str, AnalysisConfig] = {}
+        self._refresher: asyncio.Task[None] | None = None
+        self._closed = False
+
+    # -- read path --------------------------------------------------------------------
+
+    async def get(self, config: AnalysisConfig | None = None) -> ServedAnalysis:
+        """Serve *config*, joining an identical in-flight compute if one exists.
+
+        The first caller for a key starts the flight (``get_or_run`` on the
+        executor); concurrent callers for the same key await that flight and
+        receive the same results with ``coalesced=True``.  The flight is
+        shielded from waiter cancellation -- cancelling one ``await`` leaves
+        the compute running for everyone else, and its result still lands in
+        the cache.
+        """
+        if self._closed:
+            raise ServeError("the async service is closed")
+        config = config if config is not None else DEFAULT_CONFIG
+        key = codec.analysis_key(config)
+        self._remember_config(key, config)
+        flight = self._flights.get(key)
+        if flight is not None and not flight.done():
+            # Join the in-flight compute: no second compute, same results.
+            # (A *finished* flight whose done-callback has not run yet is not
+            # joined -- its artifact is already cached, so a fresh flight is
+            # a cheap warm read and the coalesced flag stays honest.)
+            self.service.store.stats.coalesced_hits += 1
+            served = await asyncio.shield(flight)
+            return replace(served, coalesced=True)
+        loop = asyncio.get_running_loop()
+        flight = loop.create_task(
+            self._run_blocking(self.service.get_or_run, config)
+        )
+        self._flights[key] = flight
+        flight.add_done_callback(lambda task, key=key: self._land(key, task))
+        return await asyncio.shield(flight)
+
+    async def warm(
+        self, configs: Iterable[AnalysisConfig] | AnalysisConfig
+    ) -> list[ServedAnalysis]:
+        """Precompute (or touch) many configs concurrently, coalesced per key."""
+        if isinstance(configs, AnalysisConfig):
+            configs = [configs]
+        return list(await asyncio.gather(*(self.get(config) for config in configs)))
+
+    async def _run_blocking(self, fn, *args: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    def _remember_config(self, key: str, config: AnalysisConfig) -> None:
+        """Track *config* for the refresher, bounded by ``max_tracked`` (LRU)."""
+        self._known.pop(key, None)
+        self._known[key] = config  # re-insertion keeps dict order = recency
+        while len(self._known) > self.max_tracked:
+            self._known.pop(next(iter(self._known)))
+
+    def _land(self, key: str, task: asyncio.Task[ServedAnalysis]) -> None:
+        if self._flights.get(key) is task:
+            del self._flights[key]
+        if not task.cancelled():
+            # Consume the exception even when every waiter was cancelled, so
+            # an orphaned failed flight never logs "exception never retrieved".
+            task.exception()
+
+    @property
+    def inflight(self) -> int:
+        """How many coalesced computes are running right now (a gauge)."""
+        return len(self._flights)
+
+    @property
+    def refreshing(self) -> int:
+        """How many background refreshes are running right now (a gauge)."""
+        return len(self._refreshing)
+
+    def stats(self) -> dict[str, int]:
+        """Store traffic counters plus the live ``inflight``/``refreshing`` gauges."""
+        payload = self.service.stats()
+        payload["inflight"] = self.inflight
+        payload["refreshing"] = self.refreshing
+        return payload
+
+    def describe(self) -> dict[str, object]:
+        """The ``serve-stats`` payload extended with the async front-end state."""
+        payload = self.service.describe()
+        payload["refresh"] = (
+            self.refresh_policy.describe() if self.refresh_policy else "none"
+        )
+        payload["refresh_interval"] = self.refresh_interval
+        payload["refresh_errors"] = self.refresh_errors
+        payload["inflight"] = self.inflight
+        payload["refreshing"] = self.refreshing
+        return payload
+
+    # -- background refresh -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the periodic refresher task (no-op without a refresh policy)."""
+        if self.refresh_policy is None or self._refresher is not None or self._closed:
+            return
+        loop = asyncio.get_running_loop()
+        self._refresher = loop.create_task(self._refresh_loop())
+
+    async def _refresh_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.refresh_interval)
+            try:
+                await self.refresh_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - a sweep failure (backend
+                # outage, policy edge case) must never silently kill the
+                # refresher; it is counted and the next sweep retries.
+                self.refresh_errors += 1
+
+    async def refresh_once(self, *, now: float | None = None) -> list[str]:
+        """One refresher sweep; returns the keys re-warmed.
+
+        Every config this front-end has served is checked against the
+        refresh policy using its *persisted artifact's* write stamp (the
+        same signal TTL disk eviction uses).  Stale artifacts are recomputed
+        concurrently on the executor via :meth:`AnalysisService.refresh` --
+        readers keep getting the old artifact until each new one is swapped
+        in.  Keys with a compute or refresh already in flight are skipped.
+        """
+        policy = self.refresh_policy
+        if policy is None or not self._known or self._closed:
+            return []
+        now = time.time() if now is None else now
+        # The backend scan stats every artifact; run it on the executor so a
+        # large or slow store never stalls the event loop.
+        stamps = await self._run_blocking(self._analysis_stamps)
+        view = [
+            (key, EntryInfo(stamps[key].size_bytes, stamps[key].stored_at, stamps[key].stored_at))
+            for key in self._known
+            if key in stamps
+        ]
+        victims = [
+            key
+            for key in policy.victims(view, now + self.refresh_lead)
+            if key not in self._flights and key not in self._refreshing
+        ]
+        if not victims:
+            return []
+        loop = asyncio.get_running_loop()
+        tasks = []
+        for key in victims:
+            task = loop.create_task(self._refresh_flight(key, self._known[key]))
+            self._refreshing[key] = task
+            tasks.append(task)
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        refreshed = []
+        for key, outcome in zip(victims, outcomes):
+            if isinstance(outcome, BaseException):
+                self.refresh_errors += 1
+            else:
+                refreshed.append(key)
+        return refreshed
+
+    def _analysis_stamps(self) -> dict[str, BackendEntry]:
+        """Write stamps of every persisted analysis artifact (executor-side)."""
+        return {
+            entry.key: entry
+            for entry in self.service.store.backend.entries()
+            if entry.kind == ANALYSIS_KIND
+        }
+
+    async def _refresh_flight(self, key: str, config: AnalysisConfig) -> ServedAnalysis:
+        try:
+            served = await self._run_blocking(self.service.refresh, config)
+            self.service.store.stats.background_refreshes += 1
+            return served
+        finally:
+            self._refreshing.pop(key, None)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Stop the refresher, drain in-flight work, and shut the executor down.
+
+        In-flight computes are awaited (their threads cannot be interrupted
+        anyway, and their results still land in the cache); new :meth:`get`
+        calls fail immediately.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._refresher is not None:
+            self._refresher.cancel()
+            try:
+                await self._refresher
+            except asyncio.CancelledError:
+                pass
+            self._refresher = None
+        pending = list(self._flights.values()) + list(self._refreshing.values())
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncAnalysisService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+
+class AsyncQueryEngine:
+    """Async query/classify read path bound to one config.
+
+    Every call first awaits the (coalesced) analysis for the bound config,
+    then runs the synchronous :class:`QueryEngine` / ``CuisineClassifier``
+    operation on the executor.  The engine and the compiled classifier are
+    cached per results object and rebuilt transparently when a background
+    refresh swaps new results in.
+    """
+
+    def __init__(
+        self, service: AsyncAnalysisService, config: AnalysisConfig | None = None
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self._results: object | None = None
+        self._engine: QueryEngine | None = None
+        self._classifier: CuisineClassifier | None = None
+
+    async def engine(self) -> QueryEngine:
+        """The sync query engine over the current (cached) results."""
+        served = await self.service.get(self.config)
+        if self._engine is None or served.results is not self._results:
+            self._results = served.results
+            self._engine = QueryEngine(served.results)
+            self._classifier = None
+        return self._engine
+
+    async def _classify_batch(
+        self, recipes: Sequence[Sequence[str]]
+    ) -> list[Classification]:
+        engine = await self.engine()
+        if self._classifier is None:
+            self._classifier = await self.service._run_blocking(
+                CuisineClassifier.from_results, engine.results
+            )
+        classifier = self._classifier
+        return await self.service._run_blocking(classifier.classify_batch, recipes)
+
+    async def nearest_cuisines(
+        self, cuisine: str, *, k: int = 5, figure: str = "figure2"
+    ) -> list[tuple[str, float]]:
+        """The *k* nearest cuisines under one clustering view's metric."""
+        engine = await self.engine()
+        return await self.service._run_blocking(
+            lambda: engine.nearest_cuisines(cuisine, k=k, figure=figure)
+        )
+
+    async def pattern_search(
+        self,
+        items: Iterable[str] | str,
+        *,
+        region: str | None = None,
+        min_support: float = 0.0,
+        limit: int | None = None,
+    ) -> list[PatternHit]:
+        """Patterns containing every requested item, best-supported first."""
+        engine = await self.engine()
+        return await self.service._run_blocking(
+            lambda: engine.pattern_search(
+                items, region=region, min_support=min_support, limit=limit
+            )
+        )
+
+    async def top_patterns(self, region: str, *, k: int = 5) -> list[PatternHit]:
+        """One cuisine's *k* strongest patterns."""
+        engine = await self.engine()
+        return await self.service._run_blocking(
+            lambda: engine.top_patterns(region, k=k)
+        )
+
+    async def authenticity_profile(self, item: str) -> dict[str, float]:
+        """One ingredient's signed authenticity across every cuisine."""
+        engine = await self.engine()
+        return await self.service._run_blocking(
+            lambda: engine.authenticity_profile(item)
+        )
+
+    async def cuisine_profile(self, cuisine: str, *, k: int = 5) -> dict[str, object]:
+        """The one-stop JSON summary card for a cuisine."""
+        engine = await self.engine()
+        return await self.service._run_blocking(
+            lambda: engine.cuisine_profile(cuisine, k=k)
+        )
+
+    async def classify(
+        self, recipes: Sequence[Sequence[str]]
+    ) -> list[Classification]:
+        """Classify a batch of ingredient lists against the cached cuisines."""
+        return await self._classify_batch(recipes)
+
+
+# -- the HTTP/JSON front door ---------------------------------------------------------
+
+_MAX_REQUEST_LINE = 8192
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """An HTTP-level failure with the status code to report."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class AnalysisServer:
+    """Minimal asyncio HTTP/1.1 JSON server over one async service.
+
+    Routes (all responses are JSON; errors are ``{"error": ...}``):
+
+    * ``GET /healthz`` -- liveness plus the in-flight gauges;
+    * ``GET /stats`` -- the full :meth:`AsyncAnalysisService.describe` payload;
+    * ``POST /analyze`` -- ``{"config": {...}}`` serves (and caches) the
+      analysis for the config, returning its provenance and summary;
+    * ``POST /query`` -- ``{"config": {...}, "op": "nearest" | "patterns" |
+      "top-patterns" | "authenticity" | "cuisine", ...}``;
+    * ``POST /classify`` -- ``{"config": {...}, "recipes": [[...], ...]}``.
+
+    ``config`` accepts any subset of :class:`AnalysisConfig` fields (missing
+    fields take their defaults, unknown fields are a 400).  Connections are
+    one-shot (``Connection: close``); the loop is stdlib-only by design --
+    the serving value lives in the coalescing layer underneath, not in HTTP
+    plumbing.  *request_limit* stops the server after N requests, which is
+    what the smoke tests and ``serve --max-requests`` use.
+    """
+
+    def __init__(
+        self,
+        service: AsyncAnalysisService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_limit: int | None = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.request_limit = request_limit
+        self.requests_served = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._done = asyncio.Event()
+        self._engines: dict[str, AsyncQueryEngine] = {}
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the actual (host, port)."""
+        if self._server is not None:
+            raise ServeError("the server is already running")
+        self.service.start()  # background refresher, if configured
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        if self.request_limit is not None and self.request_limit <= 0:
+            self._done.set()
+        return self.host, self.port
+
+    async def serve_until_done(self) -> None:
+        """Serve until the request limit is reached (or forever without one)."""
+        if self._server is None:
+            await self.start()
+        await self._done.wait()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections and close the async service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._done.set()
+        await self.service.aclose()
+
+    async def __aenter__(self) -> "AnalysisServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    # -- connection handling ----------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload = 200, {}
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                payload = await self._dispatch(method, path, body)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except ReproError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # never let one request kill the loop
+                status, payload = 500, {"error": f"internal error: {exc}"}
+            await self._write_response(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.requests_served += 1
+            if (
+                self.request_limit is not None
+                and self.requests_served >= self.request_limit
+            ):
+                self._done.set()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, object]]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        if len(request_line) > _MAX_REQUEST_LINE:
+            raise _HttpError(400, "request line too long")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > _MAX_REQUEST_LINE:
+                raise _HttpError(400, "header line too long")
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise _HttpError(400, "bad Content-Length") from exc
+        if content_length > _MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body: dict[str, object] = {}
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                parsed = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise _HttpError(400, f"request body is not valid JSON: {exc}") from exc
+            if not isinstance(parsed, dict):
+                raise _HttpError(400, "request body must be a JSON object")
+            body = parsed
+        return method.upper(), path.split("?", 1)[0], body
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: Mapping[str, object]
+    ) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing ----------------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: dict[str, object]
+    ) -> dict[str, object]:
+        if path == "/healthz":
+            self._require(method, "GET", path)
+            return {
+                "status": "ok",
+                "inflight": self.service.inflight,
+                "refreshing": self.service.refreshing,
+            }
+        if path == "/stats":
+            self._require(method, "GET", path)
+            # describe() lists every artifact kind and stats the store; keep
+            # that I/O off the event loop.
+            return await self.service._run_blocking(self.service.describe)
+        if path == "/analyze":
+            self._require(method, "POST", path)
+            return await self._route_analyze(body)
+        if path == "/query":
+            self._require(method, "POST", path)
+            return await self._route_query(body)
+        if path == "/classify":
+            self._require(method, "POST", path)
+            return await self._route_classify(body)
+        raise _HttpError(404, f"unknown route {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"{path} only accepts {expected}")
+
+    def _config_from(self, body: Mapping[str, object]) -> AnalysisConfig:
+        raw = body.get("config", {})
+        if not isinstance(raw, Mapping):
+            raise _HttpError(400, '"config" must be a JSON object')
+        for field in ("distance_metrics", "validation_k_values"):
+            if field in raw and not isinstance(raw[field], list):
+                # from_dict would tuple()-explode a bare string into chars.
+                raise _HttpError(400, f'"{field}" must be a JSON list')
+        defaults = AnalysisConfig().to_dict()
+        defaults.update(raw)
+        try:
+            return AnalysisConfig.from_dict(defaults)
+        except ReproError:
+            raise  # ConfigurationError et al. -> 400 via the outer handler
+        except (TypeError, ValueError) as exc:
+            # Wrong-typed values (e.g. {"scale": "0.1"}) fail inside the
+            # config's validators with plain TypeErrors; that is client
+            # input, not a server fault.
+            raise _HttpError(400, f"invalid config value: {exc}") from exc
+
+    def _engine_for(self, config: AnalysisConfig) -> AsyncQueryEngine:
+        key = codec.analysis_key(config)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = AsyncQueryEngine(self.service, config)
+            self._engines[key] = engine
+            while len(self._engines) > 8:
+                self._engines.pop(next(iter(self._engines)))
+        return engine
+
+    async def _route_analyze(self, body: dict[str, object]) -> dict[str, object]:
+        config = self._config_from(body)
+        served = await self.service.get(config)
+        return {"served": served.to_dict(), "summary": served.results.summary()}
+
+    async def _route_query(self, body: dict[str, object]) -> dict[str, object]:
+        config = self._config_from(body)
+        engine = self._engine_for(config)
+        op = body.get("op")
+        if op == "nearest":
+            cuisine = self._required_str(body, "cuisine")
+            nearest = await engine.nearest_cuisines(
+                cuisine,
+                k=self._int(body, "k", 5),
+                figure=str(body.get("figure", "figure2")),
+            )
+            return {
+                "op": op,
+                "nearest": [
+                    {"cuisine": name, "distance": distance}
+                    for name, distance in nearest
+                ],
+            }
+        if op == "patterns":
+            items = body.get("items")
+            if not isinstance(items, list) or not items:
+                raise _HttpError(400, '"items" must be a non-empty JSON list')
+            hits = await engine.pattern_search(
+                [str(item) for item in items], limit=self._int(body, "limit", 10)
+            )
+            return {"op": op, "patterns": [hit.to_dict() for hit in hits]}
+        if op == "top-patterns":
+            cuisine = self._required_str(body, "cuisine")
+            hits = await engine.top_patterns(cuisine, k=self._int(body, "k", 5))
+            return {"op": op, "patterns": [hit.to_dict() for hit in hits]}
+        if op == "authenticity":
+            item = self._required_str(body, "item")
+            return {"op": op, "authenticity": await engine.authenticity_profile(item)}
+        if op == "cuisine":
+            cuisine = self._required_str(body, "cuisine")
+            return {
+                "op": op,
+                "cuisine": await engine.cuisine_profile(
+                    cuisine, k=self._int(body, "k", 5)
+                ),
+            }
+        raise _HttpError(
+            400,
+            'unknown query op (expected "nearest", "patterns", "top-patterns", '
+            '"authenticity" or "cuisine")',
+        )
+
+    async def _route_classify(self, body: dict[str, object]) -> dict[str, object]:
+        config = self._config_from(body)
+        engine = self._engine_for(config)
+        raw = body.get("recipes")
+        if not isinstance(raw, list) or not raw:
+            raise _HttpError(400, '"recipes" must be a non-empty JSON list')
+        recipes: list[list[str]] = []
+        for entry in raw:
+            if isinstance(entry, str):
+                recipes.append([item.strip() for item in entry.split(",") if item.strip()])
+            elif isinstance(entry, list):
+                recipes.append([str(item) for item in entry])
+            else:
+                raise _HttpError(
+                    400, "recipes must be ingredient lists or comma-separated strings"
+                )
+        top = self._int(body, "top", 3)
+        classifications = await engine.classify(recipes)
+        results = []
+        for recipe, classification in zip(recipes, classifications):
+            results.append(
+                {
+                    "recipe": recipe,
+                    "best": classification.best,
+                    "ranked": [
+                        {"cuisine": name, "score": score}
+                        for name, score in classification.ranked()[: max(1, top)]
+                    ],
+                    "unknown_items": list(classification.unknown_items),
+                }
+            )
+        return {"classifications": results}
+
+    @staticmethod
+    def _required_str(body: Mapping[str, object], field: str) -> str:
+        value = body.get(field)
+        if not isinstance(value, str) or not value:
+            raise _HttpError(400, f'"{field}" must be a non-empty string')
+        return value
+
+    @staticmethod
+    def _int(body: Mapping[str, object], field: str, default: int) -> int:
+        value = body.get(field, default)
+        try:
+            return int(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f'"{field}" must be an integer') from exc

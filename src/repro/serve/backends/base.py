@@ -32,12 +32,14 @@ KEY_CHARS = frozenset("0123456789abcdef")
 
 
 def validate_kind(kind: str) -> str:
+    """Require *kind* to be a non-empty slug; returns it for chaining."""
     if not kind or not kind.replace("-", "").replace("_", "").isalnum():
         raise ServeError(f"artifact kind must be a non-empty slug, got {kind!r}")
     return kind
 
 
 def validate_key(key: str) -> str:
+    """Require *key* to be a hex digest; returns it for chaining."""
     if not key or not set(key) <= KEY_CHARS:
         raise ServeError(f"artifact key must be a hex digest, got {key!r}")
     return key

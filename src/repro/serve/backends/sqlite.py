@@ -15,6 +15,7 @@ files.
 from __future__ import annotations
 
 import sqlite3
+import threading
 import time
 from pathlib import Path
 from typing import Iterator
@@ -62,11 +63,17 @@ class SqliteBackend(StorageBackend):
         self.path = Path(path)
         self.root = Path(root) if root is not None else self.path.parent
         self._connection: sqlite3.Connection | None = None
+        # The async serving layer drives one backend from the event loop and
+        # its executor threads at once; a single shared connection opened
+        # with check_same_thread=False, serialized by this lock, keeps
+        # sqlite's thread-affinity check out of the way without per-thread
+        # connection churn.
+        self._lock = threading.RLock()
 
     def _connect(self) -> sqlite3.Connection:
         if self._connection is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            connection = connect(self.path)
+            connection = connect(self.path, check_same_thread=False)
             connection.execute("PRAGMA journal_mode = WAL")
             connection.execute("PRAGMA synchronous = NORMAL")
             with connection:
@@ -76,12 +83,13 @@ class SqliteBackend(StorageBackend):
         return self._connection
 
     def _execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
-        connection = self._connect()
-        try:
-            with connection:
-                return connection.execute(sql, parameters)
-        except sqlite3.Error as exc:
-            raise ServeError(f"sqlite artifact store {self.path}: {exc}") from exc
+        with self._lock:
+            connection = self._connect()
+            try:
+                with connection:
+                    return connection.execute(sql, parameters)
+            except sqlite3.Error as exc:
+                raise ServeError(f"sqlite artifact store {self.path}: {exc}") from exc
 
     # -- reads ------------------------------------------------------------------------
 
@@ -136,21 +144,22 @@ class SqliteBackend(StorageBackend):
         return cursor.rowcount > 0
 
     def quarantine(self, kind: str, key: str) -> None:
-        connection = self._connect()
-        try:
-            with connection:
-                connection.execute(
-                    "INSERT OR REPLACE INTO quarantined_artifacts"
-                    " (kind, key, payload, quarantined_at)"
-                    " SELECT kind, key, payload, ? FROM artifacts"
-                    " WHERE kind = ? AND key = ?",
-                    (time.time(), kind, key),
-                )
-                connection.execute(
-                    "DELETE FROM artifacts WHERE kind = ? AND key = ?", (kind, key)
-                )
-        except sqlite3.Error:  # pragma: no cover - quarantine is best-effort
-            pass
+        with self._lock:
+            connection = self._connect()
+            try:
+                with connection:
+                    connection.execute(
+                        "INSERT OR REPLACE INTO quarantined_artifacts"
+                        " (kind, key, payload, quarantined_at)"
+                        " SELECT kind, key, payload, ? FROM artifacts"
+                        " WHERE kind = ? AND key = ?",
+                        (time.time(), kind, key),
+                    )
+                    connection.execute(
+                        "DELETE FROM artifacts WHERE kind = ? AND key = ?", (kind, key)
+                    )
+            except sqlite3.Error:  # pragma: no cover - quarantine is best-effort
+                pass
 
     def quarantined(self) -> list[tuple[str, str]]:
         """Every quarantined ``(kind, key)`` pair (for tests and post-mortems)."""
@@ -160,9 +169,10 @@ class SqliteBackend(StorageBackend):
         return [(str(kind), str(key)) for kind, key in rows]
 
     def close(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
 
     def describe(self) -> str:
         return f"sqlite (WAL) at {self.path}"

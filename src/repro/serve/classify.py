@@ -50,6 +50,7 @@ class Classification:
         return sorted(self.scores.items(), key=lambda kv: (-kv[1], kv[0]))
 
     def to_dict(self) -> dict[str, object]:
+        """The classification as one JSON-ready dict (scores best-first)."""
         return {
             "best": self.best,
             "scores": dict(self.scores),

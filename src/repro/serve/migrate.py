@@ -35,6 +35,7 @@ class MigrationReport:
     per_kind: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
+        """The report as one JSON-ready dict (``store-migrate --json``)."""
         return {
             "source": self.source,
             "destination": self.destination,

@@ -38,6 +38,7 @@ class PatternHit:
     length: int
 
     def to_dict(self) -> dict[str, object]:
+        """The hit as one JSON-ready dict (CLI tables, HTTP responses)."""
         return {
             "region": self.region,
             "pattern": self.pattern,
@@ -57,6 +58,7 @@ class QueryEngine:
     # -- cuisine neighbourhoods -------------------------------------------------------
 
     def regions(self) -> list[str]:
+        """Every cuisine the analysed corpus contains (sorted)."""
         return self.results.regions()
 
     def nearest_cuisines(

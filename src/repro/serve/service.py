@@ -42,6 +42,7 @@ effectiveness.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -61,7 +62,6 @@ from repro.mining.parallel import (
 )
 from repro.recipedb.database import RecipeDatabase
 from repro.recipedb.io_json import corpus_fingerprint, load_json, save_json
-from repro.recipedb.stats import corpus_statistics
 from repro.serve import codec
 from repro.serve.store import ArtifactStore
 
@@ -86,6 +86,11 @@ class ServedAnalysis:
     :class:`~repro.mining.bitmatrix.TransactionMatrix` inside a worker
     process during this serve (0 when every worker shared a memory-mapped
     sidecar, and for every non-mining source).
+
+    ``coalesced`` is set by the async front-end
+    (:class:`~repro.serve.aio.AsyncAnalysisService`) on answers that joined
+    another request's in-flight compute instead of starting their own; the
+    synchronous service always leaves it ``False``.
     """
 
     results: AnalysisResults
@@ -96,8 +101,10 @@ class ServedAnalysis:
     mining_incremental: bool = False
     workers: int = 0
     worker_compiles: int = 0
+    coalesced: bool = False
 
     def to_dict(self) -> dict[str, object]:
+        """The provenance fields as one JSON-ready dict (results excluded)."""
         return {
             "source": self.source,
             "key": self.key,
@@ -106,6 +113,7 @@ class ServedAnalysis:
             "mining_incremental": self.mining_incremental,
             "workers": self.workers,
             "worker_compiles": self.worker_compiles,
+            "coalesced": self.coalesced,
         }
 
 
@@ -138,6 +146,14 @@ class AnalysisService:
         self._corpora: dict[
             str, tuple[RecipeDatabase, dict[str, TransactionDatabase], str]
         ] = {}
+        # The async front-end computes different configs concurrently on
+        # executor threads.  _lock guards the service's own compound cache
+        # mutations (decoded LRU, mining-family index read-modify-write);
+        # _corpus_locks serializes corpus generation + sidecar compilation
+        # per corpus key, so two configs sharing a (seed, scale) never build
+        # the same corpus or write the same sidecar files twice.
+        self._lock = threading.RLock()
+        self._corpus_locks: dict[str, threading.Lock] = {}
 
     # -- read path --------------------------------------------------------------------
 
@@ -224,6 +240,40 @@ class AnalysisService:
             configs = [configs]
         return [self.get_or_run(config) for config in configs]
 
+    def refresh(self, config: AnalysisConfig | None = None) -> ServedAnalysis:
+        """Recompute *config* unconditionally and swap the stored artifact.
+
+        The compute-then-swap order is what makes background refresh safe:
+        the old artifact keeps answering :meth:`get_or_run` reads for the
+        whole duration of the recompute, and only the final :meth:`put`
+        replaces it -- a refresh never exposes a cache miss to readers.  The
+        rewrite also renews the artifact's stored-at stamp, so TTL-based
+        disk eviction and the async refresher both see it as fresh again.
+
+        Stage caches (corpus, mining) are still honoured -- the analysis is
+        deterministic per config, so a refresh re-derives the same results;
+        what changes is the artifact's age.  Use :meth:`invalidate` first to
+        force the stages themselves to re-run.
+        """
+        config = config if config is not None else DEFAULT_CONFIG
+        key = codec.analysis_key(config)
+        started = time.perf_counter()
+        results, mining_reused, mining_incremental, worker_compiles = self._compute(
+            config
+        )
+        self.store.put(ANALYSIS_KIND, key, codec.results_to_dict(results))
+        self._remember_decoded(key, results)
+        return ServedAnalysis(
+            results=results,
+            source="computed",
+            key=key,
+            elapsed_seconds=time.perf_counter() - started,
+            mining_reused=mining_reused,
+            mining_incremental=mining_incremental,
+            workers=self.workers,
+            worker_compiles=worker_compiles,
+        )
+
     def invalidate(self, config: AnalysisConfig, *, mining: bool = False) -> bool:
         """Drop the cached analysis for *config* (and optionally its mining)."""
         key = codec.analysis_key(config)
@@ -235,10 +285,11 @@ class AnalysisService:
             # Keep the family index in sync so the incremental fast path
             # never walks a dangling entry.
             group_key = codec.mining_group_key(config)
-            index = self._mining_index(group_key)
-            if mining_key in index:
-                index.pop(mining_key)
-                self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
+            with self._lock:
+                index = self._mining_index(group_key)
+                if mining_key in index:
+                    index.pop(mining_key)
+                    self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
         return removed
 
     def cached_keys(self) -> list[str]:
@@ -248,6 +299,34 @@ class AnalysisService:
     def stats(self) -> dict[str, int]:
         """Store traffic counters (memory/disk hits, misses, writes, evictions)."""
         return self.store.stats.to_dict()
+
+    def describe(self) -> dict[str, object]:
+        """One JSON-ready snapshot of the store's configuration and traffic.
+
+        The payload behind ``serve-stats`` and the async server's
+        ``/stats`` endpoint: where the cache lives, which backend and
+        eviction policies it runs (as the spec strings ``--eviction``
+        accepts), the mining fan-out, how many artifacts of each kind are
+        persisted, and the live traffic counters.
+        """
+        store = self.store
+        artifacts = {
+            "analyses": len(store.keys(ANALYSIS_KIND)),
+            "mining_runs": len(store.keys(MINING_KIND)),
+            "mining_indexes": len(store.keys(MINING_INDEX_KIND)),
+            "corpora": len(self.corpus_files()),
+        }
+        return {
+            "cache_dir": str(store.root),
+            "backend": store.backend.describe(),
+            "max_memory_entries": store.max_memory_entries,
+            "eviction": store.memory_policy.describe(),
+            "disk_eviction": store.disk_policy.describe() if store.disk_policy else "none",
+            "workers": self.workers,
+            "store_bytes": store.total_bytes(),
+            "artifacts": artifacts,
+            "counters": self.stats(),
+        }
 
     def _remember_decoded(self, key: str, results: AnalysisResults) -> None:
         """Keep decoded results hot, bounded by the store's LRU capacity.
@@ -259,11 +338,18 @@ class AnalysisService:
         limit = self.store.max_memory_entries
         if limit == 0:
             return
-        self._decoded[key] = results
-        while len(self._decoded) > limit:
-            self._decoded.pop(next(iter(self._decoded)))
+        with self._lock:
+            self._decoded[key] = results
+            while len(self._decoded) > limit:
+                self._decoded.pop(next(iter(self._decoded)))
 
     # -- corpus stage -----------------------------------------------------------------
+
+    def _corpus_lock(self, config: AnalysisConfig) -> threading.Lock:
+        """The per-corpus-key lock serializing corpus and sidecar builds."""
+        key = codec.corpus_key(config)
+        with self._lock:
+            return self._corpus_locks.setdefault(key, threading.Lock())
 
     def corpus_path(self, config: AnalysisConfig) -> Path:
         """On-disk location of the persisted corpus for *config*'s seed/scale."""
@@ -289,28 +375,38 @@ class AnalysisService:
         carry it so they go stale with the corpus.
         """
         key = codec.corpus_key(config)
-        cached = self._corpora.get(key)
-        if cached is not None:
-            return cached
+        with self._lock:
+            cached = self._corpora.get(key)
+            if cached is not None:
+                return cached
 
-        corpus: RecipeDatabase | None = None
-        path = self.corpus_path(config)
-        if path.exists():
-            try:
-                corpus = load_json(path)
-            except SerializationError:
-                corpus = None  # truncated / hand-edited file: regenerate
-        if corpus is None:
-            corpus = pipeline.build_corpus()
-            path.parent.mkdir(parents=True, exist_ok=True)
-            save_json(corpus, path)
-        fingerprint = corpus_fingerprint(path)
+        with self._corpus_lock(config):
+            # Double-check under the corpus lock: a concurrent compute for a
+            # sibling config (same seed/scale, different support) may have
+            # built this corpus while we waited.
+            cached = self._corpora.get(key)
+            if cached is not None:
+                return cached
 
-        transactions = pipeline.build_transactions(corpus)
-        self._corpora[key] = (corpus, transactions, fingerprint)
-        while len(self._corpora) > _CORPUS_MEMORY_LIMIT:
-            self._corpora.pop(next(iter(self._corpora)))
-        return corpus, transactions, fingerprint
+            corpus: RecipeDatabase | None = None
+            path = self.corpus_path(config)
+            if path.exists():
+                try:
+                    corpus = load_json(path)
+                except SerializationError:
+                    corpus = None  # truncated / hand-edited file: regenerate
+            if corpus is None:
+                corpus = pipeline.build_corpus()
+                path.parent.mkdir(parents=True, exist_ok=True)
+                save_json(corpus, path)
+            fingerprint = corpus_fingerprint(path)
+
+            transactions = pipeline.build_transactions(corpus)
+            with self._lock:
+                self._corpora[key] = (corpus, transactions, fingerprint)
+                while len(self._corpora) > _CORPUS_MEMORY_LIMIT:
+                    self._corpora.pop(next(iter(self._corpora)))
+            return corpus, transactions, fingerprint
 
     # -- compiled-matrix sidecars -----------------------------------------------------
 
@@ -425,9 +521,10 @@ class AnalysisService:
     def _register_mining(self, config: AnalysisConfig, mining_key: str) -> None:
         """Record a persisted mining run in its family index."""
         group_key = codec.mining_group_key(config)
-        index = self._mining_index(group_key)
-        index[mining_key] = config.min_support
-        self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
+        with self._lock:
+            index = self._mining_index(group_key)
+            index[mining_key] = config.min_support
+            self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
 
     def _incremental_mining(
         self, config: AnalysisConfig
@@ -472,10 +569,14 @@ class AnalysisService:
             break
         if dangling:
             # Prune entries whose artifacts are gone (deleted or corrupt) so
-            # later lookups stop paying a store miss per stale key.
-            for mining_key in dangling:
-                index.pop(mining_key, None)
-            self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
+            # later lookups stop paying a store miss per stale key.  Re-read
+            # the index under the lock so a concurrent register of a sibling
+            # run is never overwritten by this stale snapshot.
+            with self._lock:
+                index = self._mining_index(group_key)
+                for mining_key in dangling:
+                    index.pop(mining_key, None)
+                self.store.put(MINING_INDEX_KIND, group_key, {"entries": index})
         return chosen
 
     @staticmethod
@@ -542,43 +643,9 @@ class AnalysisService:
             )
             self._register_mining(config, mining_cache_key)
 
-        table1 = pipeline.build_table1(corpus, mining_results)
-        pattern_features = pipeline.build_pattern_features(mining_results)
-        elbow = pipeline.run_elbow(pattern_features)
-        pattern_runs = pipeline.run_pattern_clusterings(pattern_features)
-        authenticity_run = pipeline.run_authenticity_clustering(corpus)
-        geography_run = pipeline.run_geographic_clustering(corpus)
-        fihc_result = pipeline.run_fihc(mining_results)
-        fingerprints = pipeline.build_fingerprints(corpus)
-
-        validation_targets = {
-            "patterns-euclidean": pattern_runs["euclidean"],
-            "patterns-cosine": pattern_runs["cosine"],
-            "patterns-jaccard": pattern_runs["jaccard"],
-            "authenticity": authenticity_run,
-        }
-        geography_validation = pipeline.validate_against_geography(validation_targets)
-        claim_checks = pipeline.check_claims(
-            {**validation_targets, "geography": geography_run}
-        )
-
-        results = AnalysisResults(
-            config=config,
-            corpus_stats=corpus_statistics(corpus),
-            mining_results=mining_results,
-            table1=table1,
-            pattern_features=pattern_features,
-            elbow=elbow,
-            figure2_euclidean=pattern_runs["euclidean"],
-            figure3_cosine=pattern_runs["cosine"],
-            figure4_jaccard=pattern_runs["jaccard"],
-            figure5_authenticity=authenticity_run,
-            figure6_geography=geography_run,
-            fihc=fihc_result,
-            fingerprints=fingerprints,
-            geography_validation=geography_validation,
-            claim_checks=claim_checks,
-        )
+        # Stages 3-8 run through the pipeline's own tail, so a cached-stage
+        # recompute can never drift from what a fresh `pipeline.run` builds.
+        results = pipeline.finish_run(corpus, mining_results)
         return results, mining_reused, mining_incremental, worker_compiles
 
     def _mine_fresh(
@@ -606,7 +673,8 @@ class AnalysisService:
                 raise PipelineError(f"region {region!r} has no recipes to mine")
         sidecars: dict[str, Path] | None
         try:
-            sidecars = self._ensure_matrices(config, transactions, fingerprint)
+            with self._corpus_lock(config):
+                sidecars = self._ensure_matrices(config, transactions, fingerprint)
         except (ServeError, OSError, SerializationError):
             sidecars = None
         if self.workers <= 0:

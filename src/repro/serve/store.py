@@ -25,6 +25,7 @@ bounding what is kept durable (by TTL or total bytes).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -47,7 +48,14 @@ _KEY_CHARS = set("0123456789abcdef")
 
 @dataclass
 class StoreStats:
-    """Running counters of store traffic (one instance per store)."""
+    """Running counters of store traffic (one instance per store).
+
+    ``coalesced_hits`` and ``background_refreshes`` are written by the async
+    front-end (:mod:`repro.serve.aio`): the former counts requests that
+    joined an already-in-flight compute instead of starting their own, the
+    latter counts artifacts re-warmed by the background refresher before
+    their TTL expired.  Both stay 0 under purely synchronous serving.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
@@ -58,8 +66,11 @@ class StoreStats:
     evictions: int = 0
     disk_evictions: int = 0
     bytes_written: int = 0
+    coalesced_hits: int = 0
+    background_refreshes: int = 0
 
     def to_dict(self) -> dict[str, int]:
+        """Every counter as one JSON-ready dict (the ``serve-stats`` payload)."""
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
@@ -70,6 +81,8 @@ class StoreStats:
             "evictions": self.evictions,
             "disk_evictions": self.disk_evictions,
             "bytes_written": self.bytes_written,
+            "coalesced_hits": self.coalesced_hits,
+            "background_refreshes": self.background_refreshes,
         }
 
 
@@ -88,6 +101,10 @@ class _MemoryEntry:
 
 class ArtifactStore:
     """JSON artifact store: policy-bounded memory front over a storage backend.
+
+    The store is safe to share across threads (the async front-end's
+    executor drives it concurrently); a reentrant lock serializes the
+    memory-front bookkeeping around every read and write.
 
     Parameters
     ----------
@@ -136,6 +153,13 @@ class ArtifactStore:
         self._clock = clock
         self.stats = StoreStats()
         self._memory: OrderedDict[tuple[str, str], _MemoryEntry] = OrderedDict()
+        # The async front-end (repro.serve.aio) drives the store from a
+        # thread pool; one reentrant lock serializes the compound
+        # memory-front mutations (read-validate-remember, evict sweeps) so
+        # concurrent readers never observe a half-updated LRU.  Backend I/O
+        # happens inside the lock too: artifact payloads are small JSON
+        # documents, so correctness beats the marginal parallelism.
+        self._lock = threading.RLock()
 
     # -- backend ----------------------------------------------------------------------
 
@@ -198,23 +222,24 @@ class ArtifactStore:
         handle over the same backend invalidates every handle's memory layer
         too.
         """
-        now = self._evict_due()
-        cache_key = (kind, key)
-        entry = self._memory.get(cache_key)
-        if entry is not None:
-            if self._backend.exists(kind, key):
-                entry.last_access = now
-                self._memory.move_to_end(cache_key)
-                self.stats.memory_hits += 1
-                return entry.payload
-            self._memory.pop(cache_key, None)
-        payload, text = self._read_validated(kind, key)
-        if payload is None:
-            self.stats.misses += 1
-            return None
-        self.stats.disk_hits += 1
-        self._remember(cache_key, payload, text)
-        return payload
+        with self._lock:
+            now = self._evict_due()
+            cache_key = (kind, key)
+            entry = self._memory.get(cache_key)
+            if entry is not None:
+                if self._backend.exists(kind, key):
+                    entry.last_access = now
+                    self._memory.move_to_end(cache_key)
+                    self.stats.memory_hits += 1
+                    return entry.payload
+                self._memory.pop(cache_key, None)
+            payload, text = self._read_validated(kind, key)
+            if payload is None:
+                self.stats.misses += 1
+                return None
+            self.stats.disk_hits += 1
+            self._remember(cache_key, payload, text)
+            return payload
 
     def contains(self, kind: str, key: str) -> bool:
         """Whether a *readable* artifact exists in memory or the backend.
@@ -223,14 +248,15 @@ class ArtifactStore:
         artifact that :meth:`get` would quarantine and miss reports ``False``
         here too (and is quarantined on the spot), never a phantom ``True``.
         """
-        if (kind, key) in self._memory:
-            # Same invalidation rule as get(): the backend copy must still exist.
-            return self._backend.exists(kind, key)
-        payload, text = self._read_validated(kind, key)
-        if payload is None:
-            return False
-        self._remember((kind, key), payload, text)
-        return True
+        with self._lock:
+            if (kind, key) in self._memory:
+                # Same invalidation rule as get(): the backend copy must still exist.
+                return self._backend.exists(kind, key)
+            payload, text = self._read_validated(kind, key)
+            if payload is None:
+                return False
+            self._remember((kind, key), payload, text)
+            return True
 
     def exists(self, kind: str, key: str) -> bool:
         """Whether the backend holds ``(kind, key)`` (no payload read or validation).
@@ -270,25 +296,28 @@ class ArtifactStore:
         otherwise.
         """
         text = dumps(payload)
-        self._backend.write(kind, key, text)
-        self.stats.writes += 1
-        self.stats.bytes_written += len(text.encode("utf-8"))
-        self._remember((kind, key), payload, text)
-        self.sweep_disk()
+        with self._lock:
+            self._backend.write(kind, key, text)
+            self.stats.writes += 1
+            self.stats.bytes_written += len(text.encode("utf-8"))
+            self._remember((kind, key), payload, text)
+            self.sweep_disk()
         path_for = getattr(self._backend, "path_for", None)
         return path_for(kind, key) if path_for is not None else None
 
     def delete(self, kind: str, key: str) -> bool:
         """Drop an artifact from memory and the backend; True when anything existed."""
-        existed = self._memory.pop((kind, key), None) is not None
-        existed = self._backend.delete(kind, key) or existed
-        if existed:
-            self.stats.deletes += 1
-        return existed
+        with self._lock:
+            existed = self._memory.pop((kind, key), None) is not None
+            existed = self._backend.delete(kind, key) or existed
+            if existed:
+                self.stats.deletes += 1
+            return existed
 
     def clear_memory(self) -> None:
         """Empty the memory front (backend artifacts stay)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # -- internals --------------------------------------------------------------------
 
@@ -333,18 +362,19 @@ class ArtifactStore:
         """
         if self.disk_policy is None:
             return 0
-        evicted = 0
-        now = self._clock()
-        stored = sorted(self._backend.entries(), key=lambda entry: entry.stored_at)
-        view = [
-            ((entry.kind, entry.key), EntryInfo(entry.size_bytes, entry.stored_at, entry.stored_at))
-            for entry in stored
-        ]
-        for kind, key in self.disk_policy.victims(view, now):
-            if self._backend.delete(kind, key):
-                self.stats.disk_evictions += 1
-                evicted += 1
-            # The memory copy would be dropped on its next read anyway (the
-            # backend existence probe fails); drop it now to free the slot.
-            self._memory.pop((kind, key), None)
-        return evicted
+        with self._lock:
+            evicted = 0
+            now = self._clock()
+            stored = sorted(self._backend.entries(), key=lambda entry: entry.stored_at)
+            view = [
+                ((entry.kind, entry.key), EntryInfo(entry.size_bytes, entry.stored_at, entry.stored_at))
+                for entry in stored
+            ]
+            for kind, key in self.disk_policy.victims(view, now):
+                if self._backend.delete(kind, key):
+                    self.stats.disk_evictions += 1
+                    evicted += 1
+                # The memory copy would be dropped on its next read anyway (the
+                # backend existence probe fails); drop it now to free the slot.
+                self._memory.pop((kind, key), None)
+            return evicted

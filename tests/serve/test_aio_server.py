@@ -1,0 +1,327 @@
+"""HTTP/JSON front-door tests for :class:`repro.serve.aio.AnalysisServer`.
+
+Raw-socket clients (``asyncio.open_connection``) drive the stdlib HTTP loop
+end to end against a real warmed cache: health, stats, analyze provenance,
+every query op, classification, and the error surface (bad JSON, unknown
+routes and ops, wrong methods, invalid config fields).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.serve.aio import AnalysisServer, AsyncAnalysisService
+from repro.serve.service import AnalysisService
+
+CONFIG = AnalysisConfig(seed=5, scale=0.02)
+CONFIG_JSON = {"seed": 5, "scale": 0.02}
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("aio-server") / "cache"
+    AnalysisService(cache).get_or_run(CONFIG)
+    return cache
+
+
+async def request(host, port, method, path, payload=None):
+    """One one-shot HTTP exchange; returns (status, decoded JSON body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head_part, _, body_part = raw.partition(b"\r\n\r\n")
+    status = int(head_part.split()[1])
+    return status, json.loads(body_part)
+
+
+def serve(warm_cache, scenario):
+    """Run *scenario(host, port)* against a live server over the warm cache."""
+
+    async def main():
+        service = AsyncAnalysisService(AnalysisService(warm_cache))
+        server = AnalysisServer(service)
+        try:
+            host, port = await server.start()
+            return await scenario(host, port)
+        finally:
+            await server.aclose()
+
+    return asyncio.run(main())
+
+
+class TestRoutes:
+    def test_healthz(self, warm_cache):
+        async def scenario(host, port):
+            return await request(host, port, "GET", "/healthz")
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["inflight"] == 0
+
+    def test_stats_reports_policies_and_counters(self, warm_cache):
+        async def scenario(host, port):
+            return await request(host, port, "GET", "/stats")
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 200
+        assert payload["eviction"].startswith("lru:")
+        assert payload["refresh"] == "none"
+        assert payload["artifacts"]["analyses"] >= 1
+        assert "coalesced_hits" in payload["counters"]
+        assert payload["inflight"] == 0
+
+    def test_analyze_serves_cached_analysis(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/analyze", {"config": CONFIG_JSON}
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 200
+        assert payload["served"]["source"] in ("memory", "disk")
+        assert payload["served"]["coalesced"] is False
+        assert payload["summary"]["n_regions"] >= 2
+
+    def test_query_nearest(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host,
+                port,
+                "POST",
+                "/query",
+                {"config": CONFIG_JSON, "op": "nearest", "cuisine": "Japanese", "k": 3},
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 200
+        assert len(payload["nearest"]) == 3
+        assert {"cuisine", "distance"} <= set(payload["nearest"][0])
+
+    def test_query_patterns_and_top_patterns(self, warm_cache):
+        async def scenario(host, port):
+            patterns = await request(
+                host,
+                port,
+                "POST",
+                "/query",
+                {"config": CONFIG_JSON, "op": "patterns", "items": ["rice"], "limit": 4},
+            )
+            top = await request(
+                host,
+                port,
+                "POST",
+                "/query",
+                {"config": CONFIG_JSON, "op": "top-patterns", "cuisine": "Japanese"},
+            )
+            return patterns, top
+
+        (p_status, p_payload), (t_status, t_payload) = serve(warm_cache, scenario)
+        assert p_status == 200 and t_status == 200
+        assert len(p_payload["patterns"]) <= 4
+        assert all("rice" in hit["pattern"] for hit in p_payload["patterns"])
+        assert t_payload["patterns"], "warmed cache should have Japanese patterns"
+
+    def test_query_authenticity_and_cuisine_card(self, warm_cache):
+        async def scenario(host, port):
+            auth = await request(
+                host,
+                port,
+                "POST",
+                "/query",
+                {"config": CONFIG_JSON, "op": "authenticity", "item": "soy sauce"},
+            )
+            card = await request(
+                host,
+                port,
+                "POST",
+                "/query",
+                {"config": CONFIG_JSON, "op": "cuisine", "cuisine": "Japanese", "k": 2},
+            )
+            return auth, card
+
+        (a_status, a_payload), (c_status, c_payload) = serve(warm_cache, scenario)
+        assert a_status == 200 and c_status == 200
+        assert a_payload["authenticity"]
+        assert c_payload["cuisine"]["cuisine"] == "Japanese"
+
+    def test_classify(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host,
+                port,
+                "POST",
+                "/classify",
+                {
+                    "config": CONFIG_JSON,
+                    "recipes": [["soy sauce", "rice"], "garlic, olive oil"],
+                    "top": 2,
+                },
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 200
+        assert len(payload["classifications"]) == 2
+        first = payload["classifications"][0]
+        assert first["best"]
+        assert len(first["ranked"]) == 2
+
+    def test_concurrent_http_requests_coalesce(self, tmp_path):
+        """Cold cache + parallel HTTP clients: one compute behind the server."""
+        service = AnalysisService(tmp_path / "cache")
+
+        async def main():
+            async_service = AsyncAnalysisService(service)
+            server = AnalysisServer(async_service)
+            try:
+                host, port = await server.start()
+                return await asyncio.gather(
+                    *(
+                        request(host, port, "POST", "/analyze", {"config": CONFIG_JSON})
+                        for _ in range(6)
+                    )
+                )
+            finally:
+                await server.aclose()
+
+        responses = asyncio.run(main())
+        assert all(status == 200 for status, _ in responses)
+        computed = [p for _, p in responses if p["served"]["source"] == "computed"]
+        assert computed, "someone must have carried the compute"
+        assert service.store.stats.coalesced_hits >= 1
+        assert sum(p["served"]["coalesced"] for _, p in responses) >= 1
+
+
+class TestErrorSurface:
+    def test_unknown_route_is_404(self, warm_cache):
+        async def scenario(host, port):
+            return await request(host, port, "GET", "/nope")
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 404
+        assert "unknown route" in payload["error"]
+
+    def test_wrong_method_is_405(self, warm_cache):
+        async def scenario(host, port):
+            return await request(host, port, "GET", "/analyze")
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 405
+        assert "POST" in payload["error"]
+
+    def test_bad_json_body_is_400(self, warm_cache):
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            body = b"{not json"
+            writer.write(
+                b"POST /analyze HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+                % (len(body), body)
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return int(raw.split()[1])
+
+        assert serve(warm_cache, scenario) == 400
+
+    def test_unknown_config_field_is_400(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/analyze", {"config": {"warp_factor": 9}}
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 400
+        assert "warp_factor" in payload["error"]
+
+    def test_invalid_config_value_is_400(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/analyze", {"config": {"scale": -1}}
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 400
+        assert "scale" in payload["error"]
+
+    def test_unknown_query_op_is_400(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/query", {"config": CONFIG_JSON, "op": "teleport"}
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 400
+        assert "unknown query op" in payload["error"]
+
+    def test_missing_query_field_is_400(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/query", {"config": CONFIG_JSON, "op": "nearest"}
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 400
+        assert "cuisine" in payload["error"]
+
+    def test_empty_classify_batch_is_400(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/classify", {"config": CONFIG_JSON, "recipes": []}
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 400
+        assert "recipes" in payload["error"]
+
+    def test_request_limit_stops_the_server(self, warm_cache):
+        async def main():
+            service = AsyncAnalysisService(AnalysisService(warm_cache))
+            server = AnalysisServer(service, request_limit=2)
+            try:
+                host, port = await server.start()
+                await request(host, port, "GET", "/healthz")
+                await request(host, port, "GET", "/healthz")
+                await asyncio.wait_for(server.serve_until_done(), timeout=5)
+                return server.requests_served
+            finally:
+                await server.aclose()
+
+        assert asyncio.run(main()) == 2
+
+    def test_wrong_typed_config_value_is_400_not_500(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host, port, "POST", "/analyze", {"config": {"scale": "0.1"}}
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 400
+        assert "config" in payload["error"] or "invalid" in payload["error"]
+
+    def test_string_distance_metrics_is_400(self, warm_cache):
+        async def scenario(host, port):
+            return await request(
+                host,
+                port,
+                "POST",
+                "/analyze",
+                {"config": {"distance_metrics": "euclidean"}},
+            )
+
+        status, payload = serve(warm_cache, scenario)
+        assert status == 400
+        assert "distance_metrics" in payload["error"]

@@ -304,3 +304,70 @@ class TestClassify:
         code = main([*ARGS, "classify", "--cache-dir", str(cache)])
         assert code == 1
         assert not cache.exists()
+
+
+class TestServe:
+    """The async `serve` subcommand (front-end wiring; semantics in test_aio*)."""
+
+    def test_serve_starts_binds_and_exits_at_request_limit_zero(self, cache_dir, capsys):
+        code = main(
+            [*ARGS, "serve", "--cache-dir", str(cache_dir), "--port", "0",
+             "--max-requests", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving on http://127.0.0.1:" in out
+
+    def test_serve_warm_flag_precomputes_before_accepting(self, cache_dir, capsys):
+        code = main(
+            [*ARGS, "serve", "--cache-dir", str(cache_dir), "--port", "0",
+             "--max-requests", "0", "--warm", "--refresh", "ttl:600"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warmed analysis" in out
+        assert "serving on http://" in out
+
+    def test_serve_rejects_external_corpus(self, cache_dir, tmp_path, capsys):
+        corpus = tmp_path / "corpus.json"
+        corpus.write_text("{}", encoding="utf-8")
+        code = main(
+            [*ARGS, "--corpus", str(corpus), "serve", "--cache-dir", str(cache_dir),
+             "--port", "0", "--max-requests", "0"]
+        )
+        assert code == 1
+        assert "corpus" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_refresh_spec(self, cache_dir, capsys):
+        code = main(
+            [*ARGS, "serve", "--cache-dir", str(cache_dir), "--port", "0",
+             "--max-requests", "0", "--refresh", "bogus"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeStatsPolicySpecs:
+    """serve-stats must surface the active eviction policy specs (not only counters)."""
+
+    def test_text_output_reports_active_policy_specs(self, cache_dir, capsys):
+        code = main(
+            [*ARGS, "serve-stats", "--cache-dir", str(cache_dir),
+             "--eviction", "lru:16+ttl:600", "--disk-eviction", "maxbytes:9999999"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Store configuration" in out
+        assert "lru:16+ttl:600" in out
+        assert "maxbytes:9999999" in out
+
+    def test_json_output_reports_async_counters(self, cache_dir, capsys):
+        code = main(
+            [*ARGS, "serve-stats", "--cache-dir", str(cache_dir), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["eviction"].startswith("lru:")
+        assert payload["disk_eviction"] == "none"
+        assert "coalesced_hits" in payload["counters"]
+        assert "background_refreshes" in payload["counters"]

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (stdlib only).
+
+Scans markdown files for inline links/images (``[text](target)``) and
+validates every **relative** target:
+
+* the referenced file or directory must exist (relative to the linking
+  file's directory);
+* an ``#anchor`` fragment must match a heading in the target file, using
+  GitHub's slug rules (lowercase, spaces to dashes, punctuation dropped);
+* bare ``#fragment`` links are checked against the current file's headings.
+
+External targets (``http://``, ``https://``, ``mailto:``) are skipped — CI
+must not fail on someone else's outage.  Exit code is the number of broken
+links, so ``python tools/check_links.py`` gates cleanly in CI:
+
+    python tools/check_links.py README.md docs
+
+With no arguments it checks ``README.md`` plus every ``*.md`` under
+``docs/``, resolved from the repository root (this file's grandparent).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links/images: [text](target) — ignores fenced code via line filtering.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for one heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"\s", "-", text)
+
+
+def _markdown_lines(path: Path) -> list[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    lines: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor a markdown file defines."""
+    found: set[str] = set()
+    for line in _markdown_lines(path):
+        match = _HEADING.match(line)
+        if match:
+            found.add(slugify(match.group(1)))
+    return found
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    problems: list[str] = []
+    own_anchors: set[str] | None = None
+    for number, line in enumerate(_markdown_lines(path), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            where = f"{path}:{number}"
+            file_part, _, fragment = target.partition("#")
+            if not file_part:  # same-file #fragment
+                if own_anchors is None:
+                    own_anchors = anchors_of(path)
+                if fragment and fragment not in own_anchors:
+                    problems.append(f"{where}: no heading for anchor #{fragment}")
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{where}: missing target {target}")
+                continue
+            if fragment:
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    problems.append(
+                        f"{where}: anchor #{fragment} on non-markdown target {file_part}"
+                    )
+                elif fragment not in anchors_of(resolved):
+                    problems.append(
+                        f"{where}: no heading for anchor #{fragment} in {file_part}"
+                    )
+    return problems
+
+
+def collect_targets(arguments: list[str]) -> list[Path]:
+    """Markdown files to check: explicit args, or README.md + docs/**."""
+    if arguments:
+        raw = [Path(argument) for argument in arguments]
+    else:
+        raw = [REPO_ROOT / "README.md", REPO_ROOT / "docs"]
+    targets: list[Path] = []
+    for path in raw:
+        if path.is_dir():
+            targets.extend(sorted(path.rglob("*.md")))
+        elif path.suffix.lower() == ".md" and path.exists():
+            targets.append(path)
+        else:
+            raise SystemExit(f"check_links: no such markdown file or directory: {path}")
+    return targets
+
+
+def main(arguments: list[str] | None = None) -> int:
+    targets = collect_targets(sys.argv[1:] if arguments is None else arguments)
+    problems: list[str] = []
+    for path in targets:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_links: {len(targets)} files, "
+        f"{len(problems)} broken link{'s' if len(problems) != 1 else ''}"
+    )
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
