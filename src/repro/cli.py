@@ -66,7 +66,9 @@ from repro.serve import (
 )
 from repro.serve.backends import BACKEND_NAMES, DEFAULT_SHARDS, create_backend
 from repro.serve.eviction import parse_policy
+from repro.serve.faults import FaultInjectingBackend, parse_fault_plan
 from repro.serve.migrate import migrate_backend
+from repro.serve.resilience import ResilientBackend, RetryPolicy
 from repro.viz.ascii_dendrogram import render_dendrogram
 from repro.viz.report import write_report
 from repro.viz.tables import format_table
@@ -183,6 +185,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="eviction policy applied to the backend after writes "
                  "(bounds what stays durable; off by default)",
         )
+        sub.add_argument(
+            "--resilient",
+            action="store_true",
+            help="wrap the backend in retries + a circuit breaker: transient "
+                 "faults are retried with deterministic backoff, a tripped "
+                 "breaker degrades to recompute instead of failing requests",
+        )
+        sub.add_argument(
+            "--store-retries",
+            type=int,
+            default=3,
+            metavar="N",
+            help="max attempts per storage operation under --resilient "
+                 "(default 3)",
+        )
+        sub.add_argument(
+            "--inject-faults",
+            metavar="SPEC",
+            default=None,
+            help="deterministic fault plan for chaos runs, e.g. "
+                 "'read:1-2:oserror;write:%%3:locked' "
+                 "(see docs/resilience.md for the grammar)",
+        )
 
     warm = subparsers.add_parser(
         "serve-warm", help="populate the serve cache for this config"
@@ -225,6 +250,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm",
         action="store_true",
         help="precompute the configured analysis before accepting requests",
+    )
+    serve.add_argument(
+        "--compute-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="max seconds a request waits on one compute before a 503 "
+             "(the compute keeps running and lands in the cache; "
+             "default: wait forever)",
     )
     serve.add_argument(
         "--max-requests",
@@ -459,6 +493,17 @@ def _store_for(args: argparse.Namespace) -> ArtifactStore:
         args.cache_dir,
         shards=getattr(args, "store_shards", DEFAULT_SHARDS),
     )
+    # Wrap order matters: faults innermost (they impersonate backend I/O
+    # errors), resilience outermost (its retries absorb the injected faults
+    # exactly as they would absorb real ones).  Only the explicit flag arms
+    # the harness here -- $REPRO_FAULT_PLAN drives the *test suite's* chaos
+    # wrap, and ambient fault injection in a real CLI run would be a trap.
+    plan = parse_fault_plan(getattr(args, "inject_faults", None) or "")
+    if plan:
+        backend = FaultInjectingBackend(backend, plan)
+    if getattr(args, "resilient", False):
+        retries = getattr(args, "store_retries", 3)
+        backend = ResilientBackend(backend, retry=RetryPolicy(max_attempts=retries))
     memory_spec = getattr(args, "eviction", None)
     disk_spec = getattr(args, "disk_eviction", None)
     memory_policy = parse_policy(memory_spec) if memory_spec is not None else None
@@ -523,6 +568,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             max_threads=args.serve_threads,
             refresh_policy=args.refresh,
             refresh_interval=args.refresh_interval,
+            compute_deadline=args.compute_deadline,
         )
         server = AnalysisServer(
             async_service,

@@ -25,6 +25,7 @@ __all__ = [
     "PipelineError",
     "ConfigurationError",
     "ServeError",
+    "DeadlineError",
 ]
 
 
@@ -94,3 +95,11 @@ class ConfigurationError(ReproError):
 
 class ServeError(ReproError):
     """The cached-analysis serve layer hit a malformed artifact or query."""
+
+
+class DeadlineError(ServeError):
+    """A serve-layer operation exceeded its configured deadline.
+
+    Raised to the *waiter*; the underlying compute may keep running and
+    land its artifact in the cache (see ``AsyncAnalysisService``).
+    """

@@ -30,7 +30,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
@@ -100,11 +101,18 @@ class RegionOutcome:
 
 @dataclass(frozen=True, slots=True)
 class ParallelMiningReport:
-    """Fan-out telemetry: requested/used workers and per-region outcomes."""
+    """Fan-out telemetry: requested/used workers and per-region outcomes.
+
+    *recovered_regions* lists regions whose pool worker crashed (the
+    executor raised ``BrokenProcessPool``) and that were re-mined serially
+    in the parent -- the results are byte-identical either way, so recovery
+    is invisible except here.
+    """
 
     workers: int  # requested worker count (0 = serial legacy path)
     pool_size: int  # actual processes used (0 when serial)
     outcomes: tuple[RegionOutcome, ...]
+    recovered_regions: tuple[str, ...] = field(default=())
 
     @property
     def compiles(self) -> int:
@@ -117,6 +125,7 @@ class ParallelMiningReport:
             "pool_size": self.pool_size,
             "regions": len(self.outcomes),
             "matrix_compiles": self.compiles,
+            "recovered_regions": list(self.recovered_regions),
         }
 
 
@@ -165,11 +174,53 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _mine_pooled(
+    ordered: list[RegionTask],
+    miner,
+    pool_size: int,
+    raw: dict[str, tuple[MiningResult, bool]],
+    *,
+    recover: bool,
+) -> tuple[str, ...]:
+    """Fan *ordered* out over a pool, filling *raw* as futures complete.
+
+    A crashed worker (OOM kill, segfault, ``os._exit``) breaks the whole
+    executor: every un-finished future raises ``BrokenProcessPool``.  With
+    *recover* the un-mined regions are re-mined serially in this process --
+    the tasks are side-effect free, so a second attempt is safe and the
+    merged output stays byte-identical to a fault-free run.  Without it the
+    raw executor error is translated into a :class:`MiningError` that names
+    exactly which regions were lost.  Returns the recovered region names.
+    """
+    try:
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=_pool_context()
+        ) as pool:
+            futures = [(task, pool.submit(_mine_region, miner, task)) for task in ordered]
+            for _task, future in futures:
+                region, result, compiled = future.result()
+                raw[region] = (result, compiled)
+    except BrokenProcessPool as exc:
+        lost = [task for task in ordered if task.region not in raw]
+        if not recover:
+            names = ", ".join(task.region for task in lost)
+            raise MiningError(
+                f"a mining worker process died and recovery is disabled; "
+                f"regions not mined: {names}"
+            ) from exc
+        for task in lost:
+            region, result, compiled = _mine_region(miner, task)
+            raw[region] = (result, compiled)
+        return tuple(task.region for task in lost)
+    return ()
+
+
 def mine_regions_with_report(
     tasks: list[RegionTask] | tuple[RegionTask, ...],
     miner,
     *,
     workers: int | None = None,
+    recover: bool = True,
 ) -> tuple[dict[str, MiningResult], ParallelMiningReport]:
     """Mine every region task and report how the fan-out behaved.
 
@@ -179,6 +230,13 @@ def mine_regions_with_report(
     (never more processes than tasks).  Either way the result mapping is
     assembled in sorted region order, so parallel output is indistinguishable
     from serial.
+
+    *recover* (default on) re-mines the regions lost to a crashed worker
+    serially in this process and lists them in the report's
+    ``recovered_regions``; with ``recover=False`` a worker crash raises
+    :class:`~repro.errors.MiningError` naming the lost regions.  A worker
+    that raises an ordinary *exception* (bad parameters, stale sidecar) is
+    not a crash -- that error always propagates unchanged.
     """
     workers = resolve_workers(workers)
     regions = [task.region for task in tasks]
@@ -188,19 +246,14 @@ def mine_regions_with_report(
 
     raw: dict[str, tuple[MiningResult, bool]] = {}
     pool_size = 0
+    recovered: tuple[str, ...] = ()
     if workers == 0 or len(ordered) <= 1:
         for task in ordered:
             region, result, compiled = _mine_region(miner, task)
             raw[region] = (result, compiled)
     else:
         pool_size = min(workers, len(ordered))
-        with ProcessPoolExecutor(
-            max_workers=pool_size, mp_context=_pool_context()
-        ) as pool:
-            for region, result, compiled in pool.map(
-                _mine_region, [miner] * len(ordered), ordered
-            ):
-                raw[region] = (result, compiled)
+        recovered = _mine_pooled(ordered, miner, pool_size, raw, recover=recover)
 
     results = {region: raw[region][0] for region in sorted(raw)}
     report = ParallelMiningReport(
@@ -210,6 +263,7 @@ def mine_regions_with_report(
             RegionOutcome(region, len(raw[region][0]), raw[region][1])
             for region in sorted(raw)
         ),
+        recovered_regions=recovered,
     )
     return results, report
 
@@ -219,7 +273,10 @@ def mine_regions_parallel(
     miner,
     *,
     workers: int | None = None,
+    recover: bool = True,
 ) -> dict[str, MiningResult]:
     """Mine every region task; see :func:`mine_regions_with_report`."""
-    results, _report = mine_regions_with_report(tasks, miner, workers=workers)
+    results, _report = mine_regions_with_report(
+        tasks, miner, workers=workers, recover=recover
+    )
     return results

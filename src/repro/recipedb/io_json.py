@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import SerializationError, ValidationError
 from repro.recipedb.database import RecipeDatabase
@@ -63,20 +65,47 @@ def _database_header(database: RecipeDatabase) -> dict[str, object]:
     }
 
 
+def _atomic_write(target: Path, emit: Callable[[object], None], what: str) -> Path:
+    """Write via temp file + ``os.replace`` so crashes never tear *target*.
+
+    A corpus is the root of the artifact chain (its fingerprint keys every
+    sidecar), so a half-written file under the final name would poison
+    everything downstream; readers only ever see the old or the new bytes.
+    """
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=f".{target.name}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                emit(handle)
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:
+                pass
+            raise
+    except OSError as exc:
+        raise SerializationError(f"could not write {what} to {target}: {exc}") from exc
+    return target
+
+
 def save_json(database: RecipeDatabase, path: str | Path, *, indent: int | None = None) -> Path:
-    """Write the whole database to a single JSON document; returns the path."""
-    target = Path(path)
+    """Write the whole database to a single JSON document; returns the path.
+
+    The write is atomic (temp file + rename in the target directory).
+    """
     payload = {
         **_database_header(database),
         "recipes": database.to_dicts(),
     }
-    try:
-        target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=indent, sort_keys=False)
-    except OSError as exc:
-        raise SerializationError(f"could not write database to {target}: {exc}") from exc
-    return target
+    return _atomic_write(
+        Path(path),
+        lambda handle: json.dump(payload, handle, indent=indent, sort_keys=False),
+        "database",
+    )
 
 
 def load_json(path: str | Path) -> RecipeDatabase:
@@ -115,21 +144,21 @@ def load_json(path: str | Path) -> RecipeDatabase:
 def save_jsonl(
     recipes_or_database: RecipeDatabase | Iterable[Recipe], path: str | Path
 ) -> Path:
-    """Write recipes as JSON-Lines (one recipe object per line)."""
-    target = Path(path)
+    """Write recipes as JSON-Lines (one recipe object per line).
+
+    The write is atomic (temp file + rename in the target directory).
+    """
     if isinstance(recipes_or_database, RecipeDatabase):
         recipes: Iterable[Recipe] = recipes_or_database.recipes()
     else:
         recipes = recipes_or_database
-    try:
-        target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("w", encoding="utf-8") as handle:
-            for recipe in recipes:
-                handle.write(json.dumps(recipe.to_dict(), sort_keys=True))
-                handle.write("\n")
-    except OSError as exc:
-        raise SerializationError(f"could not write recipes to {target}: {exc}") from exc
-    return target
+
+    def emit(handle: object) -> None:
+        for recipe in recipes:
+            handle.write(json.dumps(recipe.to_dict(), sort_keys=True))
+            handle.write("\n")
+
+    return _atomic_write(Path(path), emit, "recipes")
 
 
 def iter_jsonl(path: str | Path) -> Iterator[Recipe]:

@@ -31,6 +31,16 @@ Layout
 ``migrate``
     :func:`~repro.serve.migrate.migrate_backend` -- move artifacts between
     any two backends or directory layouts (also ``store-migrate`` in the CLI).
+``resilience``
+    :class:`~repro.serve.resilience.ResilientBackend` -- retries with
+    deterministic backoff, per-op deadlines and a circuit breaker that trips
+    the store into degraded mode (reads fall through to recompute, writes
+    are dropped-but-counted) instead of wedging the serving surface.
+``faults``
+    :class:`~repro.serve.faults.FaultInjectingBackend` -- a deterministic
+    fault harness wrapping any backend: scripted plans (``--inject-faults``
+    / ``$REPRO_FAULT_PLAN``) fail the Nth operation, inject latency or tear
+    a write mid-payload; see ``docs/resilience.md`` for the grammar.
 ``service``
     :class:`~repro.serve.service.AnalysisService` -- the memoizing facade:
     ``get_or_run(config)`` hits memory → disk → recompute, reusing cached
@@ -98,8 +108,23 @@ from repro.serve.eviction import (
     NoEviction,
     parse_policy,
 )
+from repro.serve.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultRule,
+    parse_fault_plan,
+    resolve_fault_plan,
+)
 from repro.serve.migrate import MigrationReport, migrate_backend
 from repro.serve.queries import PatternHit, QueryEngine
+from repro.serve.resilience import (
+    CircuitBreaker,
+    ResilienceStats,
+    ResilientBackend,
+    RetryPolicy,
+    is_transient,
+)
 from repro.serve.service import AnalysisService, ServedAnalysis
 from repro.serve.store import ArtifactStore, StoreStats
 
@@ -125,6 +150,17 @@ __all__ = [
     "parse_policy",
     "MigrationReport",
     "migrate_backend",
+    "ResilientBackend",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "is_transient",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "FaultRule",
+    "parse_fault_plan",
+    "resolve_fault_plan",
+    "FAULT_PLAN_ENV",
     "QueryEngine",
     "PatternHit",
     "CuisineClassifier",

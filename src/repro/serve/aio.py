@@ -54,7 +54,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.config import AnalysisConfig, DEFAULT_CONFIG
-from repro.errors import ReproError, ServeError
+from repro.errors import DeadlineError, ReproError, ServeError
 from repro.serve import codec
 from repro.serve.backends.base import BackendEntry
 from repro.serve.classify import Classification, CuisineClassifier
@@ -78,6 +78,9 @@ __all__ = [
 
 DEFAULT_REFRESH_INTERVAL = 30.0
 DEFAULT_MAX_TRACKED = 64
+
+#: Consecutive failed computes before ``health()`` escalates to "failing".
+DEFAULT_FAILING_THRESHOLD = 3
 
 
 def _validate_refresh_policy(policy: EvictionPolicy | None) -> EvictionPolicy | None:
@@ -130,6 +133,15 @@ class AsyncAnalysisService:
         How many distinct configs the front-end remembers for the refresher
         (least recently served forgotten first).  Bounds both memory and the
         recurring refresh bill when clients probe many one-off configs.
+    compute_deadline:
+        Seconds a waiter is willing to block on one executor flight.  A
+        flight that runs longer raises :class:`~repro.errors.DeadlineError`
+        to its waiters (a hung backend or runaway compute never wedges the
+        request surface); the executor thread itself keeps running and its
+        artifact still lands in the cache.  ``None`` (default) = unbounded.
+    failing_threshold:
+        Consecutive *failed* computes after which :meth:`health` escalates
+        from ``degraded`` to ``failing`` (one success resets the streak).
     """
 
     def __init__(
@@ -141,6 +153,8 @@ class AsyncAnalysisService:
         refresh_interval: float = DEFAULT_REFRESH_INTERVAL,
         refresh_lead: float = 0.0,
         max_tracked: int = DEFAULT_MAX_TRACKED,
+        compute_deadline: float | None = None,
+        failing_threshold: int = DEFAULT_FAILING_THRESHOLD,
     ) -> None:
         if service is None or isinstance(service, (str, Path)):
             service = AnalysisService(service)
@@ -159,7 +173,18 @@ class AsyncAnalysisService:
             raise ServeError("refresh_lead must be non-negative")
         self.refresh_interval = float(refresh_interval)
         self.refresh_lead = float(refresh_lead)
+        if compute_deadline is not None and compute_deadline <= 0:
+            raise ServeError("compute_deadline must be positive (or None)")
+        if failing_threshold < 1:
+            raise ServeError("failing_threshold must be at least 1")
+        self.compute_deadline = compute_deadline
+        self.failing_threshold = failing_threshold
         self.refresh_errors = 0
+        self.compute_failures = 0
+        self.deadline_timeouts = 0
+        self.stale_served = 0
+        self._failure_streak = 0
+        self._stale: set[str] = set()
         self._executor = ThreadPoolExecutor(
             max_workers=max_threads, thread_name_prefix="repro-serve"
         )
@@ -180,6 +205,11 @@ class AsyncAnalysisService:
         shielded from waiter cancellation -- cancelling one ``await`` leaves
         the compute running for everyone else, and its result still lands in
         the cache.
+
+        With *compute_deadline* set, a waiter blocks at most that many
+        seconds before :class:`~repro.errors.DeadlineError`; answers whose
+        last background refresh failed come back flagged ``stale=True``
+        (serve-stale-on-error -- see :meth:`refresh_once`).
         """
         if self._closed:
             raise ServeError("the async service is closed")
@@ -193,15 +223,42 @@ class AsyncAnalysisService:
             # joined -- its artifact is already cached, so a fresh flight is
             # a cheap warm read and the coalesced flag stays honest.)
             self.service.store.stats.coalesced_hits += 1
-            served = await asyncio.shield(flight)
-            return replace(served, coalesced=True)
+            served = await self._await_flight(key, flight)
+            return self._mark_stale(key, replace(served, coalesced=True))
         loop = asyncio.get_running_loop()
         flight = loop.create_task(
             self._run_blocking(self.service.get_or_run, config)
         )
         self._flights[key] = flight
         flight.add_done_callback(lambda task, key=key: self._land(key, task))
-        return await asyncio.shield(flight)
+        return self._mark_stale(key, await self._await_flight(key, flight))
+
+    async def _await_flight(
+        self, key: str, flight: asyncio.Task[ServedAnalysis]
+    ) -> ServedAnalysis:
+        """Await one shielded flight, bounded by the compute deadline."""
+        shielded = asyncio.shield(flight)
+        if self.compute_deadline is None:
+            return await shielded
+        try:
+            return await asyncio.wait_for(shielded, self.compute_deadline)
+        except asyncio.TimeoutError:
+            self.deadline_timeouts += 1
+            raise DeadlineError(
+                f"compute exceeded the {self.compute_deadline:g}s deadline for "
+                f"analysis {key[:12]} (the flight keeps running; its artifact "
+                "will land in the cache)"
+            ) from None
+
+    def _mark_stale(self, key: str, served: ServedAnalysis) -> ServedAnalysis:
+        """Flag cache-served answers whose last refresh failed; clear on compute."""
+        if served.source == "computed":
+            self._stale.discard(key)
+            return served
+        if key in self._stale:
+            self.stale_served += 1
+            return replace(served, stale=True)
+        return served
 
     async def warm(
         self, configs: Iterable[AnalysisConfig] | AnalysisConfig
@@ -228,7 +285,11 @@ class AsyncAnalysisService:
         if not task.cancelled():
             # Consume the exception even when every waiter was cancelled, so
             # an orphaned failed flight never logs "exception never retrieved".
-            task.exception()
+            if task.exception() is not None:
+                self.compute_failures += 1
+                self._failure_streak += 1
+            else:
+                self._failure_streak = 0
 
     @property
     def inflight(self) -> int:
@@ -257,7 +318,38 @@ class AsyncAnalysisService:
         payload["refresh_errors"] = self.refresh_errors
         payload["inflight"] = self.inflight
         payload["refreshing"] = self.refreshing
+        payload["health"] = self.health()
         return payload
+
+    def health(self) -> dict[str, object]:
+        """Aggregate health: ``ok`` | ``degraded`` | ``failing``.
+
+        ``failing`` means ``failing_threshold`` consecutive computes have
+        failed -- new work is not succeeding.  ``degraded`` means the
+        service still answers but below full fidelity: the storage backend's
+        circuit breaker is open (recompute fallthrough), some artifacts are
+        serving stale after failed refreshes, or a compute failure streak is
+        building.  One successful compute resets the streak to ``ok``.
+        """
+        backend = self.service.store.backend
+        probe = getattr(backend, "health", None)
+        backend_health = probe() if callable(probe) else "ok"
+        if self._failure_streak >= self.failing_threshold:
+            status = "failing"
+        elif backend_health != "ok" or self._stale or self._failure_streak:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "backend": backend_health,
+            "stale_keys": len(self._stale),
+            "stale_served": self.stale_served,
+            "compute_failures": self.compute_failures,
+            "failure_streak": self._failure_streak,
+            "deadline_timeouts": self.deadline_timeouts,
+            "refresh_errors": self.refresh_errors,
+        }
 
     # -- background refresh -----------------------------------------------------------
 
@@ -320,7 +412,11 @@ class AsyncAnalysisService:
         for key, outcome in zip(victims, outcomes):
             if isinstance(outcome, BaseException):
                 self.refresh_errors += 1
+                # Serve-stale-on-error: the old artifact keeps serving, but
+                # answers carry stale=True until a refresh or compute lands.
+                self._stale.add(key)
             else:
+                self._stale.discard(key)
                 refreshed.append(key)
         return refreshed
 
@@ -486,6 +582,7 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -494,7 +591,9 @@ class AnalysisServer:
 
     Routes (all responses are JSON; errors are ``{"error": ...}``):
 
-    * ``GET /healthz`` -- liveness plus the in-flight gauges;
+    * ``GET /healthz`` -- :meth:`AsyncAnalysisService.health` (``ok`` |
+      ``degraded`` | ``failing``) plus the in-flight gauges, always 200 so
+      probes can read the body;
     * ``GET /stats`` -- the full :meth:`AsyncAnalysisService.describe` payload;
     * ``POST /analyze`` -- ``{"config": {...}}`` serves (and caches) the
       analysis for the config, returning its provenance and summary;
@@ -523,6 +622,7 @@ class AnalysisServer:
         self.port = port
         self.request_limit = request_limit
         self.requests_served = 0
+        self._error_seq = 0
         self._server: asyncio.AbstractServer | None = None
         self._done = asyncio.Event()
         self._engines: dict[str, AsyncQueryEngine] = {}
@@ -573,12 +673,22 @@ class AnalysisServer:
                 payload = await self._dispatch(method, path, body)
             except _HttpError as exc:
                 status, payload = exc.status, {"error": exc.message}
+            except DeadlineError as exc:
+                # The compute is still running and will land in the cache;
+                # the client should retry, so this is 503 rather than 400.
+                status, payload = 503, {"error": str(exc), "retry": True}
             except ReproError as exc:
                 status, payload = 400, {"error": str(exc)}
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # never let one request kill the loop
-                status, payload = 500, {"error": f"internal error: {exc}"}
+                self._error_seq += 1
+                error_id = f"e{self._error_seq:06d}"
+                self.service.service.store.stats.request_errors += 1
+                status, payload = 500, {
+                    "error": f"internal error: {exc}",
+                    "error_id": error_id,
+                }
             await self._write_response(writer, status, payload)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
@@ -656,11 +766,10 @@ class AnalysisServer:
     ) -> dict[str, object]:
         if path == "/healthz":
             self._require(method, "GET", path)
-            return {
-                "status": "ok",
-                "inflight": self.service.inflight,
-                "refreshing": self.service.refreshing,
-            }
+            payload: dict[str, object] = dict(self.service.health())
+            payload["inflight"] = self.service.inflight
+            payload["refreshing"] = self.service.refreshing
+            return payload
         if path == "/stats":
             self._require(method, "GET", path)
             # describe() lists every artifact kind and stats the store; keep

@@ -91,6 +91,11 @@ class ServedAnalysis:
     (:class:`~repro.serve.aio.AsyncAnalysisService`) on answers that joined
     another request's in-flight compute instead of starting their own; the
     synchronous service always leaves it ``False``.
+
+    ``stale`` is also an async front-end mark: ``True`` on answers served
+    from an artifact whose last background refresh *failed* (the old value
+    keeps serving -- serve-stale-on-error -- but callers can see its age
+    guarantee is void until a refresh succeeds).
     """
 
     results: AnalysisResults
@@ -102,6 +107,7 @@ class ServedAnalysis:
     workers: int = 0
     worker_compiles: int = 0
     coalesced: bool = False
+    stale: bool = False
 
     def to_dict(self) -> dict[str, object]:
         """The provenance fields as one JSON-ready dict (results excluded)."""
@@ -114,6 +120,7 @@ class ServedAnalysis:
             "workers": self.workers,
             "worker_compiles": self.worker_compiles,
             "coalesced": self.coalesced,
+            "stale": self.stale,
         }
 
 
@@ -316,7 +323,7 @@ class AnalysisService:
             "mining_indexes": len(store.keys(MINING_INDEX_KIND)),
             "corpora": len(self.corpus_files()),
         }
-        return {
+        payload: dict[str, object] = {
             "cache_dir": str(store.root),
             "backend": store.backend.describe(),
             "max_memory_entries": store.max_memory_entries,
@@ -327,6 +334,16 @@ class AnalysisService:
             "artifacts": artifacts,
             "counters": self.stats(),
         }
+        # The resilience / fault-injection wrappers (repro.serve.resilience,
+        # repro.serve.faults) surface their state when present, so serve-stats
+        # and /stats show breaker health and injected-fault telemetry.
+        describe_resilience = getattr(store.backend, "describe_resilience", None)
+        if callable(describe_resilience):
+            payload["resilience"] = describe_resilience()
+        injection_report = getattr(store.backend, "injection_report", None)
+        if callable(injection_report):
+            payload["fault_injection"] = injection_report()
+        return payload
 
     def _remember_decoded(self, key: str, results: AnalysisResults) -> None:
         """Keep decoded results hot, bounded by the store's LRU capacity.

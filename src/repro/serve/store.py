@@ -54,7 +54,10 @@ class StoreStats:
     front-end (:mod:`repro.serve.aio`): the former counts requests that
     joined an already-in-flight compute instead of starting their own, the
     latter counts artifacts re-warmed by the background refresher before
-    their TTL expired.  Both stay 0 under purely synchronous serving.
+    their TTL expired.  ``request_errors`` counts HTTP requests the async
+    server answered with a 500 (each carries an ``error_id`` correlating the
+    response with this counter).  All three stay 0 under purely synchronous
+    serving.
     """
 
     memory_hits: int = 0
@@ -68,6 +71,7 @@ class StoreStats:
     bytes_written: int = 0
     coalesced_hits: int = 0
     background_refreshes: int = 0
+    request_errors: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """Every counter as one JSON-ready dict (the ``serve-stats`` payload)."""
@@ -83,6 +87,7 @@ class StoreStats:
             "bytes_written": self.bytes_written,
             "coalesced_hits": self.coalesced_hits,
             "background_refreshes": self.background_refreshes,
+            "request_errors": self.request_errors,
         }
 
 

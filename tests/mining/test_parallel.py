@@ -9,6 +9,8 @@ or memory-mapped sidecar prefixes.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -149,3 +151,63 @@ class TestWorkerResolution:
     def test_explicit_value_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_MINING_WORKERS", "7")
         assert resolve_workers(2) == 2
+
+
+class CrashingMiner:
+    """Delegates to a real miner in the parent; hard-kills any pool worker.
+
+    ``os._exit`` skips every Python-level cleanup, so from the executor's
+    point of view the worker process simply vanished -- the same signature
+    as an OOM kill or a segfault, and fully deterministic.
+    """
+
+    def __init__(self, inner, parent_pid: int) -> None:
+        self.inner = inner
+        self.parent_pid = parent_pid
+
+    def mine(self, database):
+        if os.getpid() != self.parent_pid:
+            os._exit(1)
+        return self.inner.mine(database)
+
+
+class TestCrashRecovery:
+    def test_killed_workers_regions_recovered_serially_byte_identical(self, regions):
+        miner = FPGrowthMiner(0.08, max_length=3)
+        tasks = tasks_from_transactions(regions)
+        baseline = mine_regions_parallel(tasks, miner, workers=0)
+        crashing = CrashingMiner(miner, os.getpid())
+        results, report = mine_regions_with_report(tasks, crashing, workers=2)
+        # Every region was lost to a killed worker and re-mined in-process;
+        # the merged output is indistinguishable from a fault-free run.
+        assert report.recovered_regions == tuple(sorted(regions))
+        assert _byte_form(results) == _byte_form(baseline)
+        assert report.to_dict()["recovered_regions"] == sorted(regions)
+
+    def test_fault_free_run_reports_no_recoveries(self, regions):
+        _results, report = mine_regions_with_report(
+            tasks_from_transactions(regions), FPGrowthMiner(0.1, max_length=2), workers=2
+        )
+        assert report.recovered_regions == ()
+
+    def test_worker_crash_without_recovery_names_lost_regions(self, regions):
+        crashing = CrashingMiner(FPGrowthMiner(0.2), os.getpid())
+        with pytest.raises(MiningError) as excinfo:
+            mine_regions_parallel(
+                tasks_from_transactions(regions), crashing, workers=2, recover=False
+            )
+        message = str(excinfo.value)
+        assert "worker process died" in message
+        for region in regions:
+            assert region in message
+
+    def test_ordinary_worker_exceptions_still_propagate(self, regions):
+        # A worker that *raises* (stale sidecar, bad params) is not a crash:
+        # the original error must surface, not a recovery or a MiningError
+        # about lost regions.
+        tasks = tasks_from_sidecars(
+            {region: f"/nonexistent/{region}" for region in regions}
+        )
+        with pytest.raises(Exception) as excinfo:
+            mine_regions_parallel(tasks, FPGrowthMiner(0.2), workers=2)
+        assert "worker process died" not in str(excinfo.value)

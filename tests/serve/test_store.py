@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
@@ -218,3 +219,39 @@ class TestCorruptRecovery:
         assert other.delete("analysis", KEY_A)
         assert store.get("analysis", KEY_A) is None
         assert store.stats.misses == 1
+
+    def test_concurrent_readers_quarantine_corrupt_artifact_exactly_once(self, store):
+        # Two threads race onto the same corrupt slot: the store's lock
+        # serializes the read+quarantine, so exactly one quarantine happens
+        # and both readers fall through to a plain miss (the recompute path).
+        store.put("analysis", KEY_A, {"v": 1})
+        store.clear_memory()
+        path = store.path_for("analysis", KEY_A)
+        path.write_text("not json at all", encoding="utf-8")
+
+        quarantines = []
+        inner_quarantine = store._backend.quarantine
+        store._backend.quarantine = lambda kind, key: (
+            quarantines.append((kind, key)),
+            inner_quarantine(kind, key),
+        )
+
+        barrier = threading.Barrier(2)
+        outcomes: list[object] = []
+
+        def reader() -> None:
+            barrier.wait()
+            outcomes.append(store.get("analysis", KEY_A))
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert outcomes == [None, None]  # both fall through, neither raises
+        assert quarantines == [("analysis", KEY_A)]  # exactly once
+        assert store.stats.corrupt_recovered == 1
+        assert store.stats.misses == 2
+        assert not path.exists()
+        assert path.with_suffix(".json.corrupt").exists()
