@@ -1,19 +1,22 @@
-"""C2 — parallel zero-copy mining + engine-level closed filtering.
+"""C2 — shared-memory mining fan-out + direct closed-pattern mining.
 
-Two gates for the PR-4 cold-path work:
+Three gates for the mining cold path:
 
-* **Region fan-out**: mining many per-region sub-problems through
-  ``mine_regions_parallel`` over memory-mapped sidecar tasks must be ≥2×
-  faster at 4 workers than the serial legacy path -- and byte-identical at
-  every worker count.  The speedup gate needs real cores: on a runner with
-  fewer than 4 CPUs the scaling curve is still measured and recorded in
-  ``BENCH_core.json`` (the worker-scaling trajectory), but the wall-clock
-  assertion is skipped -- a process pool cannot beat serial on one core.
-* **Closed filter**: the tidset/containment engine path of
-  ``closed_patterns(result, matrix=...)`` must be ≥5× faster than the
-  pure-Python ``closed_patterns_naive`` on a ties-heavy ≥2k-transaction
-  database (repeated template transactions make equal-support groups large,
-  which is exactly where the quadratic naive filter drowns).
+* **Region fan-out**: mining many per-region sub-problems through the
+  shared-memory corpus arena must be ≥2× faster at 4 workers than the
+  serial legacy path -- and byte-identical at every worker count.  The
+  speedup gate needs real cores: on a runner with fewer than 4 CPUs the
+  scaling curve is still measured and recorded in ``BENCH_core.json``, but
+  the wall-clock assertion is skipped -- a process pool cannot beat serial
+  on one core.
+* **Auto dispatch**: ``workers="auto"`` must never lose to the serial
+  baseline by more than measurement noise (≥0.95× serial) on *any* host --
+  the whole point of the dispatcher is that the default cannot regress a
+  box that a pool does not help.
+* **Closed mining**: ``mine_closed`` must be ≥2× faster than the two-step
+  mine-then-filter pipeline on a ties-heavy ≥2k-transaction database, with
+  byte-identical output.  (The filter itself keeps its historical ≥5× gate
+  over the naive quadratic pass.)
 """
 
 from __future__ import annotations
@@ -25,9 +28,15 @@ import numpy as np
 import pytest
 
 from repro.mining.closed import closed_patterns, closed_patterns_naive
+from repro.mining.closed_miner import mine_closed
 from repro.mining.fpgrowth import FPGrowthMiner
 from repro.mining.itemsets import TransactionDatabase
-from repro.mining.parallel import mine_regions_parallel, tasks_from_sidecars
+from repro.mining.parallel import (
+    WORKERS_AUTO,
+    mine_regions_parallel,
+    mine_regions_with_report,
+    tasks_from_transactions,
+)
 from repro.serve.codec import dumps, mining_to_dict
 from repro.viz.tables import format_table
 
@@ -40,11 +49,12 @@ N_TRANSACTIONS_PER_REGION = 3000
 FANOUT_VOCABULARY = 180
 FANOUT_MIN_SUPPORT = 0.02
 FANOUT_MAX_LENGTH = 3
-WORKER_CURVE = (0, 1, 2, 4)
+WORKER_CURVE = (0, 1, 2, 4, WORKERS_AUTO)
 GATE_WORKERS = 4
 REQUIRED_MINING_SPEEDUP = 2.0
+REQUIRED_AUTO_RATIO = 0.95
 
-# -- closed-filter workload ----------------------------------------------------------
+# -- closed-mining workload ----------------------------------------------------------
 
 N_TRANSACTIONS_CLOSED = 2048  # the ISSUE floor is >= 2k
 N_TEMPLATES = 40
@@ -52,6 +62,7 @@ CLOSED_VOCABULARY = 64
 CLOSED_MIN_SUPPORT = 0.015
 CLOSED_MAX_LENGTH = 4
 REQUIRED_CLOSED_SPEEDUP = 5.0
+REQUIRED_DIRECT_SPEEDUP = 2.0
 
 
 def _region_database(seed: int) -> TransactionDatabase:
@@ -68,24 +79,27 @@ def _region_database(seed: int) -> TransactionDatabase:
     return TransactionDatabase(transactions)
 
 
-def test_parallel_region_fanout_speedup(tmp_path):
+def test_parallel_region_fanout_speedup():
     databases = {f"region{k:02d}": _region_database(seed=k) for k in range(N_REGIONS)}
-    sidecars = {}
+    # Pre-compile every region's bit matrix so the curve times mining alone:
+    # the arena is assembled from these memoized matrices without a packbits
+    # pass, exactly like a warm serve-layer run.
     started = time.perf_counter()
-    for region, database in databases.items():
-        prefix = tmp_path / region
-        database.matrix().save(prefix, fingerprint="bench")
-        sidecars[region] = prefix
+    for database in databases.values():
+        database.matrix()
     compile_seconds = time.perf_counter() - started
-    tasks = tasks_from_sidecars(sidecars, fingerprint="bench")
+    tasks = tasks_from_transactions(databases)
     miner = FPGrowthMiner(FANOUT_MIN_SUPPORT, max_length=FANOUT_MAX_LENGTH)
 
-    timings: dict[int, float] = {}
+    timings: dict[int | str, float] = {}
+    dispatch = None
     reference_bytes: str | None = None
     for workers in WORKER_CURVE:
         started = time.perf_counter()
-        results = mine_regions_parallel(tasks, miner, workers=workers)
+        results, report = mine_regions_with_report(tasks, miner, workers=workers)
         timings[workers] = time.perf_counter() - started
+        if workers == WORKERS_AUTO and report.dispatch is not None:
+            dispatch = report.dispatch.to_dict()
         encoded = dumps(mining_to_dict(results))
         if reference_bytes is None:
             reference_bytes = encoded
@@ -110,11 +124,12 @@ def test_parallel_region_fanout_speedup(tmp_path):
             rows,
             ["workers", "seconds", "speedup"],
             title=(
-                f"region fan-out over {N_REGIONS} regions × "
+                f"shared-memory fan-out over {N_REGIONS} regions × "
                 f"{N_TRANSACTIONS_PER_REGION} transactions ({cpus} CPUs)"
             ),
         )
     )
+    auto_ratio = timings[0] / timings[WORKERS_AUTO]
     record(
         "parallel_mining",
         {
@@ -124,11 +139,14 @@ def test_parallel_region_fanout_speedup(tmp_path):
             "min_support": FANOUT_MIN_SUPPORT,
             "max_length": FANOUT_MAX_LENGTH,
             "cpu_count": cpus,
-            "sidecar_compile_seconds": compile_seconds,
+            "matrix_compile_seconds": compile_seconds,
             "required_speedup": REQUIRED_MINING_SPEEDUP,
             "gate_workers": GATE_WORKERS,
             "gated": cpus >= GATE_WORKERS,
             "byte_identical": True,
+            "auto_dispatch": dispatch,
+            "auto_vs_serial": auto_ratio,
+            "required_auto_ratio": REQUIRED_AUTO_RATIO,
             "curve": [
                 {
                     "workers": workers,
@@ -139,10 +157,16 @@ def test_parallel_region_fanout_speedup(tmp_path):
             ],
         },
     )
+    # The auto gate holds on every host: the dispatcher either picks the
+    # serial path (identical work, no pool tax) or a pool it measured to pay.
+    assert auto_ratio >= REQUIRED_AUTO_RATIO, (
+        f"workers='auto' ran {1 / auto_ratio:.2f}x slower than serial; "
+        f"the dispatcher must stay within {REQUIRED_AUTO_RATIO}x"
+    )
     if cpus < GATE_WORKERS:
         pytest.skip(
             f"speedup gate needs >= {GATE_WORKERS} CPUs (runner has {cpus}); "
-            "scaling curve recorded, byte-identity asserted"
+            "scaling curve recorded, byte-identity and auto gates asserted"
         )
     speedup = timings[0] / timings[GATE_WORKERS]
     assert speedup >= REQUIRED_MINING_SPEEDUP, (
@@ -213,4 +237,59 @@ def test_engine_closed_filter_speedup():
     assert speedup >= REQUIRED_CLOSED_SPEEDUP, (
         f"engine closed filter only {speedup:.1f}x faster than the python "
         f"pass; expected >= {REQUIRED_CLOSED_SPEEDUP}x"
+    )
+
+
+def test_direct_closed_mining_speedup():
+    """``mine_closed`` vs mine-everything-then-filter, byte for byte."""
+    database = _ties_heavy_database(seed=6)
+    matrix = database.matrix()
+    miner = FPGrowthMiner(CLOSED_MIN_SUPPORT, max_length=CLOSED_MAX_LENGTH)
+
+    two_step_seconds = float("inf")
+    two_step = None
+    for _ in range(3):
+        started = time.perf_counter()
+        two_step = closed_patterns(miner.mine(database), matrix=matrix)
+        two_step_seconds = min(two_step_seconds, time.perf_counter() - started)
+
+    direct_seconds = float("inf")
+    direct = None
+    for _ in range(3):
+        started = time.perf_counter()
+        direct = mine_closed(
+            database, CLOSED_MIN_SUPPORT, CLOSED_MAX_LENGTH
+        )
+        direct_seconds = min(direct_seconds, time.perf_counter() - started)
+
+    direct_bytes = dumps(mining_to_dict({"R": direct}))
+    two_step_bytes = dumps(mining_to_dict({"R": two_step}))
+    assert direct_bytes == two_step_bytes, (
+        "mine_closed output differs from mine-then-filter"
+    )
+    speedup = two_step_seconds / direct_seconds
+    print(
+        f"\ndirect closed mining (n={N_TRANSACTIONS_CLOSED}): "
+        f"two-step {two_step_seconds:.3f}s, direct {direct_seconds:.3f}s, "
+        f"speedup {speedup:.1f}x ({len(direct)} closed patterns)"
+    )
+    record(
+        "closed_mining",
+        {
+            "n_transactions": N_TRANSACTIONS_CLOSED,
+            "n_templates": N_TEMPLATES,
+            "vocabulary": CLOSED_VOCABULARY,
+            "min_support": CLOSED_MIN_SUPPORT,
+            "max_length": CLOSED_MAX_LENGTH,
+            "closed_patterns": len(direct),
+            "two_step_seconds": two_step_seconds,
+            "direct_seconds": direct_seconds,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_DIRECT_SPEEDUP,
+            "byte_identical": True,
+        },
+    )
+    assert speedup >= REQUIRED_DIRECT_SPEEDUP, (
+        f"mine_closed only {speedup:.1f}x faster than mine-then-filter; "
+        f"expected >= {REQUIRED_DIRECT_SPEEDUP}x"
     )

@@ -25,11 +25,12 @@ Every serve subcommand takes ``--store-backend`` (sharded ``directory``
 default, ``sqlite``, ``memory``), ``--store-shards`` for the directory
 layout, and ``--eviction`` / ``--disk-eviction`` policy specs such as
 ``lru:32+ttl:600`` or ``maxbytes:1048576`` (see ``docs/storage-engine.md``).
-``analyze``, ``serve-warm`` and ``query`` additionally take ``--workers N``
-to fan per-cuisine mining out over a process pool of N workers sharing the
-memory-mapped matrix sidecars (results are byte-identical to serial; see
+``analyze``, ``serve-warm`` and ``query`` additionally take
+``--workers N|auto`` for the mining fan-out: ``auto`` (the default) measures
+whether a shared-memory process pool beats serial for the corpus at hand,
+an integer pins the pool size (results are byte-identical either way; see
 ``docs/parallel-mining.md``); ``serve-stats`` accepts the flag too and
-reports the configured worker count.
+reports the configured worker setting.
 
 Example::
 
@@ -76,6 +77,19 @@ from repro.viz.tables import format_table
 __all__ = ["main", "build_parser"]
 
 
+def _workers_argument(value: str) -> int | str:
+    """``--workers`` accepts a worker count or the ``auto`` dispatcher."""
+    text = value.strip().lower()
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -116,12 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     def add_workers(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--workers",
-            type=int,
+            type=_workers_argument,
             default=None,
-            metavar="N",
-            help="mining worker processes: 0 = serial (default; or "
-                 "$REPRO_MINING_WORKERS), N fans regions out over a process "
-                 "pool with byte-identical results",
+            metavar="N|auto",
+            help="mining worker processes: 'auto' (default; or "
+                 "$REPRO_MINING_WORKERS) measures whether a pool pays, "
+                 "0 = always serial, N fans regions out over a process pool "
+                 "-- results are byte-identical either way",
         )
 
     analyze = subparsers.add_parser("analyze", help="run the full pipeline")

@@ -70,16 +70,21 @@ __all__ = ["CuisineClusteringPipeline", "run_full_analysis"]
 class CuisineClusteringPipeline:
     """End-to-end reproduction pipeline.
 
-    *workers* controls the mining stage's process-pool fan-out: ``0`` (the
-    default) keeps the serial legacy path, ``N`` mines the per-cuisine
-    sub-problems over ``N`` worker processes with deterministically merged
-    (byte-identical) results.  ``None`` defers to the
-    ``REPRO_MINING_WORKERS`` environment variable, which is how CI runs the
-    whole suite under a 2-worker pool.
+    *workers* controls the mining stage's process-pool fan-out: ``0`` keeps
+    the serial legacy path, ``N`` mines the per-cuisine sub-problems over an
+    ``N``-process pool, and ``"auto"`` lets the dispatcher measure whether a
+    pool pays for this corpus on this host -- always with deterministically
+    merged (byte-identical) results.  ``None`` defers to the
+    ``REPRO_MINING_WORKERS`` environment variable and, when that is unset,
+    to ``"auto"``; CI additionally pins fixed worker counts to exercise the
+    pool paths.
     """
 
     def __init__(
-        self, config: AnalysisConfig | None = None, *, workers: int | None = None
+        self,
+        config: AnalysisConfig | None = None,
+        *,
+        workers: int | str | None = None,
     ) -> None:
         self.config = config if config is not None else DEFAULT_CONFIG
         self.workers = resolve_workers(workers)
@@ -100,7 +105,7 @@ class CuisineClusteringPipeline:
         database: RecipeDatabase,
         transactions: Mapping[str, TransactionDatabase] | None = None,
         *,
-        workers: int | None = None,
+        workers: int | str | None = None,
     ) -> dict[str, MiningResult]:
         """Mine frequent patterns per cuisine with FP-Growth.
 
@@ -108,13 +113,13 @@ class CuisineClusteringPipeline:
         databases (e.g. from :meth:`build_transactions`); passing the same
         mapping across several ``min_support`` runs lets every run share the
         compiled :class:`~repro.mining.bitmatrix.TransactionMatrix` each
-        database memoizes.  With ``workers > 0`` that sharing holds only for
-        matrices compiled *before* the fan-out (they ship to the workers
-        pickled; matrices compiled inside a worker die with it) -- repeated
-        parallel runs that want zero re-compiles should go through the serve
-        layer's persisted sidecars instead.  *workers* overrides the
-        pipeline's fan-out for this call (``None`` = use ``self.workers``);
-        results are identical at every worker count.
+        database memoizes.  When the dispatcher picks a pool, those matrices
+        are assembled into one shared-memory corpus arena in this process, so
+        the compile work is paid (and shared) here regardless of the worker
+        count -- repeated runs that want zero re-compiles should go through
+        the serve layer's persisted corpus sidecar instead.  *workers*
+        overrides the pipeline's fan-out for this call (``None`` = use
+        ``self.workers``); results are identical at every worker count.
         """
         if transactions is None:
             transactions = self.build_transactions(database)
@@ -301,7 +306,7 @@ def run_full_analysis(
     config: AnalysisConfig | None = None,
     *,
     database: RecipeDatabase | None = None,
-    workers: int | None = None,
+    workers: int | str | None = None,
 ) -> AnalysisResults:
     """Convenience wrapper: run the whole pipeline with an optional config/corpus."""
     return CuisineClusteringPipeline(config, workers=workers).run(database)

@@ -26,6 +26,7 @@ __all__ = [
     "ConfigurationError",
     "ServeError",
     "DeadlineError",
+    "ObservabilityError",
 ]
 
 
@@ -103,3 +104,7 @@ class DeadlineError(ServeError):
     Raised to the *waiter*; the underlying compute may keep running and
     land its artifact in the cache (see ``AsyncAnalysisService``).
     """
+
+
+class ObservabilityError(ReproError):
+    """A metric or tracing primitive was registered or used inconsistently."""

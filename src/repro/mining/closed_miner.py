@@ -1,0 +1,301 @@
+"""Direct closed-itemset mining (no mine-everything-then-filter pass).
+
+``closed_patterns(miner.mine(db), matrix=...)`` first materialises *every*
+frequent itemset as a :class:`~repro.mining.itemsets.Pattern`, sorts the full
+result twice, and only then decides closure.  On dense recipe regions the
+closed set is a small fraction of the frequent set, so most of that work is
+building objects the filter immediately throws away.
+
+:class:`ClosedPatternMiner` fuses the two steps.  It grows frequent itemsets
+level by level over the packed tid-bitsets of the compiled
+:class:`~repro.mining.bitmatrix.TransactionMatrix` (one broadcast AND + one
+batched popcount per level, the Eclat recurrence) and decides closure for a
+whole level with a single matmul: unpacking a level's tid-bitsets gives the
+containment matrix directly, so ``tids @ presence.T`` yields every pattern's
+single-item-extension supports at once -- the identical quantity
+:func:`repro.mining.closed._engine_survivors` derives from two gemms after
+re-proving containment.  Pattern objects are built for survivors only.
+
+The output is **byte-identical** (through :func:`repro.serve.codec.dumps`) to
+mining with the base algorithm and filtering: same patterns, same supports,
+same ``"<algorithm>+closed"`` label.  That includes the filter's
+max-length convention -- patterns at the result's maximum length are kept
+outright, which coincides with true closure whenever the length bound is not
+binding (an equal-support extension of a frequent pattern is itself frequent,
+so it would appear at the next level).  A ``"python"`` engine mirrors the
+recurrence with ``set[int]`` tid-sets as the reference semantics.
+
+Instances are plain picklable objects exposing ``mine(database)``, so the
+miner drops into the :mod:`repro.mining.parallel` fan-out unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import MiningError
+from repro.mining.bitmatrix import popcount
+from repro.mining.itemsets import MiningResult, Pattern, TransactionDatabase
+
+__all__ = ["ClosedPatternMiner", "mine_closed"]
+
+_ENGINES = ("bitset", "python")
+
+#: Base miners whose mine-then-filter output this miner reproduces; the value
+#: only selects the ``"<algorithm>+closed"`` result label (all three bases
+#: produce the same frequent set, hence the same closed set).
+_BASE_ALGORITHMS = ("fp-growth", "apriori", "eclat")
+
+#: Patterns per closure matmul block (bounds the unpacked float32 scratch).
+_CHUNK = 2048
+
+
+class ClosedPatternMiner:
+    """Level-wise miner emitting only closed frequent itemsets."""
+
+    def __init__(
+        self,
+        min_support: float = 0.2,
+        max_length: int | None = 4,
+        *,
+        engine: str = "bitset",
+        algorithm: str = "fp-growth",
+    ) -> None:
+        if not 0.0 < min_support <= 1.0:
+            raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+        if max_length is not None and max_length < 1:
+            raise MiningError("max_length must be at least 1 when provided")
+        if engine not in _ENGINES:
+            raise MiningError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if algorithm not in _BASE_ALGORITHMS:
+            raise MiningError(
+                f"algorithm must be one of {_BASE_ALGORITHMS}, got {algorithm!r}"
+            )
+        self.min_support = min_support
+        self.max_length = max_length
+        self.engine = engine
+        self.algorithm = algorithm
+
+    def mine(
+        self, transactions: TransactionDatabase | Iterable[Iterable[str]]
+    ) -> MiningResult:
+        """Mine the closed frequent itemsets of *transactions*."""
+        database = (
+            transactions
+            if isinstance(transactions, TransactionDatabase)
+            else TransactionDatabase(transactions)
+        )
+        label = f"{self.algorithm}+closed"
+        n = len(database)
+        if n == 0:
+            return MiningResult(
+                [], n_transactions=0, min_support=self.min_support, algorithm=label
+            )
+        min_count = database.minimum_count(self.min_support)
+        if self.engine == "bitset":
+            patterns = self._mine_bitset(database, n, min_count)
+        else:
+            patterns = self._mine_python(database, n, min_count)
+        return MiningResult(
+            patterns, n_transactions=n, min_support=self.min_support, algorithm=label
+        )
+
+    # -- bitset engine ---------------------------------------------------------------
+
+    def _mine_bitset(
+        self, database: TransactionDatabase, n: int, min_count: int
+    ) -> list[Pattern]:
+        matrix = database.matrix()
+        rows = matrix.packed_rows
+        freq = matrix.frequent_item_ids(min_count).astype(np.int64)
+        if freq.size == 0:
+            return []
+        # Closure only needs *frequent* extensions: an equal-support superset
+        # of a frequent pattern is itself frequent, so its single item is too.
+        presence_freq = np.unpackbits(rows[freq], axis=1, count=n).astype(np.float32)
+        position_of = np.full(matrix.n_items, -1, dtype=np.int64)
+        position_of[freq] = np.arange(freq.size, dtype=np.int64)
+
+        ids = freq[:, None]
+        tids = np.ascontiguousarray(rows[freq])
+        counts = matrix.item_supports[freq].astype(np.int64)
+
+        survivors: list[tuple[np.ndarray, int]] = []
+        length = 1
+        while True:
+            final = self.max_length is not None and length >= self.max_length
+            grown = None if final else self._grow(ids, tids, counts, freq, rows, min_count)
+            if grown is None:
+                # This level is the result's maximum length: the filter keeps
+                # these outright (see module docstring for why that is exact).
+                survivors.extend(zip(ids, counts.tolist()))
+                break
+            keep = self._closed_mask(ids, tids, counts, position_of, presence_freq, n)
+            for index in np.flatnonzero(keep):
+                survivors.append((ids[index], int(counts[index])))
+            ids, tids, counts = grown
+            length += 1
+        return [
+            Pattern(
+                items=matrix.items_of(row_ids.tolist()),
+                support=count / n,
+                absolute_support=count,
+            )
+            for row_ids, count in survivors
+        ]
+
+    @staticmethod
+    def _grow(
+        ids: np.ndarray,
+        tids: np.ndarray,
+        counts: np.ndarray,
+        freq: np.ndarray,
+        rows: np.ndarray,
+        min_count: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """All frequent one-item extensions of a level, or ``None`` when dry.
+
+        Extensions keep the ascending-id invariant (only items after a
+        pattern's last id), so every itemset is generated exactly once.
+        """
+        start = np.searchsorted(freq, ids[:, -1], side="right")
+        runs = freq.size - start
+        total = int(runs.sum())
+        if total == 0:
+            return None
+        parent = np.repeat(np.arange(len(ids), dtype=np.int64), runs)
+        run_starts = np.zeros(len(ids), dtype=np.int64)
+        np.cumsum(runs[:-1], out=run_starts[1:])
+        within = np.arange(total, dtype=np.int64) - np.repeat(run_starts, runs)
+        extension_ids = freq[np.repeat(start, runs) + within]
+
+        next_ids: list[np.ndarray] = []
+        next_tids: list[np.ndarray] = []
+        next_counts: list[np.ndarray] = []
+        for lo in range(0, total, _CHUNK):
+            hi = min(lo + _CHUNK, total)
+            chunk_parent = parent[lo:hi]
+            candidate_tids = tids[chunk_parent] & rows[extension_ids[lo:hi]]
+            candidate_counts = popcount(candidate_tids).sum(axis=1, dtype=np.int64)
+            frequent = np.flatnonzero(candidate_counts >= min_count)
+            if frequent.size == 0:
+                continue
+            next_ids.append(
+                np.concatenate(
+                    [
+                        ids[chunk_parent[frequent]],
+                        extension_ids[lo:hi][frequent][:, None],
+                    ],
+                    axis=1,
+                )
+            )
+            next_tids.append(candidate_tids[frequent])
+            next_counts.append(candidate_counts[frequent])
+        if not next_ids:
+            return None
+        return (
+            np.concatenate(next_ids),
+            np.ascontiguousarray(np.concatenate(next_tids)),
+            np.concatenate(next_counts),
+        )
+
+    @staticmethod
+    def _closed_mask(
+        ids: np.ndarray,
+        tids: np.ndarray,
+        counts: np.ndarray,
+        position_of: np.ndarray,
+        presence_freq: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        """True where no single-item extension matches the pattern's support.
+
+        ``unpackbits(tids)`` *is* the containment matrix, so one matmul per
+        chunk yields every extension support (float32 is exact here: all
+        counts are integers far below 2**24).
+        """
+        m = len(ids)
+        keep = np.ones(m, dtype=bool)
+        member_columns = position_of[ids]  # all >= 0: every mined id is frequent
+        for lo in range(0, m, _CHUNK):
+            hi = min(lo + _CHUNK, m)
+            unpacked = np.unpackbits(tids[lo:hi], axis=1, count=n).astype(np.float32)
+            extension_supports = unpacked @ presence_freq.T
+            qualifying = extension_supports == counts[lo:hi, None]
+            chunk_rows = np.repeat(np.arange(hi - lo), ids.shape[1])
+            qualifying[chunk_rows, member_columns[lo:hi].ravel()] = False
+            keep[lo:hi] = ~qualifying.any(axis=1)
+        return keep
+
+    # -- python engine (reference semantics) -----------------------------------------
+
+    def _mine_python(
+        self, database: TransactionDatabase, n: int, min_count: int
+    ) -> list[Pattern]:
+        """The same level-wise recurrence over ``set[int]`` tid-sets."""
+        tidsets: dict[str, set[int]] = {}
+        for tid, transaction in enumerate(database):
+            for item in transaction:
+                tidsets.setdefault(item, set()).add(tid)
+        frequent = sorted(
+            item for item, tids in tidsets.items() if len(tids) >= min_count
+        )
+        if not frequent:
+            return []
+        rank = {item: index for index, item in enumerate(frequent)}
+
+        patterns: list[Pattern] = []
+
+        def emit(prefix: tuple[str, ...], tids: set[int]) -> None:
+            patterns.append(
+                Pattern(
+                    items=frozenset(prefix),
+                    support=len(tids) / n,
+                    absolute_support=len(tids),
+                )
+            )
+
+        level = [((item,), tidsets[item]) for item in frequent]
+        length = 1
+        while True:
+            final = self.max_length is not None and length >= self.max_length
+            grown: list[tuple[tuple[str, ...], set[int]]] = []
+            if not final:
+                for prefix, tids in level:
+                    for item in frequent[rank[prefix[-1]] + 1 :]:
+                        extended = tids & tidsets[item]
+                        if len(extended) >= min_count:
+                            grown.append((prefix + (item,), extended))
+            if final or not grown:
+                for prefix, tids in level:
+                    emit(prefix, tids)
+                break
+            members = [set(prefix) for prefix, _tids in level]
+            for (prefix, tids), member in zip(level, members):
+                if not any(
+                    item not in member and len(tids & tidsets[item]) == len(tids)
+                    for item in frequent
+                ):
+                    emit(prefix, tids)
+            level = grown
+            length += 1
+        return patterns
+
+
+def mine_closed(
+    transactions: TransactionDatabase | Iterable[Iterable[str]],
+    min_support: float = 0.2,
+    max_length: int | None = 4,
+    *,
+    engine: str = "bitset",
+    algorithm: str = "fp-growth",
+) -> MiningResult:
+    """Functional convenience wrapper around :class:`ClosedPatternMiner`."""
+    return ClosedPatternMiner(
+        min_support=min_support,
+        max_length=max_length,
+        engine=engine,
+        algorithm=algorithm,
+    ).mine(transactions)

@@ -2,67 +2,122 @@
 
 Per-cuisine mining is embarrassingly parallel: the regions share no state, so
 the cold path scales by fanning :class:`RegionTask`\\ s out over a process
-pool.  Two task flavours exist:
+pool.  What crosses the process boundary is the expensive part, and three
+shipping strategies exist:
 
-* **in-memory** -- the task carries its :class:`TransactionDatabase`; the
-  worker pickles it in and (for the bitset engine) compiles the region's
-  :class:`~repro.mining.bitmatrix.TransactionMatrix` locally.  Right for
-  one-shot pipeline runs where nothing is persisted;
+* **shared-memory** (the default for in-memory tasks) -- the parent places
+  ONE :class:`~repro.mining.shm.CorpusMatrix` for the whole corpus in a
+  ``multiprocessing.shared_memory`` block and ships workers a tiny
+  :class:`~repro.mining.shm.ShmDescriptor` plus region names.  Workers slice
+  their regions out of the arena (a byte-range column slice, byte-identical
+  to a fresh compile) -- zero per-region pickling, zero worker compiles, one
+  physical copy of the corpus;
 * **sidecar** -- the task carries only the *path prefix* of a matrix sidecar
   persisted by :meth:`TransactionMatrix.save`.  The worker memory-maps the
   packed rows read-only, so N workers share one physical copy through the
-  page cache and perform **zero** matrix compiles.  This is the serve layer's
-  warm path.
+  page cache;
+* **in-memory pickling** -- the historical fallback, only used for mixed
+  task lists.
+
+``workers="auto"`` (the default when nothing is configured) makes the
+dispatcher *measure* instead of guess: it mines the most expensive region
+inline as a probe, extrapolates the remaining serial cost from matrix shapes,
+measures the pool spin-up once per process, and only fans out when the
+estimated win clears the measured overhead -- a 1-CPU host or a toy corpus
+always picks serial.  The decision is published as a
+:class:`DispatchDecision` on the report (and from there to ``/stats``).
 
 Results merge deterministically: the output mapping is built in sorted region
-order regardless of worker completion order, so ``workers=N`` output is
-byte-identical (via :func:`repro.serve.codec.dumps`) to the ``workers=0``
-serial legacy path for every miner and engine.
-
-``workers=0`` runs everything serially in-process (no pool, no pickling) --
-the legacy behaviour and still the fastest option for small corpora where
-fork + IPC overhead exceeds the mining work itself (see
-``docs/parallel-mining.md``).
+order regardless of worker completion order, so every dispatch mode is
+byte-identical (via :func:`repro.serve.codec.dumps`) to ``workers=0`` serial
+for every miner and engine.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.errors import MiningError
 from repro.mining.bitmatrix import TransactionMatrix
 from repro.mining.itemsets import MiningResult, TransactionDatabase
+from repro.mining.shm import CorpusMatrix, SharedCorpusMatrix, ShmDescriptor, attach_corpus
+from repro.obs import get_registry, span
 
 __all__ = [
     "WORKERS_ENV",
+    "WORKERS_AUTO",
     "RegionTask",
     "RegionOutcome",
+    "DispatchDecision",
     "ParallelMiningReport",
     "resolve_workers",
     "tasks_from_transactions",
     "tasks_from_sidecars",
     "mine_regions_parallel",
     "mine_regions_with_report",
+    "mine_corpus_with_report",
 ]
 
-#: Environment default for the worker count (0 = serial).  CI exercises the
-#: whole mining suite under ``REPRO_MINING_WORKERS=2``.
+#: Environment default for the worker count.  ``auto`` (also the default when
+#: the variable is unset or unparseable) enables the measuring dispatcher;
+#: an integer pins the historical fixed-size behaviour (0 = serial).
 WORKERS_ENV = "REPRO_MINING_WORKERS"
 
+#: Sentinel worker count: let the dispatcher choose serial vs pool.
+WORKERS_AUTO = "auto"
 
-def resolve_workers(workers: int | None) -> int:
-    """Normalise a worker count: ``None`` falls back to ``$REPRO_MINING_WORKERS``."""
+#: Below this estimated serial runtime the dispatcher does not even measure
+#: pool overhead -- the corpus is too small for fan-out to matter.
+_SERIAL_FLOOR_SECONDS = 0.05
+
+#: The estimated serial cost must exceed the measured pool spin-up by this
+#: factor before the dispatcher picks a pool.  Biased toward serial: the
+#: probe extrapolates from the *largest* region, which under-counts the fixed
+#: per-region cost of small ones, and a wrong "pool" loses real time while a
+#: wrong "serial" only forfeits part of a speed-up.
+_OVERHEAD_MARGIN = 3.0
+
+#: Target batches per pool worker: big enough to balance skewed regions,
+#: small enough to keep per-batch dispatch cost negligible.
+_BATCHES_PER_WORKER = 2
+
+
+def resolve_workers(workers: int | str | None) -> int | str:
+    """Normalise a worker request to an ``int`` or :data:`WORKERS_AUTO`.
+
+    ``None`` falls back to ``$REPRO_MINING_WORKERS``; an unset, empty or
+    unparseable variable means ``"auto"``.  Explicit garbage (a string that
+    is neither ``"auto"`` nor an integer) raises, explicit negatives raise.
+    """
     if workers is None:
+        raw = os.environ.get(WORKERS_ENV)
+        if raw is None:
+            return WORKERS_AUTO
+        raw = raw.strip().lower()
+        if not raw or raw == WORKERS_AUTO:
+            return WORKERS_AUTO
         try:
-            workers = int(os.environ.get(WORKERS_ENV, "0"))
+            workers = int(raw)
         except ValueError:
-            workers = 0
+            return WORKERS_AUTO
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text == WORKERS_AUTO:
+            return WORKERS_AUTO
+        try:
+            workers = int(text)
+        except ValueError:
+            raise MiningError(
+                f"workers must be an integer or 'auto', got {workers!r}"
+            ) from None
     if workers < 0:
         raise MiningError(f"workers must be non-negative, got {workers}")
     return workers
@@ -92,11 +147,40 @@ class RegionTask:
 
 @dataclass(frozen=True, slots=True)
 class RegionOutcome:
-    """How one region was mined: pattern count + whether a matrix was compiled."""
+    """How one region was mined: pattern count, compile flag, wall seconds."""
 
     region: str
     n_patterns: int
-    compiled: bool  # True when the mining process compiled a fresh matrix
+    compiled: bool  # True when this run compiled a fresh matrix for the region
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchDecision:
+    """Why the fan-out ran the way it did (surfaced in ``/stats``).
+
+    *mode* is ``"serial"`` or ``"pool"``; *reason* a short machine-friendly
+    tag (``"explicit-workers"``, ``"single-cpu"``, ``"below-break-even"``,
+    ``"overhead-dominates"``, ``"cost-model"``, ...).  The estimates are only
+    populated by the auto dispatcher.
+    """
+
+    requested: int | str
+    workers: int  # resolved pool size (0 = serial)
+    mode: str
+    reason: str
+    estimated_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "requested": self.requested,
+            "workers": self.workers,
+            "mode": self.mode,
+            "reason": self.reason,
+            "estimated_seconds": round(self.estimated_seconds, 6),
+            "overhead_seconds": round(self.overhead_seconds, 6),
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,10 +193,12 @@ class ParallelMiningReport:
     is invisible except here.
     """
 
-    workers: int  # requested worker count (0 = serial legacy path)
+    workers: int | str  # requested worker count (int, or "auto")
     pool_size: int  # actual processes used (0 when serial)
     outcomes: tuple[RegionOutcome, ...]
     recovered_regions: tuple[str, ...] = field(default=())
+    dispatch: DispatchDecision | None = None
+    shm_attaches: tuple[tuple[str, int], ...] = field(default=())
 
     @property
     def compiles(self) -> int:
@@ -120,13 +206,18 @@ class ParallelMiningReport:
         return sum(1 for outcome in self.outcomes if outcome.compiled)
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "workers": self.workers,
             "pool_size": self.pool_size,
             "regions": len(self.outcomes),
             "matrix_compiles": self.compiles,
             "recovered_regions": list(self.recovered_regions),
         }
+        if self.dispatch is not None:
+            payload["dispatch"] = self.dispatch.to_dict()
+        if self.shm_attaches:
+            payload["shm_attaches"] = dict(self.shm_attaches)
+        return payload
 
 
 def tasks_from_transactions(
@@ -149,6 +240,62 @@ def tasks_from_sidecars(
     ]
 
 
+# -- observability helpers -----------------------------------------------------------
+
+
+def _region_counter():
+    return get_registry().counter(
+        "repro_mining_regions_total",
+        "Regions mined, by execution mode.",
+        ("mode",),
+    )
+
+
+def _attach_counter():
+    return get_registry().counter(
+        "repro_mining_shm_attach_total",
+        "Worker attachments to the shared mining arena, by attach mode.",
+        ("mode",),
+    )
+
+
+def _compile_counter():
+    return get_registry().counter(
+        "repro_mining_matrix_compiles_total",
+        "Transaction matrices compiled during mining runs.",
+    )
+
+
+def _dispatch_counter():
+    return get_registry().counter(
+        "repro_mining_dispatch_total",
+        "Fan-out dispatch decisions, by mode and reason.",
+        ("mode", "reason"),
+    )
+
+
+def _region_seconds():
+    return get_registry().histogram(
+        "repro_mining_region_seconds",
+        "Wall seconds spent mining one region.",
+        ("mode",),
+    )
+
+
+def _record_outcomes(outcomes: Sequence[RegionOutcome], mode: str) -> None:
+    counter = _region_counter()
+    histogram = _region_seconds()
+    compiles = _compile_counter()
+    for outcome in outcomes:
+        counter.inc(mode=mode)
+        histogram.observe(outcome.seconds, mode=mode)
+        if outcome.compiled:
+            compiles.inc()
+
+
+# -- worker entry points (top-level so pools can pickle them) ------------------------
+
+
 def _task_database(task: RegionTask) -> tuple[TransactionDatabase, bool]:
     """The task's database plus whether its matrix is already available."""
     if task.sidecar is not None:
@@ -159,12 +306,32 @@ def _task_database(task: RegionTask) -> tuple[TransactionDatabase, bool]:
     return task.database, task.database.has_matrix
 
 
-def _mine_region(miner, task: RegionTask) -> tuple[str, MiningResult, bool]:
-    """Worker entry point: mine one region; top-level so pools can pickle it."""
+def _mine_region(miner, task: RegionTask) -> tuple[str, MiningResult, bool, float]:
+    """Mine one region from its own task (sidecar or pickled database)."""
+    started = time.perf_counter()
     database, had_matrix = _task_database(task)
     result = miner.mine(database)
     compiled = not had_matrix and database.has_matrix
-    return task.region, result, compiled
+    return task.region, result, compiled, time.perf_counter() - started
+
+
+def _mine_shared_batch(
+    miner, descriptor: ShmDescriptor, regions: tuple[str, ...]
+) -> tuple[str, list[tuple[str, MiningResult, float]]]:
+    """Mine a batch of regions out of the shared arena (worker side).
+
+    The attach mode comes back with the results so the parent can count how
+    workers reached the arena (fork-inherited mapping vs explicit attach).
+    Workers never close or unlink the segment -- the parent owns its
+    lifetime; see :mod:`repro.mining.shm`.
+    """
+    corpus, attach_mode = attach_corpus(descriptor)
+    mined: list[tuple[str, MiningResult, float]] = []
+    for region in regions:
+        started = time.perf_counter()
+        result = miner.mine(corpus.region_database(region))
+        mined.append((region, result, time.perf_counter() - started))
+    return attach_mode, mined
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -174,15 +341,123 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
-def _mine_pooled(
+@lru_cache(maxsize=1)
+def _pool_overhead_seconds() -> float:
+    """Measured cost of spinning up a one-process pool and running a no-op.
+
+    Memoized per process: the auto dispatcher compares this against the
+    estimated serial mining cost, and the spin-up price is stable within a
+    process lifetime.
+    """
+    started = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=1, mp_context=_pool_context()) as pool:
+        pool.submit(int, 0).result()
+    return time.perf_counter() - started
+
+
+# -- the auto dispatcher -------------------------------------------------------------
+
+
+def _task_cost(task: RegionTask) -> int:
+    """Relative mining cost of one task: matrix cells (items x packed words).
+
+    Cheap to evaluate -- never compiles: an in-memory database without a
+    compiled matrix is estimated from its transaction and vocabulary counts,
+    a sidecar task from its memory-mapped shapes.
+    """
+    if task.sidecar is not None:
+        matrix = TransactionMatrix.load(
+            task.sidecar, mmap=True, expected_fingerprint=task.fingerprint
+        )
+        return max(1, matrix.n_items * matrix.n_words)
+    database = task.database
+    if database.has_matrix:
+        matrix = database.matrix()
+        return max(1, matrix.n_items * matrix.n_words)
+    n_transactions = len(database)
+    n_items = len(database.vocabulary())
+    return max(1, n_items * max(1, -(-n_transactions // 8)))
+
+
+def _span_cost(corpus: CorpusMatrix, region: str) -> int:
+    """Relative mining cost of one region inside a corpus arena."""
+    return max(1, len(corpus.items) * corpus.span_of(region).n_words)
+
+
+def _auto_decision(
+    requested: int | str,
+    probe_seconds: float,
+    probe_cost: int,
+    remaining_costs: Sequence[int],
+) -> DispatchDecision:
+    """Serial or pool, decided from one measured probe + matrix shapes.
+
+    The probe mined the *largest* region, so the extrapolated per-cell rate
+    under-counts the fixed per-region overhead of the smaller ones -- a
+    deliberate serial bias (see :data:`_OVERHEAD_MARGIN`).
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        return DispatchDecision(requested, 0, "serial", "single-cpu")
+    rate = probe_seconds / probe_cost
+    estimated = rate * sum(remaining_costs)
+    if estimated <= _SERIAL_FLOOR_SECONDS:
+        return DispatchDecision(
+            requested, 0, "serial", "below-break-even", estimated_seconds=estimated
+        )
+    overhead = _pool_overhead_seconds()
+    if estimated <= overhead * _OVERHEAD_MARGIN:
+        return DispatchDecision(
+            requested,
+            0,
+            "serial",
+            "overhead-dominates",
+            estimated_seconds=estimated,
+            overhead_seconds=overhead,
+        )
+    pool_size = min(cpus, len(remaining_costs))
+    return DispatchDecision(
+        requested,
+        pool_size,
+        "pool",
+        "cost-model",
+        estimated_seconds=estimated,
+        overhead_seconds=overhead,
+    )
+
+
+def _batched(
+    regions: Sequence[str], costs: Mapping[str, int], pool_size: int
+) -> list[tuple[str, ...]]:
+    """Deterministic greedy (LPT) batching of regions by estimated cost.
+
+    Heaviest regions first, each into the currently lightest batch; within a
+    batch regions run in sorted order.  Batch-level futures amortize dispatch
+    while keeping enough batches per worker to absorb skew.
+    """
+    n_batches = max(1, min(len(regions), pool_size * _BATCHES_PER_WORKER))
+    loads = [0] * n_batches
+    batches: list[list[str]] = [[] for _ in range(n_batches)]
+    by_weight = sorted(regions, key=lambda region: (-costs[region], region))
+    for region in by_weight:
+        index = min(range(n_batches), key=lambda i: (loads[i], i))
+        batches[index].append(region)
+        loads[index] += costs[region]
+    return [tuple(sorted(batch)) for batch in batches if batch]
+
+
+# -- pooled execution ----------------------------------------------------------------
+
+
+def _mine_tasks_pooled(
     ordered: list[RegionTask],
     miner,
     pool_size: int,
-    raw: dict[str, tuple[MiningResult, bool]],
+    raw: dict[str, tuple[MiningResult, bool, float]],
     *,
     recover: bool,
 ) -> tuple[str, ...]:
-    """Fan *ordered* out over a pool, filling *raw* as futures complete.
+    """Legacy per-task fan-out (sidecar or mixed task lists).
 
     A crashed worker (OOM kill, segfault, ``os._exit``) breaks the whole
     executor: every un-finished future raises ``BrokenProcessPool``.  With
@@ -198,8 +473,8 @@ def _mine_pooled(
         ) as pool:
             futures = [(task, pool.submit(_mine_region, miner, task)) for task in ordered]
             for _task, future in futures:
-                region, result, compiled = future.result()
-                raw[region] = (result, compiled)
+                region, result, compiled, seconds = future.result()
+                raw[region] = (result, compiled, seconds)
     except BrokenProcessPool as exc:
         lost = [task for task in ordered if task.region not in raw]
         if not recover:
@@ -209,27 +484,97 @@ def _mine_pooled(
                 f"regions not mined: {names}"
             ) from exc
         for task in lost:
-            region, result, compiled = _mine_region(miner, task)
-            raw[region] = (result, compiled)
+            region, result, compiled, seconds = _mine_region(miner, task)
+            raw[region] = (result, compiled, seconds)
         return tuple(task.region for task in lost)
     return ()
+
+
+def _mine_corpus_pooled(
+    corpus: CorpusMatrix,
+    regions: Sequence[str],
+    miner,
+    pool_size: int,
+    compiled_by: Mapping[str, bool],
+    raw: dict[str, tuple[MiningResult, bool, float]],
+    *,
+    recover: bool,
+) -> tuple[tuple[str, ...], tuple[tuple[str, int], ...]]:
+    """Shared-memory fan-out: one arena, batch futures, descriptor-only IPC.
+
+    The parent creates the segment, pre-registers it for fork inheritance,
+    and -- crucially -- unlinks it in the ``finally`` whatever the workers
+    did, so a killed worker can never leak ``/dev/shm``.  Regions lost to a
+    crash are re-mined serially from the parent's own (non-shared) corpus.
+    Returns recovered region names and attach-mode counts.
+    """
+    costs = {region: _span_cost(corpus, region) for region in regions}
+    batches = _batched(regions, costs, pool_size)
+    attach_counts: dict[str, int] = {}
+    recovered: tuple[str, ...] = ()
+    shared = SharedCorpusMatrix.create(corpus)
+    try:
+        descriptor = shared.descriptor
+        try:
+            with ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=_pool_context()
+            ) as pool:
+                futures = [
+                    pool.submit(_mine_shared_batch, miner, descriptor, batch)
+                    for batch in batches
+                ]
+                for future in futures:
+                    attach_mode, mined = future.result()
+                    attach_counts[attach_mode] = attach_counts.get(attach_mode, 0) + 1
+                    for region, result, seconds in mined:
+                        raw[region] = (result, compiled_by.get(region, False), seconds)
+        except BrokenProcessPool as exc:
+            lost = [region for region in regions if region not in raw]
+            if not recover:
+                raise MiningError(
+                    f"a mining worker process died and recovery is disabled; "
+                    f"regions not mined: {', '.join(lost)}"
+                ) from exc
+            for region in lost:
+                started = time.perf_counter()
+                result = miner.mine(corpus.region_database(region))
+                raw[region] = (
+                    result,
+                    compiled_by.get(region, False),
+                    time.perf_counter() - started,
+                )
+            recovered = tuple(lost)
+    finally:
+        shared.close()
+    _attach = _attach_counter()
+    for mode, count in attach_counts.items():
+        _attach.inc(count, mode=mode)
+    return recovered, tuple(sorted(attach_counts.items()))
+
+
+# -- public entry points -------------------------------------------------------------
 
 
 def mine_regions_with_report(
     tasks: list[RegionTask] | tuple[RegionTask, ...],
     miner,
     *,
-    workers: int | None = None,
+    workers: int | str | None = None,
     recover: bool = True,
 ) -> tuple[dict[str, MiningResult], ParallelMiningReport]:
     """Mine every region task and report how the fan-out behaved.
 
     *miner* is any picklable object with a ``mine(database) -> MiningResult``
-    method (the three miners all qualify).  ``workers=0`` mines serially in
-    this process; ``workers=N`` fans the tasks out over an ``N``-process pool
-    (never more processes than tasks).  Either way the result mapping is
-    assembled in sorted region order, so parallel output is indistinguishable
-    from serial.
+    method (all four miners qualify).  ``workers=0`` mines serially in this
+    process; ``workers=N`` fans out over an ``N``-process pool (never more
+    processes than tasks); ``workers="auto"`` -- the default when nothing is
+    configured -- lets the measuring dispatcher choose.  Either way the
+    result mapping is assembled in sorted region order, so every dispatch
+    mode is byte-identical to serial.
+
+    In-memory task lists fan out through one shared-memory corpus arena
+    (parent-side compiles, descriptor-only IPC); sidecar and mixed lists use
+    per-task futures over memory-mapped sidecars.
 
     *recover* (default on) re-mines the regions lost to a crashed worker
     serially in this process and lists them in the report's
@@ -238,32 +583,175 @@ def mine_regions_with_report(
     that raises an ordinary *exception* (bad parameters, stale sidecar) is
     not a crash -- that error always propagates unchanged.
     """
-    workers = resolve_workers(workers)
+    requested = resolve_workers(workers)
     regions = [task.region for task in tasks]
     if len(set(regions)) != len(regions):
         raise MiningError("duplicate region in mining tasks")
     ordered = sorted(tasks, key=lambda task: task.region)
+    by_region = {task.region: task for task in ordered}
+    all_in_memory = all(task.database is not None for task in ordered)
 
-    raw: dict[str, tuple[MiningResult, bool]] = {}
-    pool_size = 0
+    raw: dict[str, tuple[MiningResult, bool, float]] = {}
     recovered: tuple[str, ...] = ()
-    if workers == 0 or len(ordered) <= 1:
-        for task in ordered:
-            region, result, compiled = _mine_region(miner, task)
-            raw[region] = (result, compiled)
-    else:
-        pool_size = min(workers, len(ordered))
-        recovered = _mine_pooled(ordered, miner, pool_size, raw, recover=recover)
+    attaches: tuple[tuple[str, int], ...] = ()
 
+    with span("mining.fanout", regions=len(ordered), requested=str(requested)):
+        if requested == WORKERS_AUTO and len(ordered) > 1:
+            costs = {task.region: _task_cost(task) for task in ordered}
+            probe_region = max(ordered, key=lambda task: (costs[task.region], task.region)).region
+            with span("mining.region", region=probe_region, mode="probe"):
+                region, result, compiled, seconds = _mine_region(
+                    miner, by_region[probe_region]
+                )
+            raw[region] = (result, compiled, seconds)
+            remaining = [task.region for task in ordered if task.region != probe_region]
+            decision = _auto_decision(
+                requested,
+                seconds,
+                costs[probe_region],
+                [costs[region] for region in remaining],
+            )
+        elif requested == WORKERS_AUTO or requested == 0 or len(ordered) <= 1:
+            decision = DispatchDecision(
+                requested,
+                0,
+                "serial",
+                "single-region" if len(ordered) <= 1 else "explicit-serial",
+            )
+            remaining = [task.region for task in ordered]
+        else:
+            decision = DispatchDecision(
+                requested, min(requested, len(ordered)), "pool", "explicit-workers"
+            )
+            remaining = [task.region for task in ordered]
+        _dispatch_counter().inc(mode=decision.mode, reason=decision.reason)
+
+        if decision.mode == "serial":
+            for region in remaining:
+                with span("mining.region", region=region, mode="serial"):
+                    name, result, compiled, seconds = _mine_region(
+                        miner, by_region[region]
+                    )
+                raw[name] = (result, compiled, seconds)
+        elif all_in_memory:
+            # Record which regions this run compiles (parent side, during the
+            # corpus build) before the build memoizes the matrices.
+            compiled_by = {
+                region: not by_region[region].database.has_matrix
+                for region in remaining
+            }
+            corpus = CorpusMatrix.from_transactions(
+                {region: by_region[region].database for region in remaining}
+            )
+            recovered, attaches = _mine_corpus_pooled(
+                corpus,
+                remaining,
+                miner,
+                decision.workers,
+                compiled_by,
+                raw,
+                recover=recover,
+            )
+        else:
+            recovered = _mine_tasks_pooled(
+                [by_region[region] for region in remaining],
+                miner,
+                decision.workers,
+                raw,
+                recover=recover,
+            )
+
+    return _assemble(raw, requested, decision, recovered, attaches)
+
+
+def mine_corpus_with_report(
+    corpus: CorpusMatrix,
+    miner,
+    *,
+    workers: int | str | None = None,
+    recover: bool = True,
+) -> tuple[dict[str, MiningResult], ParallelMiningReport]:
+    """Mine every region of a pre-built corpus arena (the serve warm path).
+
+    Same dispatch contract as :func:`mine_regions_with_report`, but the
+    corpus matrix already exists (loaded from the global sidecar or built
+    once), so no path compiles anything: serial slices regions out of the
+    arena in-process, pooled ships the arena through shared memory.
+    """
+    requested = resolve_workers(workers)
+    regions = list(corpus.regions)
+    raw: dict[str, tuple[MiningResult, bool, float]] = {}
+    recovered: tuple[str, ...] = ()
+    attaches: tuple[tuple[str, int], ...] = ()
+
+    def _mine_inline(region: str) -> None:
+        with span("mining.region", region=region, mode="serial"):
+            started = time.perf_counter()
+            result = miner.mine(corpus.region_database(region))
+            raw[region] = (result, False, time.perf_counter() - started)
+
+    with span("mining.fanout", regions=len(regions), requested=str(requested)):
+        if requested == WORKERS_AUTO and len(regions) > 1:
+            costs = {region: _span_cost(corpus, region) for region in regions}
+            probe_region = max(regions, key=lambda region: (costs[region], region))
+            _mine_inline(probe_region)
+            remaining = [region for region in regions if region != probe_region]
+            decision = _auto_decision(
+                requested,
+                raw[probe_region][2],
+                costs[probe_region],
+                [costs[region] for region in remaining],
+            )
+        elif requested == WORKERS_AUTO or requested == 0 or len(regions) <= 1:
+            decision = DispatchDecision(
+                requested,
+                0,
+                "serial",
+                "single-region" if len(regions) <= 1 else "explicit-serial",
+            )
+            remaining = regions
+        else:
+            decision = DispatchDecision(
+                requested, min(requested, len(regions)), "pool", "explicit-workers"
+            )
+            remaining = regions
+        _dispatch_counter().inc(mode=decision.mode, reason=decision.reason)
+
+        if decision.mode == "serial":
+            for region in remaining:
+                _mine_inline(region)
+        else:
+            recovered, attaches = _mine_corpus_pooled(
+                corpus, remaining, miner, decision.workers, {}, raw, recover=recover
+            )
+
+    return _assemble(raw, requested, decision, recovered, attaches)
+
+
+def _assemble(
+    raw: Mapping[str, tuple[MiningResult, bool, float]],
+    requested: int | str,
+    decision: DispatchDecision,
+    recovered: tuple[str, ...],
+    attaches: tuple[tuple[str, int], ...],
+) -> tuple[dict[str, MiningResult], ParallelMiningReport]:
+    """Merge raw outcomes in sorted region order and emit the report."""
     results = {region: raw[region][0] for region in sorted(raw)}
+    outcomes = tuple(
+        RegionOutcome(region, len(raw[region][0]), raw[region][1], raw[region][2])
+        for region in sorted(raw)
+    )
+    _record_outcomes(outcomes, decision.mode)
+    if recovered:
+        counter = _region_counter()
+        counter.inc(len(recovered), mode="recovered")
     report = ParallelMiningReport(
-        workers=workers,
-        pool_size=pool_size,
-        outcomes=tuple(
-            RegionOutcome(region, len(raw[region][0]), raw[region][1])
-            for region in sorted(raw)
-        ),
+        workers=requested,
+        pool_size=decision.workers,
+        outcomes=outcomes,
         recovered_regions=recovered,
+        dispatch=decision,
+        shm_attaches=attaches,
     )
     return results, report
 
@@ -272,7 +760,7 @@ def mine_regions_parallel(
     tasks: list[RegionTask] | tuple[RegionTask, ...],
     miner,
     *,
-    workers: int | None = None,
+    workers: int | str | None = None,
     recover: bool = True,
 ) -> dict[str, MiningResult]:
     """Mine every region task; see :func:`mine_regions_with_report`."""

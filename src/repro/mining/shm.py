@@ -1,0 +1,545 @@
+"""One global transaction matrix for the whole corpus, shareable over shm.
+
+The PR 4 fan-out shipped every worker its own region matrix (pickled
+database or per-region sidecar files) and lost to serial at every worker
+count: per-region mapping + IPC swamped the mining win.  This module holds
+the replacement design:
+
+* :class:`CorpusMatrix` -- the per-region packed bitsets of a whole corpus
+  concatenated into **one** arena.  Every region keeps its own
+  independently-packed block of byte columns, so extracting a region is a
+  pure byte-range slice (no bit shifting), and dropping the rows with zero
+  support inside the region reproduces the region's own
+  :class:`~repro.mining.bitmatrix.TransactionMatrix` byte-for-byte --
+  mining from an extracted region is indistinguishable from mining the
+  region database directly.  A corpus matrix persists as a single
+  memory-mappable sidecar (same four-file layout as the per-region ones),
+  which is the serve layer's warm-start artifact.
+
+* :class:`SharedCorpusMatrix` -- the same arrays placed in one
+  ``multiprocessing.shared_memory`` block.  Workers receive only a tiny
+  picklable :class:`ShmDescriptor`; on a ``fork`` start method they find
+  the parent's mapping in :data:`_FORK_REGISTRY` and attach for free,
+  otherwise they map the named segment once per process.  The parent is
+  the sole owner of the segment's lifetime: it unlinks in a ``finally``,
+  so a killed worker (or a crashed pool) can never leak ``/dev/shm``
+  segments -- workers deliberately never unregister or unlink anything.
+  :func:`live_segments` exposes the parent-side ledger so tests can assert
+  a clean shutdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import MiningError, SidecarError
+from repro.mining.bitmatrix import TransactionMatrix, _replace_with, popcount, sidecar_paths
+from repro.mining.itemsets import TransactionDatabase
+
+__all__ = [
+    "CORPUS_SIDECAR_VERSION",
+    "SHM_NAME_PREFIX",
+    "RegionSpan",
+    "CorpusMatrix",
+    "ShmDescriptor",
+    "SharedCorpusMatrix",
+    "attach_corpus",
+    "live_segments",
+]
+
+#: Bump when the corpus-sidecar layout changes; loaders reject other versions.
+CORPUS_SIDECAR_VERSION = 1
+
+#: Every shared-memory segment this module creates carries this prefix
+#: (plus the creating pid), so tests can scan ``/dev/shm`` for leaks.
+SHM_NAME_PREFIX = "repro-shm"
+
+_ALIGN = 8
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True, slots=True)
+class RegionSpan:
+    """Where one region lives inside the corpus arena.
+
+    ``tx_start:tx_stop`` index the corpus-wide transaction sequence (and
+    thereby ``offsets``); ``word_start:word_stop`` are the byte columns of
+    the region's packed block inside ``rows``.
+    """
+
+    region: str
+    tx_start: int
+    tx_stop: int
+    word_start: int
+    word_stop: int
+
+    @property
+    def n_transactions(self) -> int:
+        return self.tx_stop - self.tx_start
+
+    @property
+    def n_words(self) -> int:
+        return self.word_stop - self.word_start
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "region": self.region,
+            "tx_start": self.tx_start,
+            "tx_stop": self.tx_stop,
+            "word_start": self.word_start,
+            "word_stop": self.word_stop,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RegionSpan":
+        return cls(
+            region=str(payload["region"]),
+            tx_start=int(payload["tx_start"]),  # type: ignore[arg-type]
+            tx_stop=int(payload["tx_stop"]),  # type: ignore[arg-type]
+            word_start=int(payload["word_start"]),  # type: ignore[arg-type]
+            word_stop=int(payload["word_stop"]),  # type: ignore[arg-type]
+        )
+
+
+class CorpusMatrix:
+    """All regions' packed bitsets in one arena, region-extractable.
+
+    * ``rows`` -- ``(n_items, total_words)`` uint8: the global sorted
+      vocabulary down the rows, each region's independently-packed byte
+      block side by side along the columns;
+    * ``tids`` + ``offsets`` -- every transaction's sorted **global** item
+      ids, flattened, in region order (for FP-tree construction);
+    * ``spans`` -- one :class:`RegionSpan` per region, sorted by name.
+    """
+
+    __slots__ = ("items", "item_index", "spans", "_span_index", "rows", "tids", "offsets")
+
+    def __init__(
+        self,
+        items: tuple[str, ...],
+        spans: tuple[RegionSpan, ...],
+        rows: np.ndarray,
+        tids: np.ndarray,
+        offsets: np.ndarray,
+    ) -> None:
+        self.items = items
+        self.item_index = {item: index for index, item in enumerate(items)}
+        self.spans = spans
+        self._span_index = {span.region: span for span in spans}
+        self.rows = rows
+        self.tids = tids
+        self.offsets = offsets
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Mapping[str, TransactionDatabase]
+    ) -> "CorpusMatrix":
+        """Assemble the corpus arena from per-region transaction databases.
+
+        Each region's :meth:`~repro.mining.itemsets.TransactionDatabase.matrix`
+        is compiled (or reused when already memoized) and scattered into the
+        global-vocabulary rows; its local item ids are remapped to global
+        ids.  Both maps are strictly increasing (a sorted sub-vocabulary maps
+        into the sorted union), so extraction reverses them exactly.
+        """
+        regions = sorted(transactions)
+        matrices = {region: transactions[region].matrix() for region in regions}
+        vocabulary: set[str] = set()
+        for matrix in matrices.values():
+            vocabulary.update(matrix.items)
+        items = tuple(sorted(vocabulary))
+        item_index = {item: index for index, item in enumerate(items)}
+
+        total_words = sum(matrix.n_words for matrix in matrices.values())
+        rows = np.zeros((len(items), total_words), dtype=np.uint8)
+        spans: list[RegionSpan] = []
+        tid_chunks: list[np.ndarray] = []
+        lengths: list[int] = []
+        word_cursor = 0
+        tx_cursor = 0
+        for region in regions:
+            matrix = matrices[region]
+            global_ids = np.fromiter(
+                (item_index[item] for item in matrix.items),
+                dtype=np.int64,
+                count=matrix.n_items,
+            )
+            word_stop = word_cursor + matrix.n_words
+            if matrix.n_items:
+                rows[global_ids, word_cursor:word_stop] = matrix.packed_rows
+            for local in matrix.transaction_id_arrays():
+                tid_chunks.append(global_ids[local])
+                lengths.append(len(local))
+            spans.append(
+                RegionSpan(
+                    region=region,
+                    tx_start=tx_cursor,
+                    tx_stop=tx_cursor + matrix.n_transactions,
+                    word_start=word_cursor,
+                    word_stop=word_stop,
+                )
+            )
+            word_cursor = word_stop
+            tx_cursor += matrix.n_transactions
+
+        tids = (
+            np.concatenate(tid_chunks) if tid_chunks else np.zeros(0, dtype=np.int64)
+        ).astype(np.int64, copy=False)
+        offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(lengths, dtype=np.int64), out=offsets[1:])
+        return cls(items, tuple(spans), rows, tids, offsets)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def regions(self) -> tuple[str, ...]:
+        return tuple(span.region for span in self.spans)
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def total_words(self) -> int:
+        return self.rows.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the three arrays occupy (= the shared-memory block size)."""
+        return int(self.rows.nbytes + self.tids.nbytes + self.offsets.nbytes)
+
+    def span_of(self, region: str) -> RegionSpan:
+        try:
+            return self._span_index[region]
+        except KeyError:
+            raise MiningError(f"unknown region {region!r} in corpus matrix") from None
+
+    # -- region extraction -----------------------------------------------------------
+
+    def region_matrix(self, region: str) -> TransactionMatrix:
+        """The region's own :class:`TransactionMatrix`, byte-identical to a
+        fresh compile of the region database (same vocabulary, same packed
+        rows, same tid arrays) -- but produced by slicing the arena with
+        zero ``packbits`` passes."""
+        span = self.span_of(region)
+        block = self.rows[:, span.word_start:span.word_stop]
+        keep = np.flatnonzero(popcount(block).sum(axis=1, dtype=np.int64) > 0)
+        items = tuple(self.items[index] for index in keep)
+        region_rows = np.ascontiguousarray(block[keep])
+        lookup = np.full(len(self.items), -1, dtype=np.int64)
+        lookup[keep] = np.arange(len(keep), dtype=np.int64)
+        lo = int(self.offsets[span.tx_start])
+        hi = int(self.offsets[span.tx_stop])
+        local_flat = lookup[np.asarray(self.tids[lo:hi])]
+        rel = np.asarray(self.offsets[span.tx_start : span.tx_stop + 1]) - lo
+        transaction_ids = tuple(
+            local_flat[rel[i] : rel[i + 1]] for i in range(span.n_transactions)
+        )
+        return TransactionMatrix._from_arrays(
+            items, span.n_transactions, region_rows, transaction_ids
+        )
+
+    def region_database(self, region: str) -> TransactionDatabase:
+        """The region as a matrix-backed database, ready for any miner."""
+        return TransactionDatabase.from_matrix(self.region_matrix(region))
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, prefix: Path | str, *, fingerprint: str = "") -> Path:
+        """Persist as one memory-mappable sidecar (meta written last)."""
+        paths = sidecar_paths(prefix)
+        paths["meta"].parent.mkdir(parents=True, exist_ok=True)
+        _replace_with(paths["rows"], np.ascontiguousarray(self.rows))
+        _replace_with(paths["tids"], np.ascontiguousarray(self.tids))
+        _replace_with(paths["offsets"], np.ascontiguousarray(self.offsets))
+        meta = {
+            "version": CORPUS_SIDECAR_VERSION,
+            "kind": "corpus",
+            "fingerprint": fingerprint,
+            "items": list(self.items),
+            "regions": [span.to_dict() for span in self.spans],
+            "n_transactions": self.n_transactions,
+            "total_words": self.total_words,
+        }
+        temp = paths["meta"].with_name(paths["meta"].name + ".tmp")
+        temp.write_text(json.dumps(meta, sort_keys=True), encoding="utf-8")
+        temp.replace(paths["meta"])
+        return paths["meta"]
+
+    @classmethod
+    def load(
+        cls,
+        prefix: Path | str,
+        *,
+        mmap: bool = True,
+        expected_fingerprint: str | None = None,
+    ) -> "CorpusMatrix":
+        """Load a corpus sidecar; raises :class:`SidecarError` when missing,
+        corrupt, the wrong layout version, or stale (fingerprint mismatch)."""
+        paths = sidecar_paths(prefix)
+        try:
+            meta = json.loads(paths["meta"].read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise SidecarError(f"no corpus matrix sidecar at {prefix}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SidecarError(
+                f"unreadable corpus sidecar meta {paths['meta']}: {exc}"
+            ) from exc
+        if (
+            not isinstance(meta, dict)
+            or meta.get("version") != CORPUS_SIDECAR_VERSION
+            or meta.get("kind") != "corpus"
+        ):
+            raise SidecarError(
+                f"unsupported corpus sidecar version {meta.get('version')!r} at {prefix}"
+            )
+        if (
+            expected_fingerprint is not None
+            and meta.get("fingerprint") != expected_fingerprint
+        ):
+            raise SidecarError(
+                f"stale corpus sidecar at {prefix}: corpus fingerprint changed"
+            )
+        try:
+            spans = tuple(RegionSpan.from_dict(row) for row in meta.get("regions", ()))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SidecarError(f"malformed corpus sidecar spans at {prefix}") from exc
+        mmap_mode = "r" if mmap else None
+        try:
+            rows = np.load(paths["rows"], mmap_mode=mmap_mode, allow_pickle=False)
+            tids = np.load(paths["tids"], mmap_mode=mmap_mode, allow_pickle=False)
+            offsets = np.load(paths["offsets"], allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise SidecarError(
+                f"unreadable corpus sidecar arrays at {prefix}: {exc}"
+            ) from exc
+        items = tuple(str(item) for item in meta.get("items", ()))
+        n_transactions = int(meta.get("n_transactions", -1))
+        spans_ok = (
+            all(
+                0 <= span.tx_start <= span.tx_stop <= n_transactions
+                and 0 <= span.word_start <= span.word_stop <= rows.shape[1]
+                for span in spans
+            )
+            if rows.ndim == 2
+            else False
+        )
+        if (
+            rows.ndim != 2
+            or rows.dtype != np.uint8
+            or rows.shape[0] != len(items)
+            or rows.shape[1] != int(meta.get("total_words", -1))
+            or offsets.ndim != 1
+            or len(offsets) != n_transactions + 1
+            or tids.ndim != 1
+            or (len(offsets) > 0 and int(offsets[-1]) != len(tids))
+            or not spans_ok
+            or sum(span.n_transactions for span in spans) != n_transactions
+        ):
+            raise SidecarError(f"inconsistent corpus sidecar shapes at {prefix}")
+        return cls(items, spans, rows, tids.astype(np.int64, copy=False), offsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CorpusMatrix(regions={len(self.spans)}, items={len(self.items)}, "
+            f"transactions={self.n_transactions}, words={self.total_words})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ShmDescriptor:
+    """Everything a worker needs to reconstruct the arena: a few ints, the
+    vocabulary, the spans, and the segment name.  Pickles in microseconds --
+    this is the *entire* per-task payload of the shm fan-out."""
+
+    name: str
+    n_items: int
+    total_words: int
+    n_tids: int
+    n_transactions: int
+    items: tuple[str, ...]
+    spans: tuple[RegionSpan, ...]
+
+
+#: Parent-side registry filled *before* the pool forks: children inherit the
+#: mapping and attach with zero syscalls.  Keyed by segment name.
+_FORK_REGISTRY: dict[str, CorpusMatrix] = {}
+
+#: Worker-side cache of explicit attachments (spawn start method, or a worker
+#: outliving several batches).  The SharedMemory handle is kept alive for the
+#: process lifetime on purpose: region matrices may hold views into the
+#: buffer, and the parent owns the unlink.
+_ATTACH_CACHE: dict[str, tuple[shared_memory.SharedMemory, CorpusMatrix]] = {}
+
+#: Names of segments this process created and has not yet unlinked.
+_LIVE_SEGMENTS: set[str] = set()
+
+_SEGMENT_COUNTER = itertools.count()
+
+
+def live_segments() -> tuple[str, ...]:
+    """Segments created by this process that are still linked (leak probe)."""
+    return tuple(sorted(_LIVE_SEGMENTS))
+
+
+def _arena_views(
+    buffer: memoryview, descriptor: ShmDescriptor
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The three arena arrays as read-only views over a shared buffer."""
+    rows_bytes = descriptor.n_items * descriptor.total_words
+    tids_offset = _aligned(rows_bytes)
+    offsets_offset = tids_offset + descriptor.n_tids * 8
+    rows = np.ndarray(
+        (descriptor.n_items, descriptor.total_words), dtype=np.uint8, buffer=buffer
+    )
+    tids = np.ndarray(
+        (descriptor.n_tids,), dtype=np.int64, buffer=buffer, offset=tids_offset
+    )
+    offsets = np.ndarray(
+        (descriptor.n_transactions + 1,),
+        dtype=np.int64,
+        buffer=buffer,
+        offset=offsets_offset,
+    )
+    for array in (rows, tids, offsets):
+        array.flags.writeable = False
+    return rows, tids, offsets
+
+
+class SharedCorpusMatrix:
+    """A :class:`CorpusMatrix` copied into one shared-memory segment.
+
+    Lifecycle contract: the creating (parent) process calls :meth:`close`
+    in a ``finally`` -- it pops the fork registry, unmaps and **unlinks**
+    the segment.  Workers never unlink; a worker killed mid-task only drops
+    its own mapping (the kernel's refcount), so the parent's unlink is
+    always sufficient and ``/dev/shm`` ends every run empty.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        descriptor: ShmDescriptor,
+        view: CorpusMatrix,
+    ) -> None:
+        self._shm = shm
+        self.descriptor = descriptor
+        self.view = view
+
+    @classmethod
+    def create(cls, corpus: CorpusMatrix) -> "SharedCorpusMatrix":
+        """Copy *corpus* into a fresh segment and pre-register it for forks."""
+        descriptor_base = dict(
+            n_items=len(corpus.items),
+            total_words=corpus.total_words,
+            n_tids=len(corpus.tids),
+            n_transactions=corpus.n_transactions,
+            items=corpus.items,
+            spans=corpus.spans,
+        )
+        rows_bytes = descriptor_base["n_items"] * descriptor_base["total_words"]
+        size = (
+            _aligned(rows_bytes)
+            + descriptor_base["n_tids"] * 8
+            + (descriptor_base["n_transactions"] + 1) * 8
+        )
+        shm = None
+        for _attempt in range(8):
+            name = f"{SHM_NAME_PREFIX}-{os.getpid()}-{next(_SEGMENT_COUNTER)}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(size, 1), name=name
+                )
+                break
+            except FileExistsError:  # pragma: no cover - recycled-pid leftover
+                continue
+        if shm is None:  # pragma: no cover - eight collisions in a row
+            raise MiningError("could not allocate a shared-memory segment name")
+        descriptor = ShmDescriptor(name=shm.name, **descriptor_base)
+        rows, tids, offsets = _arena_views(shm.buf, descriptor)
+        with _writable(rows):
+            rows[...] = corpus.rows
+        with _writable(tids):
+            tids[...] = corpus.tids
+        with _writable(offsets):
+            offsets[...] = corpus.offsets
+        view = CorpusMatrix(corpus.items, corpus.spans, rows, tids, offsets)
+        _FORK_REGISTRY[shm.name] = view
+        _LIVE_SEGMENTS.add(shm.name)
+        return cls(shm, descriptor, view)
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent; parent side only)."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        _FORK_REGISTRY.pop(self.descriptor.name, None)
+        self.view = None  # release the buffer views before closing the map
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a view escaped; unlink anyway
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+        _LIVE_SEGMENTS.discard(self.descriptor.name)
+
+    def __enter__(self) -> "SharedCorpusMatrix":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _writable:
+    """Temporarily lift the read-only flag while the creator fills an array."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        self.array = array
+
+    def __enter__(self) -> np.ndarray:
+        self.array.flags.writeable = True
+        return self.array
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.array.flags.writeable = False
+
+
+def attach_corpus(descriptor: ShmDescriptor) -> tuple[CorpusMatrix, str]:
+    """The arena for *descriptor* in this process, plus how it was reached.
+
+    Returns ``(corpus, mode)`` where mode is ``"inherited"`` (fork registry
+    hit -- zero cost), ``"cached"`` (this worker attached earlier) or
+    ``"attached"`` (fresh ``shm_open`` + map).  Workers keep their mapping
+    for the process lifetime and never unlink -- see
+    :class:`SharedCorpusMatrix` for the ownership rules.
+    """
+    inherited = _FORK_REGISTRY.get(descriptor.name)
+    if inherited is not None:
+        return inherited, "inherited"
+    cached = _ATTACH_CACHE.get(descriptor.name)
+    if cached is not None:
+        return cached[1], "cached"
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+    except FileNotFoundError as exc:
+        raise MiningError(
+            f"shared mining arena {descriptor.name!r} has vanished"
+        ) from exc
+    rows, tids, offsets = _arena_views(shm.buf, descriptor)
+    corpus = CorpusMatrix(descriptor.items, descriptor.spans, rows, tids, offsets)
+    _ATTACH_CACHE[descriptor.name] = (shm, corpus)
+    return corpus, "attached"

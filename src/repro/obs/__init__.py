@@ -1,0 +1,43 @@
+"""``repro.obs`` -- dependency-free metrics and tracing for the whole stack.
+
+Two small primitives shared by the mining and serving layers:
+
+* :mod:`repro.obs.metrics` -- counters, gauges and histograms in a
+  process-global :class:`~repro.obs.metrics.MetricsRegistry`, rendered as
+  Prometheus text or a flat JSON snapshot;
+* :mod:`repro.obs.tracing` -- nested :class:`~repro.obs.tracing.span`
+  timers feeding a bounded ring of recent traces.
+
+Both honour :func:`repro.obs.runtime.enabled` (env
+``REPRO_OBS_DISABLED`` or :func:`~repro.obs.runtime.set_enabled`), so
+instrumented hot paths cost one predicate when observability is off.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.runtime import enabled, set_enabled
+from repro.obs.tracing import TRACE_CAPACITY, Span, clear_traces, recent_traces, span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "TRACE_CAPACITY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "clear_traces",
+    "enabled",
+    "get_registry",
+    "recent_traces",
+    "set_enabled",
+    "span",
+]

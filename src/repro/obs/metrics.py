@@ -1,0 +1,373 @@
+"""Dependency-free metrics registry with a Prometheus text renderer.
+
+Three metric primitives -- :class:`Counter`, :class:`Gauge`,
+:class:`Histogram` -- register themselves in a :class:`MetricsRegistry`.
+Series are keyed by label values, every mutation is guarded by a per-metric
+lock (the async serving layer records from executor threads), and the whole
+registry renders either as the Prometheus text exposition format
+(:meth:`MetricsRegistry.render`) or as a flat JSON-ready map
+(:meth:`MetricsRegistry.snapshot`) that ``serve-stats`` and the HTTP
+``/stats`` endpoint merge into their payloads.
+
+Recording respects :func:`repro.obs.runtime.enabled`: with observability
+off, ``inc``/``set``/``observe`` are no-ops, so instrumentation sites never
+need their own guard.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Iterable, Mapping
+
+from repro.errors import ObservabilityError
+from repro.obs import runtime
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Latency-oriented default histogram bounds (seconds), 0.5ms .. 10s.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value for the exposition format (``\\``, ``"``, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a HELP line (``\\`` and newline only, per the format spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    """Render a sample value: integers bare, floats with full repr precision."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name/label validation, the series map, the lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str] = ()) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        self.labelnames: tuple[str, ...] = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_NAME_RE.match(label) or label.startswith("__"):
+                raise ObservabilityError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+        if "le" in self.labelnames and self.kind == "histogram":
+            raise ObservabilityError('histograms reserve the "le" label')
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _labelvalues(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def clear(self) -> None:
+        """Drop every series (used by registry reset in tests)."""
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter (per label combination)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add *amount* (default 1) to the series selected by *labels*."""
+        if not runtime.enabled():
+            return
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.name!r} cannot decrease")
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """The current value of one series (0.0 when never incremented)."""
+        key = self._labelvalues(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def samples(self) -> list[tuple[tuple[str, ...], float]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (pool sizes, bytes resident, ...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set one series to *value*."""
+        if not runtime.enabled():
+            return
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add *amount* (may be negative) to one series."""
+        if not runtime.enabled():
+            return
+        key = self._labelvalues(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Subtract *amount* from one series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        """The current value of one series (0.0 when never set)."""
+        key = self._labelvalues(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def samples(self) -> list[tuple[tuple[str, ...], float]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class _HistogramSeries:
+    """One label combination's bucket counts + running sum/count."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Distribution metric with cumulative buckets (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Iterable[str] = (),
+        *,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ObservabilityError(f"histogram {name!r} has duplicate buckets")
+        if any(math.isinf(bound) for bound in bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be finite (+Inf is implicit)"
+            )
+        self.buckets: tuple[float, ...] = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the series selected by *labels*."""
+        if not runtime.enabled():
+            return
+        value = float(value)
+        key = self._labelvalues(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[index] += 1
+                    break
+            else:
+                series.bucket_counts[-1] += 1  # the implicit +Inf bucket
+            series.sum += value
+            series.count += 1
+
+    def snapshot(self, **labels: object) -> tuple[list[int], float, int]:
+        """One series' (cumulative bucket counts, sum, count)."""
+        key = self._labelvalues(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return [0] * (len(self.buckets) + 1), 0.0, 0
+            cumulative: list[int] = []
+            running = 0
+            for count in series.bucket_counts:
+                running += count
+                cumulative.append(running)
+            return cumulative, series.sum, series.count
+
+    def samples(self) -> list[tuple[tuple[str, ...], _HistogramSeries]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class MetricsRegistry:
+    """Process-wide collection of metrics with idempotent registration."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                compatible = (
+                    existing.kind == metric.kind
+                    and existing.labelnames == metric.labelnames
+                    and (
+                        not isinstance(metric, Histogram)
+                        or existing.buckets == metric.buckets  # type: ignore[attr-defined]
+                    )
+                )
+                if not compatible:
+                    raise ObservabilityError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{existing.kind} with labels {list(existing.labelnames)}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help: str, labels: Iterable[str] = ()) -> Counter:
+        """Get or create a counter (idempotent for an identical schema)."""
+        return self._register(Counter(name, help, labels))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str, labels: Iterable[str] = ()) -> Gauge:
+        """Get or create a gauge (idempotent for an identical schema)."""
+        return self._register(Gauge(name, help, labels))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Iterable[str] = (),
+        *,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram (idempotent for an identical schema)."""
+        return self._register(Histogram(name, help, labels, buckets=buckets))  # type: ignore[return-value]
+
+    def metrics(self) -> list[_Metric]:
+        """Every registered metric, sorted by name."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Zero every metric (series are dropped; registrations survive)."""
+        for metric in self.metrics():
+            metric.clear()
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                self._render_histogram(metric, lines)
+                continue
+            for labelvalues, value in metric.samples():  # type: ignore[assignment]
+                labels = _render_labels(metric.labelnames, labelvalues)
+                lines.append(f"{metric.name}{labels} {_format_number(value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    @staticmethod
+    def _render_histogram(metric: Histogram, lines: list[str]) -> None:
+        for labelvalues, series in metric.samples():
+            running = 0
+            for bound, count in zip(metric.buckets, series.bucket_counts):
+                running += count
+                labels = _render_labels(
+                    metric.labelnames + ("le",),
+                    labelvalues + (_format_number(bound),),
+                )
+                lines.append(f"{metric.name}_bucket{labels} {running}")
+            inf_labels = _render_labels(
+                metric.labelnames + ("le",), labelvalues + ("+Inf",)
+            )
+            lines.append(f"{metric.name}_bucket{inf_labels} {series.count}")
+            labels = _render_labels(metric.labelnames, labelvalues)
+            lines.append(f"{metric.name}_sum{labels} {_format_number(series.sum)}")
+            lines.append(f"{metric.name}_count{labels} {series.count}")
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat JSON-ready ``sample -> value`` map (histograms as sum/count).
+
+        The compact form ``serve-stats`` and ``/stats`` merge into their
+        payloads; bucket series are omitted to keep it table-sized.
+        """
+        flat: dict[str, float] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                for labelvalues, series in metric.samples():
+                    labels = _render_labels(metric.labelnames, labelvalues)
+                    flat[f"{metric.name}_sum{labels}"] = series.sum
+                    flat[f"{metric.name}_count{labels}"] = float(series.count)
+                continue
+            for labelvalues, value in metric.samples():  # type: ignore[assignment]
+                labels = _render_labels(metric.labelnames, labelvalues)
+                flat[f"{metric.name}{labels}"] = float(value)
+        return flat
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every built-in instrumentation site uses."""
+    return _REGISTRY

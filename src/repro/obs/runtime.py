@@ -1,0 +1,34 @@
+"""The on/off switch for the observability layer.
+
+Metrics and tracing are cheap but not free; hot loops consult
+:func:`enabled` before recording anything.  The default comes from the
+``REPRO_OBS_DISABLED`` environment variable (truthy values disable
+recording); :func:`set_enabled` overrides it at runtime, which is what the
+test suite and latency-sensitive benchmark harnesses use.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled", "set_enabled"]
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+ENABLED_ENV = "REPRO_OBS_DISABLED"
+
+#: Runtime override; ``None`` defers to the environment.
+_enabled: bool | None = None
+
+
+def enabled() -> bool:
+    """Whether metrics and tracing are currently recording."""
+    if _enabled is not None:
+        return _enabled
+    return os.environ.get(ENABLED_ENV, "").strip().lower() not in _TRUTHY
+
+
+def set_enabled(value: bool) -> None:
+    """Flip recording on or off at runtime (overrides the env default)."""
+    global _enabled
+    _enabled = bool(value)

@@ -25,14 +25,15 @@ Caching is stage-aware, and the compute path itself is staged:
 * **clustering + validation stages** -- always recomputed on an analysis
   miss (they are cheap relative to mining).
 
-The mining stage itself runs at hardware speed: per-region compiled
-:class:`~repro.mining.bitmatrix.TransactionMatrix` bitsets are persisted as
-**memory-mappable sidecars** in a ``corpus-<key>.matrices/`` directory next
-to the corpus snapshot, keyed by the corpus file's content fingerprint.  A
-warm service (``workers=N``) fans the regions out over a process pool whose
-workers map those sidecars read-only -- one physical copy shared through the
-page cache, **zero** matrix re-compiles -- and merges the results
-deterministically, byte-identical to the serial path.
+The mining stage itself runs at hardware speed: the whole corpus's packed
+bitsets live in ONE :class:`~repro.mining.shm.CorpusMatrix`, persisted as a
+single memory-mappable ``corpus-<key>.matrix`` sidecar next to the corpus
+snapshot and keyed by the corpus file's content fingerprint.  A warm service
+slices every region out of that arena with **zero** matrix re-compiles; when the
+dispatcher picks a pool (``workers="auto"`` decides from measured cost, an
+integer pins it), the arena ships to workers through one shared-memory
+segment -- descriptor-only IPC, no per-region copies -- and the results
+merge deterministically, byte-identical to the serial path.
 
 The service records where every answer came from (``memory`` / ``disk`` /
 ``computed``) so callers, benchmarks and the CLI can report cache
@@ -41,7 +42,6 @@ effectiveness.
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from dataclasses import dataclass
@@ -51,15 +51,18 @@ from typing import Iterable
 from repro.core.config import AnalysisConfig, DEFAULT_CONFIG
 from repro.core.pipeline import CuisineClusteringPipeline
 from repro.core.results import AnalysisResults
-from repro.errors import MiningError, PipelineError, SerializationError, ServeError
-from repro.mining.bitmatrix import TransactionMatrix
+from repro.errors import PipelineError, SerializationError, ServeError, SidecarError
 from repro.mining.itemsets import MiningResult, TransactionDatabase, minimum_support_count
 from repro.mining.parallel import (
+    ParallelMiningReport,
+    mine_corpus_with_report,
     mine_regions_with_report,
     resolve_workers,
-    tasks_from_sidecars,
     tasks_from_transactions,
 )
+from repro.mining.shm import CorpusMatrix
+from repro.obs import enabled as obs_enabled
+from repro.obs import get_registry, recent_traces
 from repro.recipedb.database import RecipeDatabase
 from repro.recipedb.io_json import corpus_fingerprint, load_json, save_json
 from repro.serve import codec
@@ -71,8 +74,11 @@ ANALYSIS_KIND = "analysis"
 MINING_KIND = "mining"
 MINING_INDEX_KIND = "miningindex"
 CORPUS_FILE_PREFIX = "corpus-"
-MATRIX_DIR_SUFFIX = ".matrices"
-MATRIX_MANIFEST_VERSION = 1
+#: Path suffix of the single global corpus-matrix sidecar (one per corpus).
+MATRIX_FILE_SUFFIX = ".matrix"
+#: Directory suffix of the pre-PR-8 per-region sidecar layout; existing
+#: directories are swept away when the global sidecar replaces them.
+LEGACY_MATRIX_DIR_SUFFIX = ".matrices"
 
 _CORPUS_MEMORY_LIMIT = 4
 
@@ -81,11 +87,12 @@ _CORPUS_MEMORY_LIMIT = 4
 class ServedAnalysis:
     """One served analysis plus its provenance.
 
-    ``workers`` is the service's configured fan-out; ``worker_compiles``
-    counts how many regions had to compile a fresh
-    :class:`~repro.mining.bitmatrix.TransactionMatrix` inside a worker
-    process during this serve (0 when every worker shared a memory-mapped
-    sidecar, and for every non-mining source).
+    ``workers`` is the service's configured fan-out (an integer, or
+    ``"auto"`` for the measuring dispatcher); ``worker_compiles`` counts how
+    many regions had to compile a fresh
+    :class:`~repro.mining.bitmatrix.TransactionMatrix` inside a mining
+    process during this serve (0 whenever the regions came out of the
+    memory-mapped corpus arena, and for every non-mining source).
 
     ``coalesced`` is set by the async front-end
     (:class:`~repro.serve.aio.AsyncAnalysisService`) on answers that joined
@@ -104,7 +111,7 @@ class ServedAnalysis:
     elapsed_seconds: float
     mining_reused: bool = False
     mining_incremental: bool = False
-    workers: int = 0
+    workers: int | str = 0
     worker_compiles: int = 0
     coalesced: bool = False
     stale: bool = False
@@ -141,10 +148,18 @@ class AnalysisService:
         elif not isinstance(store, ArtifactStore):
             store = ArtifactStore(Path(store), max_memory_entries=max_memory_entries)
         self.store = store
-        #: Mining fan-out: 0 = serial, N = process pool over memory-mapped
-        #: matrix sidecars; ``None`` defers to ``$REPRO_MINING_WORKERS``.
+        #: Mining fan-out: 0 = serial, N = fixed process pool, ``"auto"``
+        #: (also the default) = the measuring dispatcher decides per corpus;
+        #: ``None`` defers to ``$REPRO_MINING_WORKERS``.
         self.workers = resolve_workers(workers)
+        #: The :class:`~repro.mining.parallel.ParallelMiningReport` of the
+        #: most recent fresh mining pass (``None`` until one runs); surfaced
+        #: in :meth:`describe` and thereby ``/stats``.
+        self.last_mining_report: ParallelMiningReport | None = None
         self._decoded: dict[str, AnalysisResults] = {}
+        # Corpus-matrix cache: corpus key -> (fingerprint, CorpusMatrix);
+        # the arena every fresh mining pass slices its regions from.
+        self._corpus_matrices: dict[str, tuple[str, CorpusMatrix]] = {}
         # Corpus stage cache: corpus key -> (RecipeDatabase, per-region
         # TransactionDatabase map, corpus-file fingerprint).  The transaction
         # databases memoize their compiled bit matrices, so a min_support
@@ -343,6 +358,13 @@ class AnalysisService:
         injection_report = getattr(store.backend, "injection_report", None)
         if callable(injection_report):
             payload["fault_injection"] = injection_report()
+        if self.last_mining_report is not None:
+            payload["mining"] = self.last_mining_report.to_dict()
+        if obs_enabled():
+            payload["observability"] = {
+                "metrics": get_registry().snapshot(),
+                "recent_traces": len(recent_traces()),
+            }
         return payload
 
     def _remember_decoded(self, key: str, results: AnalysisResults) -> None:
@@ -425,97 +447,89 @@ class AnalysisService:
                     self._corpora.pop(next(iter(self._corpora)))
             return corpus, transactions, fingerprint
 
-    # -- compiled-matrix sidecars -----------------------------------------------------
+    # -- the corpus-matrix sidecar ----------------------------------------------------
 
-    def matrix_dir(self, config: AnalysisConfig) -> Path:
-        """Directory of the persisted per-region matrix sidecars for *config*."""
+    def matrix_path(self, config: AnalysisConfig) -> Path:
+        """Path prefix of the persisted global corpus matrix for *config*."""
         return self.store.aux_path(
-            f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}{MATRIX_DIR_SUFFIX}"
+            f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}{MATRIX_FILE_SUFFIX}"
         )
 
-    def _load_matrix_manifest(
-        self, directory: Path, fingerprint: str
-    ) -> dict[str, str] | None:
-        """The ``region -> sidecar name`` map, or ``None`` when absent/stale."""
-        try:
-            payload = json.loads(
-                (directory / "manifest.json").read_text(encoding="utf-8")
-            )
-        except (OSError, json.JSONDecodeError):
-            return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("version") != MATRIX_MANIFEST_VERSION
-            or payload.get("fingerprint") != fingerprint
-        ):
-            return None
-        regions = payload.get("regions")
-        if not isinstance(regions, dict):
-            return None
-        return {str(region): str(name) for region, name in regions.items()}
+    def _legacy_matrix_dir(self, config: AnalysisConfig) -> Path:
+        """Where the pre-PR-8 per-region sidecar directory used to live."""
+        return self.store.aux_path(
+            f"{CORPUS_FILE_PREFIX}{codec.corpus_key(config)}{LEGACY_MATRIX_DIR_SUFFIX}"
+        )
 
-    def _ensure_matrices(
+    def _sweep_legacy_matrices(self, config: AnalysisConfig) -> None:
+        """Best-effort removal of an obsolete per-region sidecar directory."""
+        directory = self._legacy_matrix_dir(config)
+        if not directory.is_dir():
+            return
+        try:
+            for child in directory.iterdir():
+                child.unlink(missing_ok=True)
+            directory.rmdir()
+        except OSError:
+            pass  # stale bytes on a stubborn filesystem are harmless
+
+    def _ensure_corpus_matrix(
         self,
         config: AnalysisConfig,
         transactions: dict[str, TransactionDatabase],
         fingerprint: str,
-    ) -> dict[str, Path]:
-        """Attach persisted matrices, or compile + persist them; region -> prefix.
+    ) -> CorpusMatrix | None:
+        """The corpus arena for *config*: memory, sidecar, or a fresh build.
 
-        Fresh sidecars are memory-mapped straight into the transaction
-        databases (no packbits pass); a missing, stale (corpus fingerprint
-        changed) or unreadable sidecar set is rebuilt from scratch, with the
-        manifest written last so a crash never leaves a loadable-looking but
-        incomplete directory.
+        A warm hit memory-maps the single ``corpus-<key>.matrix`` sidecar
+        (fingerprint-checked, so it goes stale with the corpus file) and
+        compiles nothing.  A miss assembles the arena from the per-region
+        transaction databases -- the only packbits pass the corpus will ever
+        pay here -- persists it best-effort, and retires any per-region
+        sidecar directory a previous version left behind.  Returns ``None``
+        only when the build itself is impossible (e.g. a corrupt database),
+        letting the caller fall back to plain in-memory mining.
         """
-        directory = self.matrix_dir(config)
-        manifest = self._load_matrix_manifest(directory, fingerprint)
-        if manifest is not None and set(manifest) == set(transactions):
-            # Two-phase: load every sidecar before attaching any, so one
-            # corrupt region never leaves the databases half-attached to a
-            # directory about to be rebuilt.
+        key = codec.corpus_key(config)
+        with self._lock:
+            cached = self._corpus_matrices.get(key)
+            if cached is not None and cached[0] == fingerprint:
+                return cached[1]
+
+        prefix = self.matrix_path(config)
+        corpus_matrix: CorpusMatrix | None = None
+        try:
+            loaded = CorpusMatrix.load(
+                prefix, mmap=True, expected_fingerprint=fingerprint
+            )
+        except SidecarError:
+            loaded = None
+        if loaded is not None and set(loaded.regions) == set(transactions):
+            corpus_matrix = loaded
+        if corpus_matrix is None:
+            compiles = sum(
+                1 for database in transactions.values() if not database.has_matrix
+            )
             try:
-                loaded = {
-                    region: TransactionMatrix.load(
-                        directory / manifest[region],
-                        mmap=True,
-                        expected_fingerprint=fingerprint,
-                    )
-                    for region in sorted(manifest)
-                }
-            except MiningError:
-                pass  # corrupt sidecar set: rebuild below
-            else:
-                for region, matrix in loaded.items():
-                    if not transactions[region].has_matrix:
-                        transactions[region].attach_matrix(matrix)
-                return {
-                    region: directory / manifest[region] for region in sorted(manifest)
-                }
-        directory.mkdir(parents=True, exist_ok=True)
-        sidecars = {}
-        names: dict[str, str] = {}
-        for index, region in enumerate(sorted(transactions)):
-            name = f"r{index:03d}"
-            prefix = directory / name
-            transactions[region].matrix().save(prefix, fingerprint=fingerprint)
-            sidecars[region] = prefix
-            names[region] = name
-        manifest_path = directory / "manifest.json"
-        temp = manifest_path.with_name(manifest_path.name + ".tmp")
-        temp.write_text(
-            json.dumps(
-                {
-                    "version": MATRIX_MANIFEST_VERSION,
-                    "fingerprint": fingerprint,
-                    "regions": names,
-                },
-                sort_keys=True,
-            ),
-            encoding="utf-8",
-        )
-        temp.replace(manifest_path)
-        return sidecars
+                corpus_matrix = CorpusMatrix.from_transactions(transactions)
+            except (ValueError, MemoryError):
+                return None
+            if compiles:
+                get_registry().counter(
+                    "repro_mining_matrix_compiles_total",
+                    "Transaction matrices compiled during mining runs.",
+                ).inc(compiles)
+            try:
+                corpus_matrix.save(prefix, fingerprint=fingerprint)
+            except OSError:
+                pass  # read-only store: keep serving from memory
+            self._sweep_legacy_matrices(config)
+
+        with self._lock:
+            self._corpus_matrices[key] = (fingerprint, corpus_matrix)
+            while len(self._corpus_matrices) > _CORPUS_MEMORY_LIMIT:
+                self._corpus_matrices.pop(next(iter(self._corpus_matrices)))
+        return corpus_matrix
 
     # -- mining stage -----------------------------------------------------------------
 
@@ -673,34 +687,37 @@ class AnalysisService:
         transactions: dict[str, TransactionDatabase],
         fingerprint: str,
     ) -> tuple[dict[str, MiningResult], int]:
-        """One full mining pass through the sidecar + fan-out machinery.
+        """One full mining pass through the corpus arena + fan-out machinery.
 
-        Persisted sidecars are attached (memory-mapped) or built first, so a
-        serial pass reuses mapped matrices and a parallel pass hands workers
-        sidecar *paths* instead of pickled databases -- each worker maps the
-        shared read-only copy and compiles nothing.  Sidecar persistence is
-        best-effort: if the store's filesystem refuses (read-only disk, ...),
-        mining falls back to in-memory tasks, trading the zero-copy warm path
-        for availability.  Returns the results plus the number of in-worker
-        matrix compiles (0 on the sidecar path).
+        The global corpus matrix is memory-mapped (warm) or assembled once
+        (cold, persisting the sidecar best-effort), then every region is
+        sliced out of it -- serially in-process or through the shared-memory
+        fan-out, as the dispatcher decides from ``self.workers``.  Either way
+        the mining processes compile nothing.  If the arena cannot be built
+        at all, mining falls back to plain in-memory region tasks.  Returns
+        the results plus the number of in-process matrix compiles the mining
+        pass itself performed (0 on the arena path).
         """
         for region in corpus.region_names():
             regional = transactions.get(region)
             if regional is None or len(regional) == 0:
                 raise PipelineError(f"region {region!r} has no recipes to mine")
-        sidecars: dict[str, Path] | None
+        corpus_matrix: CorpusMatrix | None
         try:
             with self._corpus_lock(config):
-                sidecars = self._ensure_matrices(config, transactions, fingerprint)
+                corpus_matrix = self._ensure_corpus_matrix(
+                    config, transactions, fingerprint
+                )
         except (ServeError, OSError, SerializationError):
-            sidecars = None
-        if self.workers <= 0:
-            return pipeline.mine_patterns(corpus, transactions, workers=0), 0
-        if sidecars is not None:
-            tasks = tasks_from_sidecars(sidecars, fingerprint=fingerprint)
+            corpus_matrix = None
+        miner = pipeline.build_miner()
+        if corpus_matrix is not None:
+            results, report = mine_corpus_with_report(
+                corpus_matrix, miner, workers=self.workers
+            )
         else:
-            tasks = tasks_from_transactions(transactions)
-        results, report = mine_regions_with_report(
-            tasks, pipeline.build_miner(), workers=self.workers
-        )
+            results, report = mine_regions_with_report(
+                tasks_from_transactions(transactions), miner, workers=self.workers
+            )
+        self.last_mining_report = report
         return results, report.compiles

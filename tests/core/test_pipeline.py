@@ -49,8 +49,9 @@ class TestPipelineStages:
         monkeypatch.setenv("REPRO_MINING_WORKERS", "2")
         assert CuisineClusteringPipeline().workers == 2
         monkeypatch.delenv("REPRO_MINING_WORKERS")
-        assert CuisineClusteringPipeline().workers == 0
+        assert CuisineClusteringPipeline().workers == "auto"
         assert CuisineClusteringPipeline(workers=4).workers == 4
+        assert CuisineClusteringPipeline(workers="auto").workers == "auto"
 
     def test_pattern_features_shape(self, mini_corpus):
         pipeline = CuisineClusteringPipeline(AnalysisConfig(scale=0.02))

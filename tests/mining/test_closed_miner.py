@@ -1,0 +1,147 @@
+"""Parity suite for the direct closed-pattern miner.
+
+``mine_closed`` must be observationally indistinguishable from the two-step
+``closed_patterns(miner.mine(db), matrix=db.matrix())`` pipeline -- pattern
+for pattern, support for support, byte for byte through the serve codec --
+for every base algorithm, both engines, every ``max_length`` and any
+transaction multiset (duplicated transactions manufacture the equal-support
+ties that make closure checks subtle).  Hypothesis drives the databases;
+the deterministic tests pin the corners the shrinker loves to find.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MiningError
+from repro.mining.apriori import AprioriMiner
+from repro.mining.closed import closed_patterns
+from repro.mining.closed_miner import ClosedPatternMiner, mine_closed
+from repro.mining.eclat import EclatMiner
+from repro.mining.fpgrowth import FPGrowthMiner
+from repro.mining.itemsets import TransactionDatabase
+from repro.mining.parallel import mine_regions_parallel, tasks_from_transactions
+from repro.serve.codec import dumps, mining_to_dict
+
+BASE_MINERS = {
+    "fp-growth": FPGrowthMiner,
+    "apriori": AprioriMiner,
+    "eclat": EclatMiner,
+}
+
+VOCABULARY = tuple(f"i{k}" for k in range(8))
+
+transactions_strategy = st.lists(
+    st.frozensets(st.sampled_from(VOCABULARY), max_size=len(VOCABULARY)),
+    max_size=24,
+)
+
+
+def _byte_form(result) -> str:
+    return dumps(mining_to_dict({"R": result}))
+
+
+def _reference(algorithm, engine, transactions, min_support, max_length):
+    """The two-step pipeline: full frequent mine, then the closure filter."""
+    database = TransactionDatabase(transactions)
+    base = BASE_MINERS[algorithm](min_support, max_length=max_length, engine=engine)
+    result = base.mine(database)
+    return closed_patterns(result, matrix=database.matrix())
+
+
+class TestHypothesisParity:
+    @pytest.mark.parametrize("algorithm", sorted(BASE_MINERS))
+    @pytest.mark.parametrize("engine", ("bitset", "python"))
+    @settings(max_examples=60, deadline=None)
+    @given(
+        transactions=transactions_strategy,
+        min_support=st.sampled_from((0.1, 0.34, 0.6, 1.0)),
+        max_length=st.sampled_from((1, 2, 3, None)),
+    )
+    def test_direct_miner_byte_identical_to_filter(
+        self, algorithm, engine, transactions, min_support, max_length
+    ):
+        direct = mine_closed(
+            TransactionDatabase(transactions),
+            min_support,
+            max_length,
+            engine=engine,
+            algorithm=algorithm,
+        )
+        reference = _reference(algorithm, engine, transactions, min_support, max_length)
+        assert _byte_form(direct) == _byte_form(reference)
+
+    @settings(max_examples=60, deadline=None)
+    @given(transactions=transactions_strategy)
+    def test_engines_agree_with_each_other(self, transactions):
+        database = TransactionDatabase(transactions)
+        bitset = mine_closed(database, 0.2, 3, engine="bitset")
+        python = mine_closed(database, 0.2, 3, engine="python")
+        assert _byte_form(bitset) == _byte_form(python)
+
+
+class TestDeterministicCorners:
+    def test_support_ties_from_duplicated_transactions(self):
+        # Every transaction duplicated: closure must still collapse the
+        # equal-support chains to the unique closed sets.
+        rows = [["a", "b", "c"], ["a", "b"], ["a", "c"], ["b", "c", "d"]]
+        transactions = rows + rows + rows
+        direct = mine_closed(transactions, 0.25, None)
+        reference = _reference("fp-growth", "bitset", transactions, 0.25, None)
+        assert _byte_form(direct) == _byte_form(reference)
+        assert len(direct) > 0
+
+    def test_empty_database(self):
+        result = mine_closed(TransactionDatabase([]), 0.5)
+        assert len(result) == 0
+        assert result.n_transactions == 0
+        assert result.algorithm == "fp-growth+closed"
+
+    def test_algorithm_label_tracks_base(self):
+        database = TransactionDatabase([["a", "b"], ["a"]])
+        for algorithm in BASE_MINERS:
+            result = mine_closed(database, 0.5, algorithm=algorithm)
+            assert result.algorithm == f"{algorithm}+closed"
+
+    def test_parallel_fanout_parity(self):
+        regions = {
+            "North": TransactionDatabase([["a", "b", "c"], ["a", "b"], ["c"]] * 8),
+            "South": TransactionDatabase([["b", "c"], ["b", "c", "d"], ["d"]] * 8),
+            "Empty-ish": TransactionDatabase([["z"]]),
+        }
+        miner = ClosedPatternMiner(0.2, max_length=3)
+        serial = mine_regions_parallel(
+            tasks_from_transactions(regions), miner, workers=0
+        )
+        for workers in (2, "auto"):
+            fanned = mine_regions_parallel(
+                tasks_from_transactions(regions), miner, workers=workers
+            )
+            assert dumps(mining_to_dict(fanned)) == dumps(mining_to_dict(serial))
+
+    def test_miner_is_picklable(self):
+        miner = ClosedPatternMiner(0.3, max_length=2, engine="python", algorithm="eclat")
+        clone = pickle.loads(pickle.dumps(miner))
+        database = TransactionDatabase([["a", "b"], ["a", "b"], ["b"]])
+        assert clone.mine(database) == miner.mine(database)
+
+
+class TestValidation:
+    def test_bad_min_support(self):
+        with pytest.raises(MiningError):
+            ClosedPatternMiner(0.0)
+        with pytest.raises(MiningError):
+            ClosedPatternMiner(1.5)
+
+    def test_bad_max_length(self):
+        with pytest.raises(MiningError):
+            ClosedPatternMiner(0.2, max_length=0)
+
+    def test_bad_engine_and_algorithm(self):
+        with pytest.raises(MiningError):
+            ClosedPatternMiner(0.2, engine="gpu")
+        with pytest.raises(MiningError):
+            ClosedPatternMiner(0.2, algorithm="magic")

@@ -20,18 +20,21 @@ from repro.mining.eclat import EclatMiner
 from repro.mining.fpgrowth import FPGrowthMiner
 from repro.mining.itemsets import TransactionDatabase
 from repro.mining.parallel import (
+    WORKERS_AUTO,
     RegionTask,
+    mine_corpus_with_report,
     mine_regions_parallel,
     mine_regions_with_report,
     resolve_workers,
     tasks_from_sidecars,
     tasks_from_transactions,
 )
+from repro.mining.shm import CorpusMatrix, live_segments
 from repro.serve.codec import dumps, mining_to_dict
 
 MINERS = (AprioriMiner, EclatMiner, FPGrowthMiner)
 ENGINES = ("python", "bitset")
-WORKER_COUNTS = (1, 2, 3)
+WORKER_COUNTS = (1, 2, 3, WORKERS_AUTO)
 
 ITEMS = [f"item{k:02d}" for k in range(24)]
 
@@ -111,6 +114,41 @@ class TestDeterminism:
         )
         assert report.compiles == len(fresh)
 
+    def test_corpus_arena_byte_identical_to_serial_tasks(self, regions):
+        corpus = CorpusMatrix.from_transactions(regions)
+        miner = FPGrowthMiner(0.08, max_length=3)
+        serial = mine_regions_parallel(
+            tasks_from_transactions(regions), miner, workers=0
+        )
+        for workers in (0, 2, WORKERS_AUTO):
+            results, report = mine_corpus_with_report(corpus, miner, workers=workers)
+            assert _byte_form(results) == _byte_form(serial)
+            assert report.compiles == 0  # regions are sliced, never recompiled
+        assert not live_segments()
+
+    def test_pooled_run_reports_dispatch_and_shm_attaches(self, regions):
+        _results, report = mine_regions_with_report(
+            tasks_from_transactions(regions), FPGrowthMiner(0.1, max_length=2), workers=2
+        )
+        assert report.dispatch is not None
+        assert report.dispatch.mode == "pool"
+        assert report.dispatch.reason == "explicit-workers"
+        payload = report.to_dict()
+        assert payload["dispatch"]["workers"] == 2
+        assert sum(payload["shm_attaches"].values()) >= 1
+        assert not live_segments()
+
+    def test_auto_dispatch_records_a_reason(self, regions):
+        _results, report = mine_regions_with_report(
+            tasks_from_transactions(regions),
+            FPGrowthMiner(0.1, max_length=2),
+            workers=WORKERS_AUTO,
+        )
+        assert report.workers == WORKERS_AUTO
+        assert report.dispatch is not None
+        assert report.dispatch.mode in {"serial", "pool"}
+        assert report.dispatch.reason  # single-cpu / below-break-even / ...
+
 
 class TestTaskValidation:
     def test_task_needs_exactly_one_source(self, regions):
@@ -142,15 +180,29 @@ class TestWorkerResolution:
         monkeypatch.setenv("REPRO_MINING_WORKERS", "3")
         assert resolve_workers(None) == 3
         monkeypatch.delenv("REPRO_MINING_WORKERS")
-        assert resolve_workers(None) == 0
+        assert resolve_workers(None) == WORKERS_AUTO
 
-    def test_garbage_environment_falls_back_to_serial(self, monkeypatch):
+    def test_environment_can_request_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MINING_WORKERS", "auto")
+        assert resolve_workers(None) == WORKERS_AUTO
+        monkeypatch.setenv("REPRO_MINING_WORKERS", "")
+        assert resolve_workers(None) == WORKERS_AUTO
+
+    def test_garbage_environment_falls_back_to_auto(self, monkeypatch):
         monkeypatch.setenv("REPRO_MINING_WORKERS", "many")
-        assert resolve_workers(None) == 0
+        assert resolve_workers(None) == WORKERS_AUTO
 
     def test_explicit_value_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_MINING_WORKERS", "7")
         assert resolve_workers(2) == 2
+
+    def test_explicit_auto_and_int_strings_accepted(self):
+        assert resolve_workers("auto") == WORKERS_AUTO
+        assert resolve_workers("4") == 4
+
+    def test_explicit_garbage_rejected(self):
+        with pytest.raises(MiningError):
+            resolve_workers("several")
 
 
 class CrashingMiner:
@@ -183,6 +235,9 @@ class TestCrashRecovery:
         assert report.recovered_regions == tuple(sorted(regions))
         assert _byte_form(results) == _byte_form(baseline)
         assert report.to_dict()["recovered_regions"] == sorted(regions)
+        # The parent owns the shm arena: even with every worker hard-killed
+        # mid-batch, nothing is left behind in /dev/shm.
+        assert not live_segments()
 
     def test_fault_free_run_reports_no_recoveries(self, regions):
         _results, report = mine_regions_with_report(
@@ -200,6 +255,7 @@ class TestCrashRecovery:
         assert "worker process died" in message
         for region in regions:
             assert region in message
+        assert not live_segments()
 
     def test_ordinary_worker_exceptions_still_propagate(self, regions):
         # A worker that *raises* (stale sidecar, bad params) is not a crash:

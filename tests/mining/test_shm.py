@@ -1,0 +1,193 @@
+"""The shared-memory corpus arena: extraction identity, sidecars, lifecycle.
+
+``CorpusMatrix`` packs every region's transaction matrix into one arena whose
+region extraction is *exact*: slicing a region back out must reproduce the
+matrix a direct ``TransactionMatrix`` compile of that region's transactions
+would build -- same vocabulary, same packed bytes, same transaction-id
+arrays.  ``SharedCorpusMatrix`` then maps the arena into ``/dev/shm`` with a
+parent-owns-the-unlink lifecycle that never leaks a segment.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import MiningError, SidecarError
+from repro.mining.bitmatrix import TransactionMatrix
+from repro.mining.fpgrowth import FPGrowthMiner
+from repro.mining.itemsets import TransactionDatabase
+from repro.mining.shm import (
+    CorpusMatrix,
+    RegionSpan,
+    SharedCorpusMatrix,
+    attach_corpus,
+    live_segments,
+)
+
+ITEMS = [f"ing{k:02d}" for k in range(18)]
+
+
+def _database(seed: int, n: int) -> TransactionDatabase:
+    rng = np.random.default_rng(seed)
+    return TransactionDatabase(
+        [
+            [ITEMS[j] for j in rng.choice(len(ITEMS), size=int(rng.integers(2, 7)), replace=False)]
+            for _ in range(n)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def regions() -> dict[str, TransactionDatabase]:
+    return {
+        "Big": _database(seed=1, n=90),
+        "Medium": _database(seed=2, n=33),
+        "Single": _database(seed=3, n=1),
+        "Tiny": _database(seed=4, n=7),
+    }
+
+
+@pytest.fixture(scope="module")
+def corpus(regions) -> CorpusMatrix:
+    return CorpusMatrix.from_transactions(regions)
+
+
+def _assert_matrices_identical(extracted: TransactionMatrix, direct: TransactionMatrix):
+    assert extracted.items == direct.items
+    assert extracted.n_transactions == direct.n_transactions
+    assert extracted.n_words == direct.n_words
+    assert np.array_equal(extracted.packed_rows, direct.packed_rows)
+    assert len(extracted.transaction_id_arrays()) == len(direct.transaction_id_arrays())
+    for ours, theirs in zip(
+        extracted.transaction_id_arrays(), direct.transaction_id_arrays()
+    ):
+        assert np.array_equal(ours, theirs)
+
+
+class TestExtractionIdentity:
+    def test_every_region_extracts_byte_identical(self, regions, corpus):
+        for region, database in regions.items():
+            extracted = corpus.region_matrix(region)
+            direct = TransactionMatrix(database.transactions)
+            _assert_matrices_identical(extracted, direct)
+
+    def test_extracted_database_mines_identically(self, regions, corpus):
+        miner = FPGrowthMiner(0.1, max_length=3)
+        for region, database in regions.items():
+            assert miner.mine(corpus.region_database(region)) == miner.mine(database)
+
+    def test_empty_region_round_trips(self):
+        corpus = CorpusMatrix.from_transactions(
+            {"Empty": TransactionDatabase([]), "Full": _database(seed=9, n=12)}
+        )
+        empty = corpus.region_matrix("Empty")
+        assert empty.n_transactions == 0
+        assert empty.items == ()
+        _assert_matrices_identical(
+            corpus.region_matrix("Full"),
+            TransactionMatrix(_database(seed=9, n=12).transactions),
+        )
+
+    def test_regions_sorted_and_span_lookup(self, corpus):
+        assert corpus.regions == tuple(sorted(corpus.regions))
+        span = corpus.span_of("Big")
+        assert isinstance(span, RegionSpan)
+        assert span.n_transactions == 90
+        with pytest.raises(MiningError):
+            corpus.span_of("Atlantis")
+
+    def test_total_shape_accounting(self, regions, corpus):
+        assert corpus.n_transactions == sum(len(db) for db in regions.values())
+        assert corpus.total_words == sum(
+            corpus.span_of(r).n_words for r in corpus.regions
+        )
+
+
+class TestCorpusSidecar:
+    def test_save_load_round_trip(self, regions, corpus, tmp_path):
+        prefix = tmp_path / "corpus.matrix"
+        corpus.save(prefix, fingerprint="abc123")
+        for mmap in (True, False):
+            loaded = CorpusMatrix.load(
+                prefix, mmap=mmap, expected_fingerprint="abc123"
+            )
+            assert loaded.regions == corpus.regions
+            for region, database in regions.items():
+                _assert_matrices_identical(
+                    loaded.region_matrix(region),
+                    TransactionMatrix(database.transactions),
+                )
+
+    def test_stale_fingerprint_rejected(self, corpus, tmp_path):
+        prefix = tmp_path / "corpus.matrix"
+        corpus.save(prefix, fingerprint="old")
+        with pytest.raises(SidecarError, match="stale"):
+            CorpusMatrix.load(prefix, expected_fingerprint="new")
+
+    def test_missing_and_corrupt_sidecars_rejected(self, corpus, tmp_path):
+        with pytest.raises(SidecarError):
+            CorpusMatrix.load(tmp_path / "nowhere.matrix")
+        prefix = tmp_path / "corpus.matrix"
+        corpus.save(prefix)
+        rows_path = prefix.with_name(prefix.name + ".rows.npy")
+        rows_path.write_bytes(b"not an npy file")
+        with pytest.raises(SidecarError):
+            CorpusMatrix.load(prefix)
+
+    def test_wrong_kind_rejected(self, corpus, tmp_path):
+        prefix = tmp_path / "corpus.matrix"
+        corpus.save(prefix)
+        meta_path = prefix.with_name(prefix.name + ".meta.json")
+        meta = json.loads(meta_path.read_text("utf-8"))
+        meta["kind"] = "region"
+        meta_path.write_text(json.dumps(meta), encoding="utf-8")
+        with pytest.raises(SidecarError):
+            CorpusMatrix.load(prefix)
+
+
+class TestSharedLifecycle:
+    def test_create_attach_close_leaves_nothing(self, regions, corpus):
+        shared = SharedCorpusMatrix.create(corpus)
+        try:
+            assert shared.descriptor.name in live_segments()
+            # In the creating process the fork registry serves the arena.
+            attached, mode = attach_corpus(shared.descriptor)
+            assert mode == "inherited"
+            for region, database in regions.items():
+                _assert_matrices_identical(
+                    attached.region_matrix(region),
+                    TransactionMatrix(database.transactions),
+                )
+        finally:
+            shared.close()
+        assert not live_segments()
+        shared.close()  # idempotent
+
+    def test_context_manager_closes(self, corpus):
+        with SharedCorpusMatrix.create(corpus) as shared:
+            name = shared.descriptor.name
+            assert name in live_segments()
+        assert name not in live_segments()
+
+    def test_arena_views_are_read_only(self, corpus):
+        with SharedCorpusMatrix.create(corpus) as shared:
+            with pytest.raises(ValueError):
+                shared.view.rows[0, 0] = 255
+
+    def test_vanished_segment_raises(self, corpus):
+        shared = SharedCorpusMatrix.create(corpus)
+        descriptor = shared.descriptor
+        shared.close()
+        with pytest.raises(MiningError, match="vanished"):
+            attach_corpus(descriptor)
+
+    def test_descriptor_is_picklable(self, corpus):
+        with SharedCorpusMatrix.create(corpus) as shared:
+            clone = pickle.loads(pickle.dumps(shared.descriptor))
+            assert clone.name == shared.descriptor.name
+            assert clone.items == shared.descriptor.items
+            assert clone.spans == shared.descriptor.spans

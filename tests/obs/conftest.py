@@ -1,0 +1,19 @@
+"""Observability tests run with recording force-enabled and clean state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import clear_traces, get_registry, runtime, set_enabled
+
+
+@pytest.fixture(autouse=True)
+def obs_enabled_for_test():
+    """Force recording on and reset global state around every test."""
+    set_enabled(True)
+    get_registry().reset()
+    clear_traces()
+    yield
+    get_registry().reset()
+    clear_traces()
+    runtime._enabled = None  # back to the environment default

@@ -1,0 +1,220 @@
+"""Metrics primitives: counters, gauges, histograms, registry, exposition."""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, get_registry, set_enabled
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """Parse Prometheus text format into name -> {label pairs -> value}."""
+    samples: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match is not None, f"unparseable sample line: {line!r}"
+        labels = tuple(
+            (name, value.replace("\\\\", "\\").replace('\\"', '"').replace("\\n", "\n"))
+            for name, value in _LABEL_RE.findall(match.group("labels") or "")
+        )
+        raw = match.group("value")
+        value = math.inf if raw == "+Inf" else float(raw)
+        samples.setdefault(match.group("name"), {})[labels] = value
+    return samples
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("requests_total", "Requests.", ("route",))
+        assert counter.value(route="/a") == 0.0
+        counter.inc(route="/a")
+        counter.inc(2.5, route="/a")
+        counter.inc(route="/b")
+        assert counter.value(route="/a") == 3.5
+        assert counter.value(route="/b") == 1.0
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("c_total", "C.")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self, registry):
+        counter = registry.counter("c_total", "C.", ("mode",))
+        with pytest.raises(ObservabilityError):
+            counter.inc(region="x")
+        with pytest.raises(ObservabilityError):
+            counter.value()
+
+    def test_thread_safety(self, registry):
+        counter = registry.counter("hits_total", "Hits.")
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(500)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("pool_size", "Pool.")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 3.0
+        gauge.inc(-1.5)
+        assert gauge.value() == 1.5
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        cumulative, total, count = hist.snapshot()
+        assert cumulative == [1, 2, 3]  # per-bound cumulative + the +Inf bucket
+        assert total == pytest.approx(5.55)
+        assert count == 3
+
+    def test_bucket_validation(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h1_seconds", "H.", buckets=())
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h2_seconds", "H.", buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h3_seconds", "H.", buckets=(1.0, math.inf))
+
+    def test_le_label_reserved(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h_seconds", "H.", ("le",))
+
+
+class TestRegistry:
+    def test_idempotent_registration(self, registry):
+        first = registry.counter("c_total", "C.", ("mode",))
+        second = registry.counter("c_total", "C.", ("mode",))
+        assert first is second
+
+    def test_conflicting_registration_rejected(self, registry):
+        registry.counter("m_total", "M.")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("m_total", "M.")
+        registry.histogram("h_seconds", "H.", buckets=(1.0,))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h_seconds", "H.", buckets=(2.0,))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ObservabilityError):
+            registry.counter("0bad", "Bad.")
+        with pytest.raises(ObservabilityError):
+            registry.counter("ok_total", "Bad label.", ("bad-label",))
+        with pytest.raises(ObservabilityError):
+            registry.counter("ok_total", "Bad label.", ("__reserved",))
+
+    def test_reset_drops_series_keeps_registrations(self, registry):
+        counter = registry.counter("c_total", "C.")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.counter("c_total", "C.") is counter
+
+    def test_snapshot_flat_form(self, registry):
+        registry.counter("c_total", "C.", ("mode",)).inc(2, mode="pool")
+        registry.gauge("g", "G.").set(7)
+        registry.histogram("h_seconds", "H.", buckets=(1.0,)).observe(0.5)
+        flat = registry.snapshot()
+        assert flat['c_total{mode="pool"}'] == 2.0
+        assert flat["g"] == 7.0
+        assert flat["h_seconds_sum"] == 0.5
+        assert flat["h_seconds_count"] == 1.0
+        assert not any("bucket" in key for key in flat)
+
+
+class TestDisableGate:
+    def test_disabled_layer_is_a_no_op(self, registry):
+        counter = registry.counter("c_total", "C.")
+        gauge = registry.gauge("g", "G.")
+        hist = registry.histogram("h_seconds", "H.", buckets=(1.0,))
+        set_enabled(False)
+        counter.inc()
+        gauge.set(3)
+        hist.observe(0.5)
+        set_enabled(True)
+        assert counter.value() == 0.0
+        assert gauge.value() == 0.0
+        assert hist.snapshot() == ([0, 0], 0.0, 0)
+
+
+class TestExpositionRoundTrip:
+    @pytest.fixture
+    def loaded(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("req_total", "Requests.", ("route", "code"))
+        counter.inc(3, route="/q", code=200)
+        counter.inc(route="/q", code=500)
+        registry.gauge("bytes_resident", "Bytes.").set(1.5e9)
+        hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        for value in (0.01, 0.2, 0.7, 3.0):
+            hist.observe(value)
+        weird = registry.counter("odd_total", "Odd labels.", ("path",))
+        weird.inc(path='a\\b"c\nd')
+        return registry, parse_exposition(registry.render())
+
+    def test_every_line_parses(self, loaded):
+        _registry, samples = loaded
+        assert "req_total" in samples
+        assert "lat_seconds_bucket" in samples
+
+    def test_counter_and_gauge_samples(self, loaded):
+        _registry, samples = loaded
+        assert samples["req_total"][(("route", "/q"), ("code", "200"))] == 3.0
+        assert samples["req_total"][(("route", "/q"), ("code", "500"))] == 1.0
+        assert samples["bytes_resident"][()] == 1.5e9
+
+    def test_label_escaping_round_trips(self, loaded):
+        _registry, samples = loaded
+        assert samples["odd_total"][(("path", 'a\\b"c\nd'),)] == 1.0
+
+    def test_histogram_invariants(self, loaded):
+        _registry, samples = loaded
+        buckets = {
+            labels[-1][1]: value
+            for labels, value in samples["lat_seconds_bucket"].items()
+        }
+        assert buckets["0.1"] == 1.0
+        assert buckets["1"] == 3.0
+        assert buckets["+Inf"] == 4.0  # cumulative, equals _count
+        assert samples["lat_seconds_count"][()] == 4.0
+        assert samples["lat_seconds_sum"][()] == pytest.approx(3.91)
+
+    def test_global_registry_render_parses(self):
+        registry = get_registry()
+        registry.counter("smoke_total", "Smoke.").inc()
+        parse_exposition(registry.render())
+
+    def test_default_buckets_are_sorted_and_finite(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(math.isfinite(bound) for bound in DEFAULT_BUCKETS)

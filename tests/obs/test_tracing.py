@@ -1,0 +1,124 @@
+"""Tracing spans: nesting, the trace ring, histograms, the disable gate."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import (
+    TRACE_CAPACITY,
+    clear_traces,
+    get_registry,
+    recent_traces,
+    set_enabled,
+    span,
+)
+
+
+class TestSpans:
+    def test_root_span_lands_in_ring(self):
+        with span("compute", key="abc") as current:
+            current.set(regions=5)
+        traces = recent_traces()
+        assert len(traces) == 1
+        root = traces[0]
+        assert root["name"] == "compute"
+        assert root["attributes"] == {"key": "abc", "regions": 5}
+        assert root["duration_seconds"] >= 0.0
+
+    def test_nesting_builds_a_tree(self):
+        with span("outer"):
+            with span("mid"):
+                with span("leaf1"):
+                    pass
+            with span("leaf2"):
+                pass
+        traces = recent_traces()
+        assert len(traces) == 1  # only the root publishes a trace
+        root = traces[0]
+        assert [child["name"] for child in root["children"]] == ["mid", "leaf2"]
+        assert root["children"][0]["children"][0]["name"] == "leaf1"
+
+    def test_exception_sets_error_attribute_and_propagates(self):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+        root = recent_traces()[-1]
+        assert root["attributes"]["error"] == "ValueError"
+        assert root["duration_seconds"] is not None
+
+    def test_decorator_form(self):
+        @span("worker", kind="test")
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6
+        assert work(4) == 8
+        names = [trace["name"] for trace in recent_traces()]
+        assert names == ["worker", "worker"]
+
+    def test_span_durations_feed_the_histogram(self):
+        with span("timed"):
+            pass
+        hist = get_registry().histogram(
+            "repro_span_seconds",
+            "Duration of named tracing spans in seconds.",
+            ("span",),
+        )
+        _cumulative, total, count = hist.snapshot(span="timed")
+        assert count == 1
+        assert total >= 0.0
+
+    def test_ring_is_bounded(self):
+        for index in range(TRACE_CAPACITY + 10):
+            with span(f"s{index}"):
+                pass
+        traces = recent_traces()
+        assert len(traces) == TRACE_CAPACITY
+        assert traces[-1]["name"] == f"s{TRACE_CAPACITY + 9}"
+        assert traces[0]["name"] == "s10"  # oldest ten dropped
+
+    def test_recent_traces_limit(self):
+        for index in range(5):
+            with span(f"s{index}"):
+                pass
+        limited = recent_traces(limit=2)
+        assert [trace["name"] for trace in limited] == ["s3", "s4"]
+
+
+class TestCoroutineIsolation:
+    def test_concurrent_tasks_keep_separate_parent_chains(self):
+        async def request(name):
+            with span(name):
+                await asyncio.sleep(0)
+                with span(f"{name}.child"):
+                    await asyncio.sleep(0)
+
+        async def main():
+            await asyncio.gather(request("a"), request("b"))
+
+        asyncio.run(main())
+        roots = {trace["name"]: trace for trace in recent_traces()}
+        assert set(roots) == {"a", "b"}
+        for name, root in roots.items():
+            assert [child["name"] for child in root.get("children", [])] == [
+                f"{name}.child"
+            ]
+
+
+class TestDisableGate:
+    def test_disabled_spans_record_nothing(self):
+        set_enabled(False)
+        with span("ghost") as current:
+            current.set(x=1)  # the null span accepts set() silently
+        set_enabled(True)
+        assert recent_traces() == []
+
+    def test_reenabled_mid_span_does_not_half_record(self):
+        set_enabled(False)
+        manager = span("late")
+        with manager:
+            set_enabled(True)
+        assert recent_traces() == []
+        clear_traces()

@@ -1,9 +1,9 @@
-"""Service-level matrix sidecar lifecycle: persist, share, invalidate.
+"""Service-level corpus-matrix sidecar lifecycle: persist, share, invalidate.
 
 The acceptance contract: once a config has been computed, every later mining
 pass over the same corpus -- in this process or any other, serial or fanned
-out over workers -- attaches the persisted memory-mapped matrices instead of
-re-running ``np.packbits`` over the corpus.
+out over workers -- slices its regions out of the single memory-mapped
+``corpus-<key>.matrix`` arena instead of re-running ``np.packbits``.
 """
 
 from __future__ import annotations
@@ -14,7 +14,11 @@ import pytest
 
 from repro.core.config import AnalysisConfig
 from repro.mining.bitmatrix import TransactionMatrix
-from repro.serve.service import AnalysisService, MATRIX_DIR_SUFFIX
+from repro.serve.service import (
+    AnalysisService,
+    LEGACY_MATRIX_DIR_SUFFIX,
+    MATRIX_FILE_SUFFIX,
+)
 
 CONFIG = AnalysisConfig(seed=11, scale=0.02, elbow_k_max=6)
 
@@ -39,16 +43,19 @@ def compile_counter(monkeypatch):
 
 
 class TestSidecarLifecycle:
-    def test_compute_persists_sidecars(self, service):
+    def test_compute_persists_the_corpus_sidecar(self, service):
         service.get_or_run(CONFIG)
-        directory = service.matrix_dir(CONFIG)
-        assert directory.name.endswith(MATRIX_DIR_SUFFIX)
-        manifest = json.loads((directory / "manifest.json").read_text("utf-8"))
-        n_regions = len(manifest["regions"])
-        assert n_regions >= 2
-        assert len(list(directory.glob("*.rows.npy"))) == n_regions
+        prefix = service.matrix_path(CONFIG)
+        assert prefix.name.endswith(MATRIX_FILE_SUFFIX)
+        meta_path = prefix.with_name(prefix.name + ".meta.json")
+        meta = json.loads(meta_path.read_text("utf-8"))
+        assert meta["kind"] == "corpus"
+        assert len(meta["regions"]) >= 2
+        # One arena for the whole corpus: exactly one rows file, not per-region.
+        rows_files = list(prefix.parent.glob("corpus-*.rows.npy"))
+        assert len(rows_files) == 1
 
-    def test_fresh_service_attaches_instead_of_compiling(
+    def test_fresh_service_maps_instead_of_compiling(
         self, service, tmp_path, compile_counter
     ):
         service.get_or_run(CONFIG)
@@ -69,19 +76,24 @@ class TestSidecarLifecycle:
         assert served.source == "computed"
         assert served.workers == 2
         assert served.worker_compiles == 0
+        assert parallel.last_mining_report.compiles == 0
+        assert parallel.last_mining_report.pool_size == 2
         assert served.results == service.get_or_run(CONFIG).results
 
     def test_parallel_and_serial_results_identical(self, tmp_path):
         serial = AnalysisService(tmp_path / "a", workers=0).get_or_run(CONFIG)
         parallel = AnalysisService(tmp_path / "b", workers=2).get_or_run(CONFIG)
+        auto = AnalysisService(tmp_path / "c", workers="auto").get_or_run(CONFIG)
         assert serial.results == parallel.results
+        assert serial.results == auto.results
 
-    def test_corpus_change_invalidates_sidecars(
+    def test_corpus_change_invalidates_the_sidecar(
         self, service, tmp_path, compile_counter
     ):
         service.get_or_run(CONFIG)
-        directory = service.matrix_dir(CONFIG)
-        old_manifest = (directory / "manifest.json").read_text("utf-8")
+        prefix = service.matrix_path(CONFIG)
+        meta_path = prefix.with_name(prefix.name + ".meta.json")
+        old_fingerprint = json.loads(meta_path.read_text("utf-8"))["fingerprint"]
 
         # Rewrite the corpus file with different bytes (semantically equal
         # JSON, so the pipeline still runs): the sidecar fingerprint is a
@@ -96,16 +108,13 @@ class TestSidecarLifecycle:
         compiles_before = len(compile_counter)
         reloaded.get_or_run(CONFIG)
         assert len(compile_counter) > compiles_before  # matrices recompiled
-        new_manifest = (directory / "manifest.json").read_text("utf-8")
-        assert (
-            json.loads(new_manifest)["fingerprint"]
-            != json.loads(old_manifest)["fingerprint"]
-        )
+        new_fingerprint = json.loads(meta_path.read_text("utf-8"))["fingerprint"]
+        assert new_fingerprint != old_fingerprint
 
     def test_corrupt_sidecar_rebuilt(self, service, tmp_path, compile_counter):
         service.get_or_run(CONFIG)
-        directory = service.matrix_dir(CONFIG)
-        victim = sorted(directory.glob("*.rows.npy"))[0]
+        prefix = service.matrix_path(CONFIG)
+        victim = prefix.with_name(prefix.name + ".rows.npy")
         victim.write_bytes(b"garbage")
 
         reloaded = AnalysisService(tmp_path / "cache")
@@ -117,6 +126,17 @@ class TestSidecarLifecycle:
         # The rebuilt sidecar is loadable again.
         assert victim.stat().st_size > len(b"garbage")
 
+    def test_legacy_per_region_directory_swept(self, service):
+        # A pre-PR-8 layout left a corpus-<key>.matrices/ directory behind;
+        # the first compute with the global sidecar retires it.
+        legacy = service._legacy_matrix_dir(CONFIG)
+        legacy.mkdir(parents=True)
+        (legacy / "r000.rows.npy").write_bytes(b"old")
+        (legacy / "manifest.json").write_text("{}", encoding="utf-8")
+        service.get_or_run(CONFIG)
+        assert not legacy.exists()
+        assert legacy.name.endswith(LEGACY_MATRIX_DIR_SUFFIX)
+
     def test_served_workers_recorded_on_cache_hits(self, tmp_path):
         warm = AnalysisService(tmp_path / "cache", workers=3)
         warm.get_or_run(CONFIG)
@@ -124,3 +144,12 @@ class TestSidecarLifecycle:
         assert hit.source == "memory"
         assert hit.workers == 3
         assert hit.worker_compiles == 0
+
+    def test_auto_workers_surface_in_provenance_and_stats(self, tmp_path):
+        auto = AnalysisService(tmp_path / "cache", workers="auto")
+        served = auto.get_or_run(CONFIG)
+        assert served.workers == "auto"
+        payload = auto.describe()
+        assert payload["workers"] == "auto"
+        assert payload["mining"]["workers"] == "auto"
+        assert payload["mining"]["dispatch"]["mode"] in {"serial", "pool"}

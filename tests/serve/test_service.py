@@ -25,15 +25,15 @@ def service(tmp_path) -> AnalysisService:
 
 @pytest.fixture()
 def mining_calls(monkeypatch):
-    """Count FP-Growth passes without disturbing their behaviour."""
+    """Count fresh mining passes without disturbing their behaviour."""
     calls = []
-    original = CuisineClusteringPipeline.mine_patterns
+    original = AnalysisService._mine_fresh
 
-    def counting(self, database, transactions=None, **kwargs):
-        calls.append(self.config)
-        return original(self, database, transactions, **kwargs)
+    def counting(self, config, *args, **kwargs):
+        calls.append(config)
+        return original(self, config, *args, **kwargs)
 
-    monkeypatch.setattr(CuisineClusteringPipeline, "mine_patterns", counting)
+    monkeypatch.setattr(AnalysisService, "_mine_fresh", counting)
     return calls
 
 
