@@ -1,0 +1,126 @@
+"""Warm classify throughput: vectorized batch scoring vs the naive baseline.
+
+The serving hot path for ``/classify`` is :meth:`CuisineClassifier.classify_batch`
+-- packed-bitset containment plus two float32 matmuls over the whole batch.
+The gate requires it to be ≥3× faster per recipe than
+:meth:`classify_batch_naive`, the kept per-recipe Python reference (in
+practice it is orders of magnitude faster; the baseline is therefore timed
+on a small subset and compared per recipe).  The sidecar round-trip is also
+timed: a warm worker adopts the memory-mapped matrices in milliseconds
+instead of recompiling.  Results land in ``BENCH_core.json`` under
+``classify_serving``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.classify import CuisineClassifier
+
+from _bench_report import record
+
+BATCH_SIZE = 2000
+NAIVE_SUBSET = 100
+REQUIRED_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def results(pipeline, corpus, mining_results):
+    return pipeline.finish_run(corpus, mining_results)
+
+
+def _synthetic_batch(classifier: CuisineClassifier, n: int) -> list[list[str]]:
+    """Recipe-like ingredient lists drawn from the classifier's vocabulary."""
+    rng = np.random.default_rng(2020)
+    vocabulary = classifier.vocabulary
+    recipes = []
+    for _ in range(n):
+        size = int(rng.integers(4, 14))
+        chosen = rng.choice(len(vocabulary), size=min(size, len(vocabulary)), replace=False)
+        recipe = [vocabulary[i] for i in chosen]
+        if rng.random() < 0.2:
+            recipe.append("unknown-ingredient")
+        recipes.append(recipe)
+    return recipes
+
+
+def test_classify_serving_speedup(results, tmp_path):
+    started = time.perf_counter()
+    classifier = CuisineClassifier.from_results(results)
+    compile_seconds = time.perf_counter() - started
+    recipes = _synthetic_batch(classifier, BATCH_SIZE)
+
+    # Best-of-3 for the vectorized path (noise deflates its speedup).
+    batch_seconds = float("inf")
+    classifications = None
+    for _ in range(3):
+        started = time.perf_counter()
+        classifications = classifier.classify_batch(recipes)
+        batch_seconds = min(batch_seconds, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    naive = classifier.classify_batch_naive(recipes[:NAIVE_SUBSET])
+    naive_seconds = time.perf_counter() - started
+
+    # Parity: the naive pass is the reference for the vectorized scoring.
+    for fast, slow in zip(classifications, naive):
+        assert fast.matched_patterns == slow.matched_patterns
+        assert fast.unknown_items == slow.unknown_items
+        assert fast.scores == pytest.approx(slow.scores, abs=1e-5)
+
+    per_recipe_batch = batch_seconds / BATCH_SIZE
+    per_recipe_naive = naive_seconds / NAIVE_SUBSET
+    speedup = per_recipe_naive / per_recipe_batch
+
+    # Top-k retrieval must not cost more than the full ranking it prefixes.
+    started = time.perf_counter()
+    top3 = classifier.classify_batch(recipes, top_k=3)
+    topk_seconds = time.perf_counter() - started
+    assert [c.best for c in top3] == [c.best for c in classifications]
+
+    # Sidecar round-trip: persist once, then adopt the mapped arrays.
+    prefix = tmp_path / "corpus-bench.classifier"
+    started = time.perf_counter()
+    classifier.save(prefix, fingerprint="bench")
+    save_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    loaded = CuisineClassifier.load(prefix, expected_fingerprint="bench")
+    load_seconds = time.perf_counter() - started
+    assert loaded.classify_batch(recipes[:20]) == classifier.classify_batch(
+        recipes[:20]
+    )
+
+    print(
+        f"\nclassify_serving: batch {BATCH_SIZE} recipes in {batch_seconds:.3f}s "
+        f"({BATCH_SIZE / batch_seconds:,.0f}/s), naive "
+        f"{per_recipe_naive * 1e3:.2f} ms/recipe, speedup {speedup:.0f}x; "
+        f"compile {compile_seconds:.3f}s, sidecar save {save_seconds:.3f}s / "
+        f"load {load_seconds * 1e3:.1f}ms"
+    )
+    record(
+        "classify_serving",
+        {
+            "batch_size": BATCH_SIZE,
+            "naive_subset": NAIVE_SUBSET,
+            "n_cuisines": len(classifier.cuisines),
+            "n_vocabulary": len(classifier.vocabulary),
+            "batch_seconds": batch_seconds,
+            "recipes_per_second": BATCH_SIZE / batch_seconds,
+            "top3_seconds": topk_seconds,
+            "per_recipe_batch_seconds": per_recipe_batch,
+            "per_recipe_naive_seconds": per_recipe_naive,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+            "compile_seconds": compile_seconds,
+            "sidecar_save_seconds": save_seconds,
+            "sidecar_load_seconds": load_seconds,
+            "gate_skipped": None,
+        },
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"vectorized classify only {speedup:.1f}x faster per recipe than the "
+        f"naive baseline; expected >= {REQUIRED_SPEEDUP}x"
+    )

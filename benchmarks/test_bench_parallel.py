@@ -33,7 +33,6 @@ from repro.mining.fpgrowth import FPGrowthMiner
 from repro.mining.itemsets import TransactionDatabase
 from repro.mining.parallel import (
     WORKERS_AUTO,
-    mine_regions_parallel,
     mine_regions_with_report,
     tasks_from_transactions,
 )
@@ -110,6 +109,14 @@ def test_parallel_region_fanout_speedup():
             )
 
     cpus = os.cpu_count() or 1
+    gate_skipped = (
+        None
+        if cpus >= GATE_WORKERS
+        else (
+            f"speedup gate needs >= {GATE_WORKERS} CPUs (runner has {cpus}); "
+            "scaling curve recorded, byte-identity and auto gates asserted"
+        )
+    )
     rows = [
         {
             "workers": workers,
@@ -129,7 +136,19 @@ def test_parallel_region_fanout_speedup():
             ),
         )
     )
-    auto_ratio = timings[0] / timings[WORKERS_AUTO]
+    # The auto gate compares *interleaved* best-of-2 pairs: serial and auto
+    # do identical work when the dispatcher picks serial, so a one-sided
+    # sample under host drift (the curve above runs three fork pools in
+    # between) is what flips the ratio, not any real overhead.
+    serial_seconds = auto_seconds = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        mine_regions_with_report(tasks, miner, workers=0)
+        serial_seconds = min(serial_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        mine_regions_with_report(tasks, miner, workers=WORKERS_AUTO)
+        auto_seconds = min(auto_seconds, time.perf_counter() - started)
+    auto_ratio = serial_seconds / auto_seconds
     record(
         "parallel_mining",
         {
@@ -143,6 +162,9 @@ def test_parallel_region_fanout_speedup():
             "required_speedup": REQUIRED_MINING_SPEEDUP,
             "gate_workers": GATE_WORKERS,
             "gated": cpus >= GATE_WORKERS,
+            # Explicit skip provenance: None when the wall-clock gate ran,
+            # the skip reason otherwise (BENCH_core.json hygiene).
+            "gate_skipped": gate_skipped,
             "byte_identical": True,
             "auto_dispatch": dispatch,
             "auto_vs_serial": auto_ratio,
@@ -163,11 +185,8 @@ def test_parallel_region_fanout_speedup():
         f"workers='auto' ran {1 / auto_ratio:.2f}x slower than serial; "
         f"the dispatcher must stay within {REQUIRED_AUTO_RATIO}x"
     )
-    if cpus < GATE_WORKERS:
-        pytest.skip(
-            f"speedup gate needs >= {GATE_WORKERS} CPUs (runner has {cpus}); "
-            "scaling curve recorded, byte-identity and auto gates asserted"
-        )
+    if gate_skipped is not None:
+        pytest.skip(gate_skipped)
     speedup = timings[0] / timings[GATE_WORKERS]
     assert speedup >= REQUIRED_MINING_SPEEDUP, (
         f"{GATE_WORKERS}-worker fan-out only {speedup:.2f}x faster than serial; "

@@ -778,9 +778,19 @@ def _command_classify(args: argparse.Namespace) -> int:
     recipes = _parse_recipes(args)  # validate arguments before any compute
     service = _service_for(args)
     served = _serve_analysis(args, service)
-    classifier = CuisineClassifier.from_results(served.results)
-    for recipe, classification in zip(recipes, classifier.classify_batch(recipes)):
-        ranked = classification.ranked()[: max(1, args.top)]
+    if args.corpus is not None:
+        # An external corpus bypasses the cache, so its classifier cannot be
+        # keyed by config either: compile directly from the served results.
+        classifier = CuisineClassifier.from_results(served.results)
+    else:
+        classifier = service.classifier_for(
+            _config_from_args(args), results=served.results
+        )
+    top_k = max(1, args.top)
+    for recipe, classification in zip(
+        recipes, classifier.classify_batch(recipes, top_k=top_k)
+    ):
+        ranked = classification.ranked()
         scores = ", ".join(f"{name} ({score:.3f})" for name, score in ranked)
         print(f"{', '.join(recipe)} -> {scores}")
         if classification.unknown_items:

@@ -497,15 +497,24 @@ class AsyncQueryEngine:
         return self._engine
 
     async def _classify_batch(
-        self, recipes: Sequence[Sequence[str]]
+        self, recipes: Sequence[Sequence[str]], top_k: int | None = None
     ) -> list[Classification]:
         engine = await self.engine()
         if self._classifier is None:
+            # Route through the sync service's classifier cache: a warm
+            # sidecar is memory-mapped (zero matrix builds, shared across
+            # every executor thread); only a true miss compiles -- and the
+            # already-served results are injected so a miss never re-runs
+            # the pipeline.
             self._classifier = await self.service._run_blocking(
-                CuisineClassifier.from_results, engine.results
+                lambda: self.service.service.classifier_for(
+                    self.config, results=engine.results
+                )
             )
         classifier = self._classifier
-        return await self.service._run_blocking(classifier.classify_batch, recipes)
+        return await self.service._run_blocking(
+            lambda: classifier.classify_batch(recipes, top_k=top_k)
+        )
 
     async def nearest_cuisines(
         self, cuisine: str, *, k: int = 5, figure: str = "figure2"
@@ -554,10 +563,14 @@ class AsyncQueryEngine:
         )
 
     async def classify(
-        self, recipes: Sequence[Sequence[str]]
+        self, recipes: Sequence[Sequence[str]], *, top_k: int | None = None
     ) -> list[Classification]:
-        """Classify a batch of ingredient lists against the cached cuisines."""
-        return await self._classify_batch(recipes)
+        """Classify a batch of ingredient lists against the cached cuisines.
+
+        ``top_k`` keeps only the k best cuisines per recipe (deterministic
+        lexical tie-break); ``None`` returns the full per-cuisine scores.
+        """
+        return await self._classify_batch(recipes, top_k)
 
 
 # -- the HTTP/JSON front door ---------------------------------------------------------
@@ -889,8 +902,10 @@ class AnalysisServer:
                 raise _HttpError(
                     400, "recipes must be ingredient lists or comma-separated strings"
                 )
-        top = self._int(body, "top", 3)
-        classifications = await engine.classify(recipes)
+        top = max(1, self._int(body, "top", 3))
+        # top-k is pushed into the classifier: only the k best cuisines are
+        # ranked and materialised per recipe, which is the wire format too.
+        classifications = await engine.classify(recipes, top_k=top)
         results = []
         for recipe, classification in zip(recipes, classifications):
             results.append(
@@ -899,7 +914,7 @@ class AnalysisServer:
                     "best": classification.best,
                     "ranked": [
                         {"cuisine": name, "score": score}
-                        for name, score in classification.ranked()[: max(1, top)]
+                        for name, score in classification.ranked()
                     ],
                     "unknown_items": list(classification.unknown_items),
                 }

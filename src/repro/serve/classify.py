@@ -10,34 +10,98 @@ families at once:
   fingerprint contributes its signed authenticity (so conspicuously-avoided
   items vote *against* a cuisine).
 
-Both signals are precompiled into dense matrices when the classifier is
-built, which makes classification a single numpy pass:
+Both signals are precompiled once per analysis:
 
-    contains = (R @ P.T) == pattern_lengths          # B×V  @  V×P  -> B×P
-    scores   = contains @ S  +  R @ A                # pattern + authenticity
+* the pattern/item incidence matrix is a **packed bitset** (one bit per
+  item, ``uint8`` words), so containment is a popcount over ``AND``-ed
+  words -- ``contains[b, p] = popcount(recipe_bits & pattern_bits) ==
+  pattern_length`` -- run in cache-sized batch chunks;
+* the per-cuisine pattern supports and signed authenticities are dense
+  ``float32`` matrices, so both evidence families reduce to one BLAS
+  matmul each; the weighted combination happens in ``float64``.
 
-where ``R`` is the batch's binary item matrix, ``P`` the pattern/item
-incidence matrix, ``S`` the per-cuisine pattern supports and ``A`` the signed
-per-cuisine item authenticities.  A batch of thousands of recipes classifies
-in one shot -- no Python loop over recipes or patterns.
+The compiled form is also the **sidecar layout**: :meth:`CuisineClassifier.save`
+persists exactly these arrays (meta JSON written last, fingerprint-keyed),
+and :meth:`CuisineClassifier.load` memory-maps them back without ever
+rebuilding a dense matrix -- N serving workers share one page-cached copy,
+and a sidecar-loaded classifier scores byte-identically to a fresh
+:meth:`CuisineClassifier.from_results` compile because both run the same
+arithmetic over the same float32/bitset representation.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.results import AnalysisResults
-from repro.errors import ServeError
+from repro.errors import ServeError, SidecarError
+from repro.features.matrix import pack_rows, unpack_rows
+from repro.mining.bitmatrix import _replace_with, popcount
+from repro.obs import get_registry
 
-__all__ = ["Classification", "CuisineClassifier"]
+__all__ = [
+    "CLASSIFIER_SIDECAR_VERSION",
+    "Classification",
+    "CuisineClassifier",
+    "classifier_sidecar_paths",
+    "rank_scores",
+]
+
+#: Bump when the classifier sidecar layout changes; loaders reject others.
+CLASSIFIER_SIDECAR_VERSION = 1
+
+#: Obs counter incremented on every dense matrix compile (``__init__`` /
+#: ``from_results``); sidecar loads leave it untouched, which is what the
+#: zero-compile warm-path tests assert.
+COMPILE_COUNTER = "repro_classifier_compiles_total"
+
+_CLASSIFIER_SUFFIXES = {
+    "meta": ".meta.json",
+    "patterns": ".patterns.npy",
+    "supports": ".supports.npy",
+    "authenticity": ".authenticity.npy",
+}
+
+#: Byte budget for one containment chunk (recipes × patterns × words); keeps
+#: the AND/popcount temporaries cache-resident for any batch size.
+_CONTAINMENT_BUDGET = 1 << 23
+
+
+def classifier_sidecar_paths(prefix: Path | str) -> dict[str, Path]:
+    """The four files one persisted classifier occupies, keyed by role."""
+    prefix = Path(prefix)
+    return {
+        role: prefix.with_name(prefix.name + suffix)
+        for role, suffix in _CLASSIFIER_SUFFIXES.items()
+    }
+
+
+def rank_scores(
+    scores: dict[str, float], k: int | None = None
+) -> list[tuple[str, float]]:
+    """Cuisines best-first under the canonical ``(-score, name)`` tie-break.
+
+    The single source of truth for classification ordering: ``ranked()``,
+    ``best`` and every top-k surface (engine, HTTP, CLI) all order through
+    this helper, so ties always resolve lexically everywhere.
+    """
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked if k is None else ranked[: max(0, k)]
 
 
 @dataclass(frozen=True, slots=True)
 class Classification:
-    """The scored outcome for one recipe."""
+    """The scored outcome for one recipe.
+
+    ``scores`` holds one entry per requested cuisine -- every analysed
+    cuisine by default, only the k best when the classifier ran with
+    ``top_k`` -- in best-first insertion order.
+    """
 
     best: str
     scores: dict[str, float]
@@ -47,7 +111,13 @@ class Classification:
 
     def ranked(self) -> list[tuple[str, float]]:
         """Cuisines best-first (ties broken by name)."""
-        return sorted(self.scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return rank_scores(self.scores)
+
+    def top_k(self, k: int) -> list[tuple[str, float]]:
+        """The ``k`` best cuisines -- the first ``k`` entries of :meth:`ranked`."""
+        if k < 1:
+            raise ServeError("top_k requires k >= 1")
+        return rank_scores(self.scores, k)
 
     def to_dict(self) -> dict[str, object]:
         """The classification as one JSON-ready dict (scores best-first)."""
@@ -69,7 +139,8 @@ class CuisineClassifier:
         Relative weight of the two evidence families.  Pattern supports live
         in [0, 1] and per-recipe pattern counts vary, so each family's
         contribution is normalised by the recipe's own evidence mass before
-        weighting.
+        weighting.  The weights are scoring-time scalars -- they are *not*
+        part of the persisted sidecar, so one sidecar serves any weighting.
     """
 
     def __init__(
@@ -83,19 +154,82 @@ class CuisineClassifier:
         pattern_weight: float = 1.0,
         authenticity_weight: float = 1.0,
     ) -> None:
+        pattern_items = np.asarray(pattern_items)
+        if pattern_items.ndim != 2:
+            raise ServeError("pattern_items must be a 2-D pattern×item matrix")
+        self._finish(
+            cuisines,
+            vocabulary,
+            pack_rows(pattern_items),
+            np.ascontiguousarray(pattern_supports, dtype=np.float32),
+            np.ascontiguousarray(authenticity, dtype=np.float32),
+            pattern_weight,
+            authenticity_weight,
+        )
+        get_registry().counter(
+            COMPILE_COUNTER,
+            "Dense classifier matrix compiles (sidecar loads stay at zero).",
+        ).inc()
+
+    def _finish(
+        self,
+        cuisines: Sequence[str],
+        vocabulary: Sequence[str],
+        pattern_bits: np.ndarray,
+        pattern_supports: np.ndarray,
+        authenticity: np.ndarray,
+        pattern_weight: float,
+        authenticity_weight: float,
+    ) -> None:
+        """Shared field setup for both the dense and the sidecar path."""
+        pattern_weight = float(pattern_weight)
+        authenticity_weight = float(authenticity_weight)
         if pattern_weight < 0 or authenticity_weight < 0:
             raise ServeError("classifier weights must be non-negative")
         if pattern_weight == 0 and authenticity_weight == 0:
             raise ServeError("at least one classifier weight must be positive")
         self.cuisines = tuple(cuisines)
+        if not self.cuisines:
+            raise ServeError("the classifier needs at least one cuisine")
         self.vocabulary = tuple(vocabulary)
         self._item_index = {item: i for i, item in enumerate(self.vocabulary)}
-        self._pattern_items = pattern_items  # P×V binary
-        self._pattern_lengths = pattern_items.sum(axis=1)  # P
-        self._pattern_supports = pattern_supports  # P×C
-        self._authenticity = authenticity  # V×C signed
-        self.pattern_weight = float(pattern_weight)
-        self.authenticity_weight = float(authenticity_weight)
+        self._pattern_bits = pattern_bits  # P×W packed item incidence
+        self._pattern_lengths = popcount(pattern_bits).sum(axis=1, dtype=np.int64)
+        self._pattern_supports = pattern_supports  # P×C float32
+        self._authenticity = authenticity  # V×C float32, signed
+        self.pattern_weight = pattern_weight
+        self.authenticity_weight = authenticity_weight
+        # Column permutation into lexical cuisine order: a *stable* descending
+        # argsort over the permuted scores then realises the canonical
+        # (-score, name) order of rank_scores() without any per-row sort key.
+        lex = sorted(range(len(self.cuisines)), key=lambda c: self.cuisines[c])
+        self._lex_order = np.asarray(lex, dtype=np.int64)
+        self._lex_names = tuple(self.cuisines[c] for c in lex)
+
+    @classmethod
+    def _from_compiled(
+        cls,
+        cuisines: Sequence[str],
+        vocabulary: Sequence[str],
+        pattern_bits: np.ndarray,
+        pattern_supports: np.ndarray,
+        authenticity: np.ndarray,
+        *,
+        pattern_weight: float,
+        authenticity_weight: float,
+    ) -> "CuisineClassifier":
+        """Adopt already-compiled (typically memory-mapped) matrices as-is."""
+        self = cls.__new__(cls)
+        self._finish(
+            cuisines,
+            vocabulary,
+            pattern_bits,
+            pattern_supports,
+            authenticity,
+            pattern_weight,
+            authenticity_weight,
+        )
+        return self
 
     # -- construction -----------------------------------------------------------------
 
@@ -134,17 +268,17 @@ class CuisineClassifier:
 
         n_patterns = len(pattern_rows)
         n_items = len(ordered_vocabulary)
-        pattern_items = np.zeros((n_patterns, n_items), dtype=np.float64)
+        pattern_items = np.zeros((n_patterns, n_items), dtype=bool)
         for items, row in pattern_rows.items():
             for item in items:
-                pattern_items[row, item_index[item]] = 1.0
+                pattern_items[row, item_index[item]] = True
 
-        pattern_supports = np.zeros((n_patterns, len(cuisines)), dtype=np.float64)
+        pattern_supports = np.zeros((n_patterns, len(cuisines)), dtype=np.float32)
         for cuisine_index, per_cuisine in enumerate(supports):
             for row, support in per_cuisine.items():
                 pattern_supports[row, cuisine_index] = support
 
-        authenticity = np.zeros((n_items, len(cuisines)), dtype=np.float64)
+        authenticity = np.zeros((n_items, len(cuisines)), dtype=np.float32)
         for cuisine_index, cuisine in enumerate(cuisines):
             fingerprint = results.fingerprints.get(cuisine)
             if fingerprint is None:
@@ -164,64 +298,301 @@ class CuisineClassifier:
             authenticity_weight=authenticity_weight,
         )
 
-    # -- classification ---------------------------------------------------------------
+    # -- persistence ------------------------------------------------------------------
 
-    def classify_batch(
-        self, recipes: Sequence[Iterable[str]]
-    ) -> list[Classification]:
-        """Score a batch of ingredient lists in one numpy pass."""
-        if len(recipes) == 0:
-            return []
-        normalised = [[str(item) for item in recipe] for recipe in recipes]
-        batch = np.zeros((len(normalised), len(self.vocabulary)), dtype=np.float64)
-        unknown: list[tuple[str, ...]] = []
-        for row, items in enumerate(normalised):
-            missing: list[str] = []
-            for item in items:
-                index = self._item_index.get(item)
-                if index is None:
-                    missing.append(item)
-                else:
-                    batch[row, index] = 1.0
-            unknown.append(tuple(sorted(set(missing))))
+    def save(self, prefix: Path | str, *, fingerprint: str = "") -> Path:
+        """Persist as one memory-mappable sidecar (meta written last)."""
+        paths = classifier_sidecar_paths(prefix)
+        paths["meta"].parent.mkdir(parents=True, exist_ok=True)
+        _replace_with(paths["patterns"], np.ascontiguousarray(self._pattern_bits))
+        _replace_with(paths["supports"], np.ascontiguousarray(self._pattern_supports))
+        _replace_with(paths["authenticity"], np.ascontiguousarray(self._authenticity))
+        meta = {
+            "version": CLASSIFIER_SIDECAR_VERSION,
+            "kind": "classifier",
+            "fingerprint": fingerprint,
+            "cuisines": list(self.cuisines),
+            "vocabulary": list(self.vocabulary),
+            "n_patterns": int(self._pattern_bits.shape[0]),
+            "n_words": int(self._pattern_bits.shape[1]),
+        }
+        temp = paths["meta"].with_name(paths["meta"].name + ".tmp")
+        temp.write_text(json.dumps(meta, sort_keys=True), encoding="utf-8")
+        temp.replace(paths["meta"])
+        return paths["meta"]
 
-        # A pattern is contained when every one of its items is present.
-        overlap = batch @ self._pattern_items.T  # B×P
-        contains = (overlap == self._pattern_lengths[np.newaxis, :]).astype(np.float64)
-        pattern_scores = contains @ self._pattern_supports  # B×C
-        matched = contains.sum(axis=1)  # B
+    @classmethod
+    def load(
+        cls,
+        prefix: Path | str,
+        *,
+        mmap: bool = True,
+        expected_fingerprint: str | None = None,
+        pattern_weight: float = 1.0,
+        authenticity_weight: float = 1.0,
+    ) -> "CuisineClassifier":
+        """Load a classifier sidecar without any dense matrix build.
 
-        authenticity_scores = batch @ self._authenticity  # B×C
-
-        # Normalise each evidence family by the recipe's own evidence mass so
-        # long ingredient lists do not dominate purely by size.
-        pattern_norm = np.maximum(matched, 1.0)[:, np.newaxis]
-        item_counts = np.maximum(batch.sum(axis=1), 1.0)[:, np.newaxis]
-        scores = (
-            self.pattern_weight * pattern_scores / pattern_norm
-            + self.authenticity_weight * authenticity_scores / item_counts
+        Raises :class:`~repro.errors.SidecarError` when the sidecar is
+        missing, corrupt, the wrong layout version, or stale (fingerprint
+        mismatch); callers fall back to :meth:`from_results`.
+        """
+        paths = classifier_sidecar_paths(prefix)
+        try:
+            meta = json.loads(paths["meta"].read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise SidecarError(f"no classifier sidecar at {prefix}") from exc
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SidecarError(
+                f"unreadable classifier sidecar meta {paths['meta']}: {exc}"
+            ) from exc
+        if (
+            not isinstance(meta, dict)
+            or meta.get("version") != CLASSIFIER_SIDECAR_VERSION
+            or meta.get("kind") != "classifier"
+        ):
+            raise SidecarError(
+                f"unsupported classifier sidecar version {meta.get('version')!r} "
+                f"at {prefix}"
+            )
+        if (
+            expected_fingerprint is not None
+            and meta.get("fingerprint") != expected_fingerprint
+        ):
+            raise SidecarError(
+                f"stale classifier sidecar at {prefix}: corpus fingerprint changed"
+            )
+        mmap_mode = "r" if mmap else None
+        try:
+            pattern_bits = np.load(
+                paths["patterns"], mmap_mode=mmap_mode, allow_pickle=False
+            )
+            pattern_supports = np.load(
+                paths["supports"], mmap_mode=mmap_mode, allow_pickle=False
+            )
+            authenticity = np.load(
+                paths["authenticity"], mmap_mode=mmap_mode, allow_pickle=False
+            )
+        except (OSError, ValueError) as exc:
+            raise SidecarError(
+                f"unreadable classifier sidecar arrays at {prefix}: {exc}"
+            ) from exc
+        cuisines = tuple(str(name) for name in meta.get("cuisines", ()))
+        vocabulary = tuple(str(item) for item in meta.get("vocabulary", ()))
+        n_patterns = int(meta.get("n_patterns", -1))
+        n_words = int(meta.get("n_words", -1))
+        if (
+            not cuisines
+            or len(set(vocabulary)) != len(vocabulary)
+            or pattern_bits.ndim != 2
+            or pattern_bits.dtype != np.uint8
+            or pattern_bits.shape != (n_patterns, n_words)
+            or n_words != (len(vocabulary) + 7) // 8
+            or pattern_supports.shape != (n_patterns, len(cuisines))
+            or pattern_supports.dtype != np.float32
+            or authenticity.shape != (len(vocabulary), len(cuisines))
+            or authenticity.dtype != np.float32
+        ):
+            raise SidecarError(f"inconsistent classifier sidecar shapes at {prefix}")
+        used = len(vocabulary) - 8 * (n_words - 1)
+        if n_patterns and n_words and used < 8:
+            # Bits beyond the vocabulary must be zero; a set pad bit means the
+            # file does not match its meta (torn write, wrong array).
+            pad_mask = np.uint8((1 << (8 - used)) - 1)
+            if bool(np.any(pattern_bits[:, -1] & pad_mask)):
+                raise SidecarError(
+                    f"corrupt classifier sidecar at {prefix}: pad bits set"
+                )
+        return cls._from_compiled(
+            cuisines,
+            vocabulary,
+            pattern_bits,
+            pattern_supports,
+            authenticity,
+            pattern_weight=pattern_weight,
+            authenticity_weight=authenticity_weight,
         )
 
+    # -- classification ---------------------------------------------------------------
+
+    def _encode_batch(
+        self, recipes: Sequence[Iterable[str]]
+    ) -> tuple[np.ndarray, list[tuple[str, ...]]]:
+        """Recipes → boolean batch matrix plus per-recipe unknown items.
+
+        One index-array scatter fills the whole matrix; unknown items fall
+        out of a set difference against the vocabulary instead of a
+        per-item lookup loop.
+        """
+        batch = np.zeros((len(recipes), len(self.vocabulary)), dtype=bool)
+        unknown: list[tuple[str, ...]] = []
+        index = self._item_index
+        row_ids: list[int] = []
+        column_ids: list[int] = []
+        for row, recipe in enumerate(recipes):
+            present = {str(item) for item in recipe}
+            missing = present.difference(index)
+            if missing:
+                present.difference_update(missing)
+            unknown.append(tuple(sorted(missing)))
+            row_ids.extend([row] * len(present))
+            column_ids.extend(map(index.__getitem__, present))
+        if column_ids:
+            batch[
+                np.asarray(row_ids, dtype=np.int64),
+                np.asarray(column_ids, dtype=np.int64),
+            ] = True
+        return batch, unknown
+
+    def _containment(self, batch_bits: np.ndarray) -> np.ndarray:
+        """B×P boolean containment via chunked AND + popcount over bit words."""
+        n_recipes = batch_bits.shape[0]
+        n_patterns, n_words = self._pattern_bits.shape
+        contains = np.zeros((n_recipes, n_patterns), dtype=bool)
+        if n_patterns == 0 or n_words == 0:
+            # No patterns, or an empty vocabulary: zero-length patterns are
+            # vacuously contained.
+            contains[:] = self._pattern_lengths[np.newaxis, :] == 0
+            return contains
+        chunk = max(1, _CONTAINMENT_BUDGET // (n_patterns * n_words))
+        pattern_bits = self._pattern_bits[np.newaxis, :, :]
+        for start in range(0, n_recipes, chunk):
+            stop = min(start + chunk, n_recipes)
+            both = batch_bits[start:stop, np.newaxis, :] & pattern_bits
+            # Containment is pure equality -- (recipe AND pattern) == pattern
+            # word for word -- so no popcount or integer reduction is needed.
+            contains[start:stop] = (both == pattern_bits).all(axis=2)
+        return contains
+
+    def _score(
+        self, batch: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Scores (B×C float64), matched pattern counts, known item counts."""
+        batch_bits = np.packbits(batch, axis=1)
+        contains = self._containment(batch_bits)
+        matched = contains.sum(axis=1, dtype=np.int64)
+        known_counts = batch.sum(axis=1, dtype=np.int64)
+
+        pattern_scores = contains.astype(np.float32) @ self._pattern_supports
+        authenticity_scores = batch.astype(np.float32) @ self._authenticity
+
+        # Normalise each evidence family by the recipe's own evidence mass so
+        # long ingredient lists do not dominate purely by size; the weighted
+        # combination runs in float64 (the float32/float64 precision contract
+        # documented in docs/compute-core.md).
+        pattern_norm = np.maximum(matched, 1).astype(np.float64)[:, np.newaxis]
+        item_counts = np.maximum(known_counts, 1).astype(np.float64)[:, np.newaxis]
+        scores = (
+            self.pattern_weight * pattern_scores.astype(np.float64) / pattern_norm
+            + self.authenticity_weight
+            * authenticity_scores.astype(np.float64)
+            / item_counts
+        )
+        return scores, matched, known_counts
+
+    def classify_batch(
+        self, recipes: Sequence[Iterable[str]], *, top_k: int | None = None
+    ) -> list[Classification]:
+        """Score a batch of ingredient lists in one numpy pass.
+
+        With ``top_k=k`` each classification carries only the k best
+        cuisines (deterministic lexical tie-break); ``top_k=None`` keeps
+        every cuisine, preserving the full-output behaviour.
+        """
+        if top_k is not None and top_k < 1:
+            raise ServeError("top_k requires k >= 1")
+        if len(recipes) == 0:
+            return []
+        batch, unknown = self._encode_batch(recipes)
+        scores, matched, known_counts = self._score(batch)
+
+        # Rank every row at once: permute columns into lexical order, then a
+        # stable descending argsort realises the (-score, name) tie-break.
+        n_cuisines = len(self.cuisines)
+        limit = n_cuisines if top_k is None else min(top_k, n_cuisines)
+        lex_scores = scores[:, self._lex_order]
+        order = np.argsort(-lex_scores, axis=1, kind="stable")[:, :limit]
+
+        # Bulk-convert to Python objects once; per-element numpy scalar
+        # access would dominate the whole batch at serving batch sizes.
+        order_rows = order.tolist()
+        score_rows = lex_scores.tolist()
+        matched_list = matched.tolist()
+        known_list = known_counts.tolist()
+
+        names = self._lex_names
         classifications: list[Classification] = []
-        known_counts = batch.sum(axis=1).astype(int)
-        for row in range(scores.shape[0]):
-            row_scores = {
-                cuisine: float(scores[row, column])
-                for column, cuisine in enumerate(self.cuisines)
-            }
-            # argmax with deterministic tie-breaking by cuisine name.
-            best = min(row_scores, key=lambda name: (-row_scores[name], name))
+        for row, picked in enumerate(order_rows):
+            row_values = score_rows[row]
             classifications.append(
                 Classification(
-                    best=best,
-                    scores=row_scores,
-                    matched_patterns=int(matched[row]),
-                    known_items=int(known_counts[row]),
+                    best=names[picked[0]],
+                    scores={names[column]: row_values[column] for column in picked},
+                    matched_patterns=matched_list[row],
+                    known_items=known_list[row],
                     unknown_items=unknown[row],
                 )
             )
         return classifications
 
-    def classify(self, recipe: Iterable[str]) -> Classification:
+    def classify(
+        self, recipe: Iterable[str], *, top_k: int | None = None
+    ) -> Classification:
         """Score a single ingredient list."""
-        return self.classify_batch([list(recipe)])[0]
+        return self.classify_batch([list(recipe)], top_k=top_k)[0]
+
+    # -- the naive baseline -----------------------------------------------------------
+
+    def classify_batch_naive(
+        self, recipes: Sequence[Iterable[str]]
+    ) -> list[Classification]:
+        """Per-recipe reference scorer (Python loops over patterns and items).
+
+        Kept as the baseline the classify benchmark gates the vectorized
+        path against, and as an independent oracle for its scoring
+        semantics.  Accumulation order differs from the matmul path, so
+        scores agree to float32 round-off, not bit-for-bit.
+        """
+        vocabulary = self.vocabulary
+        n_cuisines = len(self.cuisines)
+        dense = unpack_rows(self._pattern_bits, len(vocabulary))
+        pattern_sets = [
+            frozenset(vocabulary[i] for i in np.flatnonzero(row)) for row in dense
+        ]
+        classifications: list[Classification] = []
+        for recipe in recipes:
+            items = {str(item) for item in recipe}
+            missing = items.difference(self._item_index)
+            known = items - missing
+            matched = 0
+            pattern_totals = [0.0] * n_cuisines
+            for row, pattern in enumerate(pattern_sets):
+                if pattern <= known:
+                    matched += 1
+                    for column in range(n_cuisines):
+                        pattern_totals[column] += float(self._pattern_supports[row, column])
+            authenticity_totals = [0.0] * n_cuisines
+            for item in known:
+                index = self._item_index[item]
+                for column in range(n_cuisines):
+                    authenticity_totals[column] += float(self._authenticity[index, column])
+            pattern_norm = float(max(matched, 1))
+            item_norm = float(max(len(known), 1))
+            scores = {
+                cuisine: (
+                    self.pattern_weight * pattern_totals[column] / pattern_norm
+                    + self.authenticity_weight * authenticity_totals[column] / item_norm
+                )
+                for column, cuisine in enumerate(self.cuisines)
+            }
+            ranked = rank_scores(scores)
+            classifications.append(
+                Classification(
+                    best=ranked[0][0],
+                    scores=scores,
+                    matched_patterns=matched,
+                    known_items=len(known),
+                    unknown_items=tuple(sorted(missing)),
+                )
+            )
+        return classifications

@@ -14,16 +14,20 @@ constantly, none of which should ever re-run the pipeline:
 
 All lookups run against the precomputed artifacts (distance matrices, mined
 patterns, fingerprints); nothing here touches the corpus or the miners.
-Batched recipe classification lives in :mod:`repro.serve.classify`.
+Batched recipe classification lives in :mod:`repro.serve.classify` and is
+surfaced here through :meth:`QueryEngine.classify` / ``classify_batch``
+(backed by one lazily-built -- or injected, typically sidecar-loaded --
+:class:`~repro.serve.classify.CuisineClassifier`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.results import AnalysisResults
 from repro.errors import ServeError
+from repro.serve.classify import Classification, CuisineClassifier
 
 __all__ = ["PatternHit", "QueryEngine"]
 
@@ -52,8 +56,36 @@ class QueryEngine:
 
     FIGURES = ("figure2", "figure3", "figure4", "figure5", "figure6")
 
-    def __init__(self, results: AnalysisResults) -> None:
+    def __init__(
+        self,
+        results: AnalysisResults,
+        *,
+        classifier: CuisineClassifier | None = None,
+    ) -> None:
         self.results = results
+        # Injected by the serve layer when a sidecar-loaded classifier is
+        # available; otherwise compiled lazily on the first classify call.
+        self._classifier = classifier
+
+    # -- classification ---------------------------------------------------------------
+
+    def classifier(self) -> CuisineClassifier:
+        """The engine's classifier, compiled on first use when not injected."""
+        if self._classifier is None:
+            self._classifier = CuisineClassifier.from_results(self.results)
+        return self._classifier
+
+    def classify_batch(
+        self, recipes: Sequence[Iterable[str]], *, top_k: int | None = None
+    ) -> list[Classification]:
+        """Score a batch of ingredient lists (``top_k`` keeps the k best)."""
+        return self.classifier().classify_batch(recipes, top_k=top_k)
+
+    def classify(
+        self, recipe: Iterable[str], *, top_k: int | None = None
+    ) -> Classification:
+        """Score one ingredient list against every analysed cuisine."""
+        return self.classifier().classify(recipe, top_k=top_k)
 
     # -- cuisine neighbourhoods -------------------------------------------------------
 

@@ -66,6 +66,7 @@ from repro.obs import get_registry, recent_traces
 from repro.recipedb.database import RecipeDatabase
 from repro.recipedb.io_json import corpus_fingerprint, load_json, save_json
 from repro.serve import codec
+from repro.serve.classify import CuisineClassifier
 from repro.serve.store import ArtifactStore
 
 __all__ = ["ServedAnalysis", "AnalysisService"]
@@ -79,6 +80,8 @@ MATRIX_FILE_SUFFIX = ".matrix"
 #: Directory suffix of the pre-PR-8 per-region sidecar layout; existing
 #: directories are swept away when the global sidecar replaces them.
 LEGACY_MATRIX_DIR_SUFFIX = ".matrices"
+#: Path suffix of the compiled-classifier sidecar (one per analysis key).
+CLASSIFIER_FILE_SUFFIX = ".classifier"
 
 _CORPUS_MEMORY_LIMIT = 4
 
@@ -160,6 +163,11 @@ class AnalysisService:
         # Corpus-matrix cache: corpus key -> (fingerprint, CorpusMatrix);
         # the arena every fresh mining pass slices its regions from.
         self._corpus_matrices: dict[str, tuple[str, CorpusMatrix]] = {}
+        # Classifier cache: (analysis key, weights) -> (fingerprint,
+        # CuisineClassifier); warm entries wrap the memmapped sidecar arrays.
+        self._classifiers: dict[
+            tuple[str, float, float], tuple[str, CuisineClassifier]
+        ] = {}
         # Corpus stage cache: corpus key -> (RecipeDatabase, per-region
         # TransactionDatabase map, corpus-file fingerprint).  The transaction
         # databases memoize their compiled bit matrices, so a min_support
@@ -348,6 +356,11 @@ class AnalysisService:
             "store_bytes": store.total_bytes(),
             "artifacts": artifacts,
             "counters": self.stats(),
+            "classifier": {
+                "cached": len(self._classifiers),
+                "compiles": store.stats.classifier_compiles,
+                "sidecar_loads": store.stats.classifier_sidecar_loads,
+            },
         }
         # The resilience / fault-injection wrappers (repro.serve.resilience,
         # repro.serve.faults) surface their state when present, so serve-stats
@@ -530,6 +543,98 @@ class AnalysisService:
             while len(self._corpus_matrices) > _CORPUS_MEMORY_LIMIT:
                 self._corpus_matrices.pop(next(iter(self._corpus_matrices)))
         return corpus_matrix
+
+    # -- the classifier sidecar -------------------------------------------------------
+
+    def classifier_path(self, config: AnalysisConfig) -> Path:
+        """Path prefix of the persisted classifier sidecar for *config*.
+
+        Keyed by the full analysis key (not just the corpus key): the
+        compiled matrices depend on mining parameters, so two configs over
+        the same corpus get distinct sidecars.
+        """
+        return self.store.aux_path(
+            f"{CORPUS_FILE_PREFIX}{codec.analysis_key(config)}{CLASSIFIER_FILE_SUFFIX}"
+        )
+
+    def _corpus_file_fingerprint(self, config: AnalysisConfig) -> str:
+        """Fingerprint of the persisted corpus file, or ``""`` without one."""
+        try:
+            path = self.corpus_path(config)
+        except ServeError:
+            return ""
+        if not path.exists():
+            return ""
+        return corpus_fingerprint(path)
+
+    def classifier_for(
+        self,
+        config: AnalysisConfig | None = None,
+        *,
+        results: AnalysisResults | None = None,
+        pattern_weight: float = 1.0,
+        authenticity_weight: float = 1.0,
+    ) -> CuisineClassifier:
+        """The classifier for *config*: memory, sidecar, or a fresh compile.
+
+        A warm hit memory-maps the ``corpus-<key>.classifier`` sidecar
+        (fingerprint-checked against the corpus file) and builds **zero**
+        dense matrices -- counted in ``stats()['classifier_sidecar_loads']``.
+        A miss compiles from *results* (served via :meth:`get_or_run` when
+        not supplied), counts a ``classifier_compiles``, and persists the
+        sidecar best-effort for the next worker.
+        """
+        config = config if config is not None else DEFAULT_CONFIG
+        key = codec.analysis_key(config)
+        cache_key = (key, float(pattern_weight), float(authenticity_weight))
+        fingerprint = self._corpus_file_fingerprint(config)
+
+        with self._lock:
+            cached = self._classifiers.get(cache_key)
+            if cached is not None and cached[0] == fingerprint:
+                return cached[1]
+
+        with self._corpus_lock(config):
+            with self._lock:
+                cached = self._classifiers.get(cache_key)
+                if cached is not None and cached[0] == fingerprint:
+                    return cached[1]
+
+            classifier: CuisineClassifier | None = None
+            prefix: Path | None = None
+            try:
+                prefix = self.classifier_path(config)
+                classifier = CuisineClassifier.load(
+                    prefix,
+                    mmap=True,
+                    expected_fingerprint=fingerprint,
+                    pattern_weight=pattern_weight,
+                    authenticity_weight=authenticity_weight,
+                )
+            except (SidecarError, ServeError):
+                classifier = None  # missing/stale sidecar or rootless backend
+            if classifier is not None:
+                self.store.stats.classifier_sidecar_loads += 1
+            else:
+                if results is None:
+                    results = self.get_or_run(config).results
+                classifier = CuisineClassifier.from_results(
+                    results,
+                    pattern_weight=pattern_weight,
+                    authenticity_weight=authenticity_weight,
+                )
+                self.store.stats.classifier_compiles += 1
+                if prefix is not None:
+                    try:
+                        classifier.save(prefix, fingerprint=fingerprint)
+                    except OSError:
+                        pass  # read-only store: keep serving from memory
+
+            with self._lock:
+                self._classifiers[cache_key] = (fingerprint, classifier)
+                while len(self._classifiers) > _CORPUS_MEMORY_LIMIT:
+                    self._classifiers.pop(next(iter(self._classifiers)))
+            return classifier
 
     # -- mining stage -----------------------------------------------------------------
 

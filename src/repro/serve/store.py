@@ -72,6 +72,8 @@ class StoreStats:
     coalesced_hits: int = 0
     background_refreshes: int = 0
     request_errors: int = 0
+    classifier_compiles: int = 0
+    classifier_sidecar_loads: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """Every counter as one JSON-ready dict (the ``serve-stats`` payload)."""
@@ -88,6 +90,8 @@ class StoreStats:
             "coalesced_hits": self.coalesced_hits,
             "background_refreshes": self.background_refreshes,
             "request_errors": self.request_errors,
+            "classifier_compiles": self.classifier_compiles,
+            "classifier_sidecar_loads": self.classifier_sidecar_loads,
         }
 
 

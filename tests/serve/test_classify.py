@@ -132,3 +132,48 @@ class TestEvidenceFamilies:
         result = classifier.classify(recipe)
         assert result.best == "Japanese"
         assert np.isfinite(list(result.scores.values())).all()
+
+
+class TestTopK:
+    def test_top_k_truncates_to_best(self, classifier, full_results):
+        recipe = signature_recipe(full_results, "Japanese")
+        full = classifier.classify(recipe)
+        top = classifier.classify(recipe, top_k=3)
+        assert top.ranked() == full.ranked()[:3]
+        assert top.best == full.best
+        assert len(top.scores) == 3
+
+    def test_top_k_none_keeps_every_cuisine(self, classifier, full_results):
+        recipe = signature_recipe(full_results, "Japanese")
+        result = classifier.classify(recipe, top_k=None)
+        assert set(result.scores) == set(classifier.cuisines)
+
+    def test_top_k_beyond_cuisine_count_is_full(self, classifier, full_results):
+        recipe = signature_recipe(full_results, "Japanese")
+        result = classifier.classify(recipe, top_k=10_000)
+        assert set(result.scores) == set(classifier.cuisines)
+
+    def test_top_k_must_be_positive(self, classifier):
+        with pytest.raises(ServeError):
+            classifier.classify(["rice"], top_k=0)
+        with pytest.raises(ServeError):
+            classifier.classify(["rice"]).top_k(0)
+
+
+class TestNaiveParity:
+    def test_vectorized_matches_naive_baseline(self, classifier, full_results):
+        """The matmul path agrees with the per-recipe Python reference."""
+        recipes = [
+            signature_recipe(full_results, cuisine)
+            for cuisine in list(full_results.regions())[:8]
+        ]
+        recipes.append(["unobtainium"])
+        recipes.append([])
+        fast = classifier.classify_batch(recipes)
+        slow = classifier.classify_batch_naive(recipes)
+        for a, b in zip(fast, slow):
+            assert a.matched_patterns == b.matched_patterns
+            assert a.known_items == b.known_items
+            assert a.unknown_items == b.unknown_items
+            assert a.scores == pytest.approx(b.scores, abs=1e-5)
+            assert a.best == b.best
