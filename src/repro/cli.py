@@ -70,6 +70,7 @@ from repro.serve.eviction import parse_policy
 from repro.serve.faults import FaultInjectingBackend, parse_fault_plan
 from repro.serve.migrate import migrate_backend
 from repro.serve.resilience import ResilientBackend, RetryPolicy
+from repro.serve.service import DEFAULT_LEASE_TTL, DEFAULT_LEASE_WAIT
 from repro.viz.ascii_dendrogram import render_dendrogram
 from repro.viz.report import write_report
 from repro.viz.tables import format_table
@@ -222,6 +223,28 @@ def build_parser() -> argparse.ArgumentParser:
             help="deterministic fault plan for chaos runs, e.g. "
                  "'read:1-2:oserror;write:%%3:locked' "
                  "(see docs/resilience.md for the grammar)",
+        )
+        sub.add_argument(
+            "--no-leases",
+            action="store_true",
+            help="disable store-level compute leases (fleet-wide "
+                 "single-compute coordination; on by default)",
+        )
+        sub.add_argument(
+            "--lease-ttl",
+            type=float,
+            default=DEFAULT_LEASE_TTL,
+            metavar="SECONDS",
+            help="compute-lease time to live; a crashed compute's key "
+                 f"becomes stealable after this long (default {DEFAULT_LEASE_TTL:g})",
+        )
+        sub.add_argument(
+            "--lease-wait",
+            type=float,
+            default=DEFAULT_LEASE_WAIT,
+            metavar="SECONDS",
+            help="max seconds a request waits for another process's compute "
+                 f"before a retryable 503 (default {DEFAULT_LEASE_WAIT:g})",
         )
 
     warm = subparsers.add_parser(
@@ -529,7 +552,13 @@ def _store_for(args: argparse.Namespace) -> ArtifactStore:
 
 
 def _service_for(args: argparse.Namespace) -> AnalysisService:
-    return AnalysisService(_store_for(args), workers=getattr(args, "workers", None))
+    return AnalysisService(
+        _store_for(args),
+        workers=getattr(args, "workers", None),
+        leases=not getattr(args, "no_leases", False),
+        lease_ttl=getattr(args, "lease_ttl", DEFAULT_LEASE_TTL),
+        lease_wait=getattr(args, "lease_wait", DEFAULT_LEASE_WAIT),
+    )
 
 
 def _serve_analysis(args: argparse.Namespace, service: AnalysisService):

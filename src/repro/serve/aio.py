@@ -616,9 +616,13 @@ class AnalysisServer:
 
     ``config`` accepts any subset of :class:`AnalysisConfig` fields (missing
     fields take their defaults, unknown fields are a 400).  Connections are
-    one-shot (``Connection: close``); the loop is stdlib-only by design --
-    the serving value lives in the coalescing layer underneath, not in HTTP
-    plumbing.  *request_limit* stops the server after N requests, which is
+    **persistent** (HTTP/1.1 keep-alive): Content-Length framing lets one
+    socket carry a whole request sequence, ``Connection: close`` (or
+    HTTP/1.0 without an opt-in) restores one-shot behaviour, and every error
+    response closes the connection since framing may be lost.  The loop is
+    stdlib-only by design -- the serving value lives in the coalescing layer
+    underneath, not in HTTP plumbing.  *request_limit* stops the server
+    after N requests (counted per request, not per connection), which is
     what the smoke tests and ``serve --max-requests`` use.
     """
 
@@ -679,30 +683,54 @@ class AnalysisServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        status, payload = 200, {}
+        """Serve one connection's request loop (HTTP/1.1 keep-alive).
+
+        Content-Length framing lets many requests ride one socket; the loop
+        runs until the client closes (EOF between requests), sends
+        ``Connection: close``, speaks HTTP/1.0 without opting in, or the
+        request limit lands.  Any error response closes the connection too:
+        after a framing failure (oversized or malformed body) the byte stream
+        is unsynchronized, and legacy one-shot clients read to EOF.
+        """
         try:
-            try:
-                method, path, body = await self._read_request(reader)
-                payload = await self._dispatch(method, path, body)
-            except _HttpError as exc:
-                status, payload = exc.status, {"error": exc.message}
-            except DeadlineError as exc:
-                # The compute is still running and will land in the cache;
-                # the client should retry, so this is 503 rather than 400.
-                status, payload = 503, {"error": str(exc), "retry": True}
-            except ReproError as exc:
-                status, payload = 400, {"error": str(exc)}
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:  # never let one request kill the loop
-                self._error_seq += 1
-                error_id = f"e{self._error_seq:06d}"
-                self.service.service.store.stats.request_errors += 1
-                status, payload = 500, {
-                    "error": f"internal error: {exc}",
-                    "error_id": error_id,
-                }
-            await self._write_response(writer, status, payload)
+            while True:
+                status, payload = 200, {}
+                keep_alive = False
+                try:
+                    request = await self._read_request(reader)
+                    if request is None:
+                        break  # clean EOF between requests
+                    method, path, body, keep_alive = request
+                    payload = await self._dispatch(method, path, body)
+                except _HttpError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except DeadlineError as exc:
+                    # The compute is still running and will land in the cache;
+                    # the client should retry, so this is 503 rather than 400.
+                    status, payload = 503, {"error": str(exc), "retry": True}
+                except ReproError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # never let one request kill the loop
+                    self._error_seq += 1
+                    error_id = f"e{self._error_seq:06d}"
+                    self.service.service.store.stats.request_errors += 1
+                    status, payload = 500, {
+                        "error": f"internal error: {exc}",
+                        "error_id": error_id,
+                    }
+                self.requests_served += 1
+                limit_hit = (
+                    self.request_limit is not None
+                    and self.requests_served >= self.request_limit
+                )
+                keep_alive = keep_alive and status < 400 and not limit_hit
+                await self._write_response(writer, status, payload, keep_alive)
+                if limit_hit:
+                    self._done.set()
+                if not keep_alive:
+                    break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
         finally:
@@ -711,25 +739,27 @@ class AnalysisServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-            self.requests_served += 1
-            if (
-                self.request_limit is not None
-                and self.requests_served >= self.request_limit
-            ):
-                self._done.set()
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict[str, object]]:
+    ) -> tuple[str, str, dict[str, object], bool] | None:
+        """One framed request: ``(method, path, body, keep_alive)``.
+
+        ``None`` means the client closed the connection cleanly before
+        sending another request -- the keep-alive loop's normal exit.
+        """
         request_line = await reader.readline()
         if not request_line:
-            raise _HttpError(400, "empty request")
+            return None
         if len(request_line) > _MAX_REQUEST_LINE:
             raise _HttpError(400, "request line too long")
         parts = request_line.decode("latin-1").strip().split()
         if len(parts) != 3:
             raise _HttpError(400, "malformed request line")
-        method, path, _version = parts
+        method, path, version = parts
+        # HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+        # Connection header overrides either way.
+        keep_alive = version.upper() == "HTTP/1.1"
         content_length = 0
         while True:
             line = await reader.readline()
@@ -738,11 +768,18 @@ class AnalysisServer:
             if len(line) > _MAX_REQUEST_LINE:
                 raise _HttpError(400, "header line too long")
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError as exc:
                     raise _HttpError(400, "bad Content-Length") from exc
+            elif name == "connection":
+                token = value.strip().lower()
+                if token == "close":
+                    keep_alive = False
+                elif token == "keep-alive":
+                    keep_alive = True
         if content_length > _MAX_BODY_BYTES:
             raise _HttpError(413, "request body too large")
         body: dict[str, object] = {}
@@ -755,18 +792,23 @@ class AnalysisServer:
             if not isinstance(parsed, dict):
                 raise _HttpError(400, "request body must be a JSON object")
             body = parsed
-        return method.upper(), path.split("?", 1)[0], body
+        return method.upper(), path.split("?", 1)[0], body, keep_alive
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload: Mapping[str, object]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Mapping[str, object],
+        keep_alive: bool = False,
     ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         reason = _REASONS.get(status, "OK")
+        connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n"
+            f"Connection: {connection}\r\n"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)

@@ -23,9 +23,12 @@ from repro.errors import ServeError
 from repro.serve.backends.base import (
     KEY_CHARS,
     BackendEntry,
+    Lease,
     StorageBackend,
     validate_key,
     validate_kind,
+    validate_owner,
+    validate_ttl,
 )
 from repro.serve.backends.directory import DEFAULT_SHARDS, DirectoryBackend
 from repro.serve.backends.memory import MemoryBackend
@@ -34,6 +37,7 @@ from repro.serve.backends.sqlite import SqliteBackend
 __all__ = [
     "StorageBackend",
     "BackendEntry",
+    "Lease",
     "DirectoryBackend",
     "SqliteBackend",
     "MemoryBackend",
@@ -44,6 +48,8 @@ __all__ = [
     "KEY_CHARS",
     "validate_kind",
     "validate_key",
+    "validate_owner",
+    "validate_ttl",
 ]
 
 SQLITE_FILENAME = "artifacts.sqlite"

@@ -9,10 +9,21 @@ corrupt out of the addressable namespace so the slot can be rewritten).
 Keys are hex digests and kinds are slugs, exactly as in the original flat
 directory store; the validators live here so every backend enforces the same
 namespace.
+
+Backends also own **compute leases** -- the fleet-wide single-compute
+primitive behind :meth:`StorageBackend.claim`.  A lease is an advisory,
+TTL-bounded claim on one ``(kind, key)`` slot: any process (on any host
+sharing the backend) either *wins* the claim and performs the compute, or
+loses and awaits the winner's artifact.  Leases live in a side namespace
+(a side table, dot-files, a side dict) so they are never confused with
+artifacts, never scanned, never evicted and never migrated.  An expired
+lease (a crashed holder) is stealable: the next :meth:`~StorageBackend.claim`
+atomically replaces it.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -22,9 +33,12 @@ from repro.errors import ServeError
 
 __all__ = [
     "BackendEntry",
+    "Lease",
     "StorageBackend",
     "validate_kind",
     "validate_key",
+    "validate_owner",
+    "validate_ttl",
     "KEY_CHARS",
 ]
 
@@ -43,6 +57,41 @@ def validate_key(key: str) -> str:
     if not key or not set(key) <= KEY_CHARS:
         raise ServeError(f"artifact key must be a hex digest, got {key!r}")
     return key
+
+
+def validate_owner(owner: str) -> str:
+    """Require *owner* to be a non-empty single-line token; returns it."""
+    if not owner or any(ch in owner for ch in "\r\n"):
+        raise ServeError(f"lease owner must be a non-empty token, got {owner!r}")
+    return owner
+
+
+def validate_ttl(ttl: float) -> float:
+    """Require *ttl* to be a positive number of seconds; returns it."""
+    ttl = float(ttl)
+    if not ttl > 0:
+        raise ServeError(f"lease ttl must be positive seconds, got {ttl!r}")
+    return ttl
+
+
+@dataclass(frozen=True, slots=True)
+class Lease:
+    """One live compute claim on an artifact slot.
+
+    ``owner`` identifies the claiming process (the service uses
+    ``host-pid-nonce``); ``expires_at`` is the wall-clock instant the claim
+    lapses and becomes stealable.  Leases are *advisory*: they coordinate
+    who computes, they never block reads or writes of the artifact itself.
+    """
+
+    kind: str
+    key: str
+    owner: str
+    expires_at: float
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether this lease has lapsed (and is therefore stealable)."""
+        return (time.time() if now is None else now) >= self.expires_at
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +147,52 @@ class StorageBackend(ABC):
     @abstractmethod
     def entries(self) -> Iterator[BackendEntry]:
         """Every stored artifact with its size and write time."""
+
+    # -- compute leases ---------------------------------------------------------------
+    #
+    # Contract (every backend, atomically with respect to concurrent
+    # claimants -- including claimants in other processes for the durable
+    # backends):
+    #
+    # * ``claim`` wins iff no *live* lease exists for the slot, replacing any
+    #   expired one (a steal).  A re-claim by the current live holder renews
+    #   and returns the lease (idempotent).  Losing returns ``None``.
+    # * ``renew`` extends a *live* lease held by ``owner``; an expired or
+    #   foreign lease is never renewed (``None``) -- a successor's steal can
+    #   therefore never be clobbered by a late renewal.
+    # * ``release`` removes the slot's lease iff ``owner`` holds it (live or
+    #   expired); a release after a successor stole the slot is a no-op.
+    # * ``lease`` reports the current *live* lease, or ``None``.
+    #
+    # ``now`` is injectable everywhere so lifecycle tests run on a fake
+    # clock; production callers leave it ``None`` (wall clock).
+
+    @abstractmethod
+    def claim(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        """Atomically claim the compute lease for ``(kind, key)``.
+
+        Returns the won :class:`Lease` (expiring ``ttl`` seconds from now),
+        or ``None`` when another owner holds a live lease.  An expired lease
+        is stolen; a live lease held by *owner* itself is renewed.
+        """
+
+    @abstractmethod
+    def renew(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        """Extend a live lease held by *owner*; ``None`` if not renewable."""
+
+    @abstractmethod
+    def release(self, kind: str, key: str, owner: str) -> bool:
+        """Drop the lease iff *owner* holds it; ``True`` when one was dropped."""
+
+    @abstractmethod
+    def lease(
+        self, kind: str, key: str, *, now: float | None = None
+    ) -> Lease | None:
+        """The current live lease on ``(kind, key)``, or ``None``."""
 
     def scan(self) -> Iterator[tuple[str, str]]:
         """Every stored ``(kind, key)`` pair (drives migration)."""

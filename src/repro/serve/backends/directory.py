@@ -11,12 +11,22 @@ existence probes, scans and deletes all fall back to ``root/<kind>-<key>.json``
 when the sharded path is absent), so a cache warmed before sharding keeps
 serving instead of silently recomputing; writes always go to the sharded
 location, and ``store-migrate --from-shards 0`` converts the layout properly.
+
+Compute leases are dot-prefixed lock files (``.lease-<kind>-<key>.json``)
+next to the slot's artifact.  A claim is an atomic ``os.link`` of a fully
+written temp file onto the lease name -- creation either succeeds whole or
+fails with ``FileExistsError``, so a reader can never observe a torn lease.
+Stealing an expired lease first renames it away (only one stealer wins the
+rename) and then re-runs the create, so concurrent stealers converge on one
+winner.  Dot-files are invisible to artifact scans, eviction and migration.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Iterator
 
@@ -24,12 +34,20 @@ from repro.errors import ServeError
 from repro.serve.backends.base import (
     KEY_CHARS,
     BackendEntry,
+    Lease,
     StorageBackend,
     validate_key,
     validate_kind,
+    validate_owner,
+    validate_ttl,
 )
 
 __all__ = ["DirectoryBackend", "DEFAULT_SHARDS", "AUXILIARY_PREFIXES"]
+
+#: How many create/inspect/steal rounds one claim attempt runs before
+#: conceding.  Each round loses only to another claimant making progress, so
+#: a small bound suffices; conceding is always safe (the claimant re-polls).
+_CLAIM_ROUNDS = 4
 
 DEFAULT_SHARDS = 256
 
@@ -86,7 +104,14 @@ class DirectoryBackend(StorageBackend):
         seen: set[str] = set()
         for pattern in patterns:
             for path in self.root.glob(pattern):
-                if path.name.startswith(AUXILIARY_PREFIXES) or path.name in seen:
+                # Dot-files are internal (lease lock files, temp files):
+                # pathlib's glob matches them, the artifact namespace excludes
+                # them.  Auxiliary files (corpus snapshots) are skipped too.
+                if (
+                    path.name.startswith(".")
+                    or path.name.startswith(AUXILIARY_PREFIXES)
+                    or path.name in seen
+                ):
                     continue
                 seen.add(path.name)
                 yield path
@@ -166,6 +191,132 @@ class DirectoryBackend(StorageBackend):
             except FileNotFoundError:
                 pass
         return existed
+
+    # -- compute leases ---------------------------------------------------------------
+
+    def lease_path(self, kind: str, key: str) -> Path:
+        """The on-disk lock file of one slot's compute lease."""
+        shard = self._shard_dir(validate_key(key))
+        return shard / f".lease-{validate_kind(kind)}-{key}.json"
+
+    def _read_lease_file(self, path: Path) -> tuple[str, float] | None:
+        """``(owner, expires_at)`` from one lease file, ``None`` if unreadable.
+
+        Lease files are created whole (linked from a fully written temp), so
+        an unreadable file means a racing steal/release, not a torn write.
+        """
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return str(payload["owner"]), float(payload["expires_at"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _write_lease_file(self, path: Path, owner: str, expires_at: float) -> bool:
+        """Atomically create *path* with the lease payload; False if it exists."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".lease-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump({"owner": owner, "expires_at": expires_at}, handle)
+            try:
+                os.link(temp_name, path)  # atomic create-with-content
+                return True
+            except FileExistsError:
+                return False
+        finally:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:  # pragma: no cover - raced cleanup
+                pass
+
+    def claim(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        owner, ttl = validate_owner(owner), validate_ttl(ttl)
+        now = time.time() if now is None else now
+        path = self.lease_path(kind, key)
+        expires_at = now + ttl
+        for round_number in range(_CLAIM_ROUNDS):
+            if self._write_lease_file(path, owner, expires_at):
+                return Lease(kind, key, owner, expires_at)
+            stored = self._read_lease_file(path)
+            if stored is None:
+                continue  # racing steal/release removed it; retry the create
+            held_by, held_until = stored
+            if held_until > now:
+                if held_by == owner:
+                    # Idempotent re-claim by the live holder: renew in place.
+                    renewed = self.renew(kind, key, owner, ttl, now=now)
+                    if renewed is not None:
+                        return renewed
+                    continue
+                return None
+            # Expired: steal by renaming the stale file away.  Only one
+            # stealer wins the rename; losers loop and contest the create.
+            tomb = path.with_name(f"{path.name}.stale-{os.getpid()}-{round_number}")
+            try:
+                os.rename(path, tomb)
+            except FileNotFoundError:
+                continue
+            try:
+                os.unlink(tomb)
+            except FileNotFoundError:  # pragma: no cover - raced cleanup
+                pass
+        return None
+
+    def renew(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        owner, ttl = validate_owner(owner), validate_ttl(ttl)
+        now = time.time() if now is None else now
+        path = self.lease_path(kind, key)
+        stored = self._read_lease_file(path)
+        if stored is None:
+            return None
+        held_by, held_until = stored
+        if held_by != owner or held_until <= now:
+            return None
+        expires_at = now + ttl
+        # Replace-not-create: os.replace is atomic, and the owner check above
+        # makes a clobbered steal window as narrow as one read (the holder
+        # renews well before expiry, so a racing steal implies a dead clock).
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".lease-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump({"owner": owner, "expires_at": expires_at}, handle)
+            os.replace(temp_name, path)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:
+                pass
+            return None
+        return Lease(kind, key, owner, expires_at)
+
+    def release(self, kind: str, key: str, owner: str) -> bool:
+        owner = validate_owner(owner)
+        path = self.lease_path(kind, key)
+        stored = self._read_lease_file(path)
+        if stored is None or stored[0] != owner:
+            return False  # not ours (possibly a successor's claim): never touch
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def lease(
+        self, kind: str, key: str, *, now: float | None = None
+    ) -> Lease | None:
+        now = time.time() if now is None else now
+        stored = self._read_lease_file(self.lease_path(kind, key))
+        if stored is None or stored[1] <= now:
+            return None
+        return Lease(kind, key, stored[0], stored[1])
 
     def quarantine(self, kind: str, key: str) -> None:
         path = self._stored_path(kind, key)

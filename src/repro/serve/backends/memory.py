@@ -13,15 +13,19 @@ silently served).
 
 from __future__ import annotations
 
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.serve.backends.base import (
     BackendEntry,
+    Lease,
     StorageBackend,
     validate_key,
     validate_kind,
+    validate_owner,
+    validate_ttl,
 )
 
 __all__ = ["MemoryBackend"]
@@ -46,6 +50,10 @@ class MemoryBackend(StorageBackend):
         self._clock = clock
         self._data: dict[tuple[str, str], tuple[str, float]] = {}
         self._quarantined: dict[tuple[str, str], str] = {}
+        # (kind, key) -> (owner, expires_at); mutated only under _lease_lock
+        # so claim/renew/release are compare-and-swap atomic across threads.
+        self._leases: dict[tuple[str, str], tuple[str, float]] = {}
+        self._lease_lock = threading.Lock()
 
     def read(self, kind: str, key: str) -> str | None:
         stored = self._data.get((validate_kind(kind), validate_key(key)))
@@ -68,6 +76,59 @@ class MemoryBackend(StorageBackend):
 
     def delete(self, kind: str, key: str) -> bool:
         return self._data.pop((validate_kind(kind), validate_key(key)), None) is not None
+
+    # -- compute leases ---------------------------------------------------------------
+
+    def claim(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        slot = (validate_kind(kind), validate_key(key))
+        owner, ttl = validate_owner(owner), validate_ttl(ttl)
+        now = self._clock() if now is None else now
+        with self._lease_lock:
+            stored = self._leases.get(slot)
+            if stored is not None and stored[1] > now and stored[0] != owner:
+                return None
+            # Cold slot, expired lease (steal), or idempotent re-claim by the
+            # live holder: all converge on owning a fresh lease.
+            expires_at = now + ttl
+            self._leases[slot] = (owner, expires_at)
+            return Lease(kind, key, owner, expires_at)
+
+    def renew(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        slot = (validate_kind(kind), validate_key(key))
+        owner, ttl = validate_owner(owner), validate_ttl(ttl)
+        now = self._clock() if now is None else now
+        with self._lease_lock:
+            stored = self._leases.get(slot)
+            if stored is None or stored[0] != owner or stored[1] <= now:
+                return None
+            expires_at = now + ttl
+            self._leases[slot] = (owner, expires_at)
+            return Lease(kind, key, owner, expires_at)
+
+    def release(self, kind: str, key: str, owner: str) -> bool:
+        slot = (validate_kind(kind), validate_key(key))
+        owner = validate_owner(owner)
+        with self._lease_lock:
+            stored = self._leases.get(slot)
+            if stored is None or stored[0] != owner:
+                return False  # a successor's claim is never clobbered
+            del self._leases[slot]
+            return True
+
+    def lease(
+        self, kind: str, key: str, *, now: float | None = None
+    ) -> Lease | None:
+        slot = (validate_kind(kind), validate_key(key))
+        now = self._clock() if now is None else now
+        with self._lease_lock:
+            stored = self._leases.get(slot)
+        if stored is None or stored[1] <= now:
+            return None
+        return Lease(kind, key, stored[0], stored[1])
 
     def quarantine(self, kind: str, key: str) -> None:
         stored = self._data.pop((kind, key), None)

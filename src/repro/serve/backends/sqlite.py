@@ -10,6 +10,13 @@ Quarantine moves a corrupt row into a ``quarantined_artifacts`` side table
 (replacing any stale quarantine of the same slot), preserving the bad payload
 for post-mortems exactly like the directory backend's ``*.json.corrupt``
 files.
+
+Compute leases are rows of a ``compute_leases`` side table, claimed inside
+one transaction: expire-sweep, ``INSERT OR IGNORE``, then read the winner
+back.  SQLite's write lock serializes the transaction across every process
+sharing the file (each process holds its own connection), so exactly one
+claimant in the whole fleet wins a cold slot -- the property the
+cross-process contention suite stresses.
 """
 
 from __future__ import annotations
@@ -24,12 +31,21 @@ from repro.errors import ServeError
 from repro.recipedb.io_sqlite import connect
 from repro.serve.backends.base import (
     BackendEntry,
+    Lease,
     StorageBackend,
     validate_key,
     validate_kind,
+    validate_owner,
+    validate_ttl,
 )
 
-__all__ = ["SqliteBackend", "ARTIFACT_SCHEMA_STATEMENTS"]
+__all__ = ["SqliteBackend", "ARTIFACT_SCHEMA_STATEMENTS", "BUSY_TIMEOUT_SECONDS"]
+
+#: How long a connection waits on another process's write lock before the
+#: driver raises "database is locked".  Claim transactions from a whole
+#: fleet serialize on this; leases are held for seconds, the *lock* only for
+#: microseconds, so a short bound rides out any realistic herd.
+BUSY_TIMEOUT_SECONDS = 5.0
 
 ARTIFACT_SCHEMA_STATEMENTS: tuple[str, ...] = (
     """
@@ -48,6 +64,15 @@ ARTIFACT_SCHEMA_STATEMENTS: tuple[str, ...] = (
         key            TEXT NOT NULL,
         payload        TEXT NOT NULL,
         quarantined_at REAL NOT NULL,
+        PRIMARY KEY (kind, key)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS compute_leases (
+        kind       TEXT NOT NULL,
+        key        TEXT NOT NULL,
+        owner      TEXT NOT NULL,
+        expires_at REAL NOT NULL,
         PRIMARY KEY (kind, key)
     )
     """,
@@ -76,6 +101,9 @@ class SqliteBackend(StorageBackend):
             connection = connect(self.path, check_same_thread=False)
             connection.execute("PRAGMA journal_mode = WAL")
             connection.execute("PRAGMA synchronous = NORMAL")
+            connection.execute(
+                f"PRAGMA busy_timeout = {int(BUSY_TIMEOUT_SECONDS * 1000)}"
+            )
             with connection:
                 for statement in ARTIFACT_SCHEMA_STATEMENTS:
                     connection.execute(statement)
@@ -160,6 +188,98 @@ class SqliteBackend(StorageBackend):
                     )
             except sqlite3.Error:  # pragma: no cover - quarantine is best-effort
                 pass
+
+    # -- compute leases ---------------------------------------------------------------
+
+    def _lease_transaction(self, statements) -> list:
+        """Run lease statements in ONE transaction; returns each cursor's rows."""
+        with self._lock:
+            connection = self._connect()
+            try:
+                with connection:
+                    return [
+                        connection.execute(sql, parameters).fetchall()
+                        for sql, parameters in statements
+                    ]
+            except sqlite3.Error as exc:
+                raise ServeError(f"sqlite artifact store {self.path}: {exc}") from exc
+
+    def claim(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        kind, key = validate_kind(kind), validate_key(key)
+        owner, ttl = validate_owner(owner), validate_ttl(ttl)
+        now = time.time() if now is None else now
+        expires_at = now + ttl
+        # One transaction: sweep an expired holder, race the insert, then
+        # read the winner back.  SQLite's file write lock makes this atomic
+        # across every process sharing the database.
+        rows = self._lease_transaction(
+            [
+                (
+                    "DELETE FROM compute_leases"
+                    " WHERE kind = ? AND key = ? AND expires_at <= ?",
+                    (kind, key, now),
+                ),
+                (
+                    "INSERT OR IGNORE INTO compute_leases"
+                    " (kind, key, owner, expires_at) VALUES (?, ?, ?, ?)",
+                    (kind, key, owner, expires_at),
+                ),
+                (
+                    # Idempotent re-claim: the live holder renews in place.
+                    "UPDATE compute_leases SET expires_at = ?"
+                    " WHERE kind = ? AND key = ? AND owner = ?",
+                    (expires_at, kind, key, owner),
+                ),
+                (
+                    "SELECT owner, expires_at FROM compute_leases"
+                    " WHERE kind = ? AND key = ?",
+                    (kind, key),
+                ),
+            ]
+        )
+        holder = rows[3]
+        if holder and str(holder[0][0]) == owner:
+            return Lease(kind, key, owner, float(holder[0][1]))
+        return None
+
+    def renew(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        kind, key = validate_kind(kind), validate_key(key)
+        owner, ttl = validate_owner(owner), validate_ttl(ttl)
+        now = time.time() if now is None else now
+        expires_at = now + ttl
+        cursor = self._execute(
+            "UPDATE compute_leases SET expires_at = ?"
+            " WHERE kind = ? AND key = ? AND owner = ? AND expires_at > ?",
+            (expires_at, kind, key, owner, now),
+        )
+        if cursor.rowcount > 0:
+            return Lease(kind, key, owner, expires_at)
+        return None
+
+    def release(self, kind: str, key: str, owner: str) -> bool:
+        cursor = self._execute(
+            "DELETE FROM compute_leases WHERE kind = ? AND key = ? AND owner = ?",
+            (validate_kind(kind), validate_key(key), validate_owner(owner)),
+        )
+        return cursor.rowcount > 0
+
+    def lease(
+        self, kind: str, key: str, *, now: float | None = None
+    ) -> Lease | None:
+        kind, key = validate_kind(kind), validate_key(key)
+        now = time.time() if now is None else now
+        row = self._execute(
+            "SELECT owner, expires_at FROM compute_leases"
+            " WHERE kind = ? AND key = ? AND expires_at > ?",
+            (kind, key, now),
+        ).fetchone()
+        if row is None:
+            return None
+        return Lease(kind, key, str(row[0]), float(row[1]))
 
     def quarantined(self) -> list[tuple[str, str]]:
         """Every quarantined ``(kind, key)`` pair (for tests and post-mortems)."""

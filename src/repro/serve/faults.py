@@ -13,7 +13,8 @@ Fault-plan grammar (full spec in ``docs/resilience.md``)::
 
     plan   := rule (";" rule)*
     rule   := op ":" when ":" action
-    op     := read | write | delete | exists | keys | entries | any
+    op     := read | write | delete | exists | keys | entries
+            | claim | renew | release | lease | any
               (aliases: get -> read, put -> write)
     when   := N        the Nth call of that op (1-based)
             | N-M      calls N through M inclusive
@@ -49,7 +50,7 @@ from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.errors import ServeError
-from repro.serve.backends.base import BackendEntry, StorageBackend
+from repro.serve.backends.base import BackendEntry, Lease, StorageBackend
 
 __all__ = [
     "FAULT_PLAN_ENV",
@@ -65,7 +66,19 @@ __all__ = [
 #: injected-fault paths run on every PR; ``--inject-faults`` overrides).
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
-_OPS = ("read", "write", "delete", "exists", "keys", "entries", "any")
+_OPS = (
+    "read",
+    "write",
+    "delete",
+    "exists",
+    "keys",
+    "entries",
+    "claim",
+    "renew",
+    "release",
+    "lease",
+    "any",
+)
 _OP_ALIASES = {"get": "read", "put": "write"}
 _ACTIONS = ("oserror", "locked", "latency", "torn")
 
@@ -388,6 +401,36 @@ class FaultInjectingBackend(StorageBackend):
         if rule is not None:
             self._raise(rule, "entries")
         return self.inner.entries()
+
+    def claim(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        rule = self._consult("claim", kind, key)
+        if rule is not None:
+            self._raise(rule, "claim")
+        return self.inner.claim(kind, key, owner, ttl, now=now)
+
+    def renew(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        rule = self._consult("renew", kind, key)
+        if rule is not None:
+            self._raise(rule, "renew")
+        return self.inner.renew(kind, key, owner, ttl, now=now)
+
+    def release(self, kind: str, key: str, owner: str) -> bool:
+        rule = self._consult("release", kind, key)
+        if rule is not None:
+            self._raise(rule, "release")
+        return self.inner.release(kind, key, owner)
+
+    def lease(
+        self, kind: str, key: str, *, now: float | None = None
+    ) -> Lease | None:
+        rule = self._consult("lease", kind, key)
+        if rule is not None:
+            self._raise(rule, "lease")
+        return self.inner.lease(kind, key, now=now)
 
     def quarantine(self, kind: str, key: str) -> None:
         # Quarantine is best-effort everywhere; faults are never injected

@@ -42,7 +42,7 @@ from pathlib import Path
 from typing import Callable, Iterator, TypeVar
 
 from repro.errors import ServeError
-from repro.serve.backends.base import BackendEntry, StorageBackend
+from repro.serve.backends.base import BackendEntry, Lease, StorageBackend
 
 __all__ = [
     "TRANSIENT_ERRORS",
@@ -226,6 +226,7 @@ class ResilienceStats:
     dropped_writes: int = 0  # writes dropped-but-counted (breaker open / exhausted)
     shed_ops: int = 0  # ops refused outright by the open breaker
     deadline_exceeded: int = 0  # ops whose retry budget hit the deadline
+    lease_fallbacks: int = 0  # claims/renews granted locally (coordination down)
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -236,6 +237,7 @@ class ResilienceStats:
             "dropped_writes": self.dropped_writes,
             "shed_ops": self.shed_ops,
             "deadline_exceeded": self.deadline_exceeded,
+            "lease_fallbacks": self.lease_fallbacks,
         }
 
 
@@ -253,6 +255,13 @@ class ResilientBackend(StorageBackend):
     entries    empty
     write      dropped, counted in ``stats.dropped_writes``
     delete     ``False``
+    claim      granted *locally* (optimistic lease, counted in
+               ``stats.lease_fallbacks``) -- with coordination down every
+               process computes for itself, i.e. pre-lease behaviour;
+               availability beats single-compute when the two conflict
+    renew      extended locally (same fallback, same counter)
+    release    ``False``
+    lease      ``None``
     ========== =====================================================
 
     Non-transient errors (validation, programming bugs) always propagate
@@ -425,6 +434,46 @@ class ResilientBackend(StorageBackend):
             "entries", lambda: list(self.inner.entries()), lambda: []
         )
         return iter(listed)
+
+    def claim(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        def degraded() -> Lease | None:
+            # Coordination is down: grant an optimistic local lease so the
+            # caller computes instead of waiting on an unreachable claim row.
+            # Every process degrades the same way, so the fleet falls back to
+            # pre-lease duplicate computes -- availability over coordination.
+            self._count("lease_fallbacks")
+            start = self._clock() if now is None else now
+            return Lease(kind, key, owner, start + ttl)
+
+        return self._guarded(
+            "claim", lambda: self.inner.claim(kind, key, owner, ttl, now=now), degraded
+        )
+
+    def renew(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        def degraded() -> Lease | None:
+            self._count("lease_fallbacks")
+            start = self._clock() if now is None else now
+            return Lease(kind, key, owner, start + ttl)
+
+        return self._guarded(
+            "renew", lambda: self.inner.renew(kind, key, owner, ttl, now=now), degraded
+        )
+
+    def release(self, kind: str, key: str, owner: str) -> bool:
+        return self._guarded(
+            "release", lambda: self.inner.release(kind, key, owner), lambda: False
+        )
+
+    def lease(
+        self, kind: str, key: str, *, now: float | None = None
+    ) -> Lease | None:
+        return self._guarded(
+            "lease", lambda: self.inner.lease(kind, key, now=now), lambda: None
+        )
 
     def quarantine(self, kind: str, key: str) -> None:
         # Best-effort by contract; a quarantine that fails transiently is

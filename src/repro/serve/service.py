@@ -42,6 +42,9 @@ effectiveness.
 
 from __future__ import annotations
 
+import os
+import secrets
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -51,7 +54,13 @@ from typing import Iterable
 from repro.core.config import AnalysisConfig, DEFAULT_CONFIG
 from repro.core.pipeline import CuisineClusteringPipeline
 from repro.core.results import AnalysisResults
-from repro.errors import PipelineError, SerializationError, ServeError, SidecarError
+from repro.errors import (
+    DeadlineError,
+    PipelineError,
+    SerializationError,
+    ServeError,
+    SidecarError,
+)
 from repro.mining.itemsets import MiningResult, TransactionDatabase, minimum_support_count
 from repro.mining.parallel import (
     ParallelMiningReport,
@@ -69,7 +78,14 @@ from repro.serve import codec
 from repro.serve.classify import CuisineClassifier
 from repro.serve.store import ArtifactStore
 
-__all__ = ["ServedAnalysis", "AnalysisService"]
+__all__ = [
+    "ServedAnalysis",
+    "AnalysisService",
+    "lease_owner_id",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_LEASE_WAIT",
+    "DEFAULT_LEASE_POLL",
+]
 
 ANALYSIS_KIND = "analysis"
 MINING_KIND = "mining"
@@ -84,6 +100,62 @@ LEGACY_MATRIX_DIR_SUFFIX = ".matrices"
 CLASSIFIER_FILE_SUFFIX = ".classifier"
 
 _CORPUS_MEMORY_LIMIT = 4
+
+#: How long one compute lease lives without a renewal.  The lease keeper
+#: renews every ttl/3, so a holder only expires when its process dies (or
+#: stalls for two-thirds of the TTL) -- that expiry is what makes a crashed
+#: winner's key stealable instead of wedged.
+DEFAULT_LEASE_TTL = 30.0
+#: How long a claim loser waits for the winner's artifact before giving up
+#: with :class:`~repro.errors.DeadlineError` (surfaced as a retryable 503).
+DEFAULT_LEASE_WAIT = 60.0
+#: Poll interval while waiting on another process's compute.
+DEFAULT_LEASE_POLL = 0.05
+
+
+def lease_owner_id() -> str:
+    """A fleet-unique lease owner token: ``host-pid-nonce``.
+
+    The nonce distinguishes two services in one process (and a recycled pid
+    on another host) -- a lease must never be releasable by anyone but the
+    exact service instance that claimed it.
+    """
+    return f"{socket.gethostname()}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+class _LeaseKeeper:
+    """Background renewal of one held lease while its compute runs.
+
+    Renews every ``ttl / 3`` so a *live* holder never expires mid-compute no
+    matter how long the pipeline takes; a holder that dies stops renewing and
+    lapses within one TTL, which is exactly the steal signal waiters poll
+    for.  Renewal failures are swallowed: the lease is advisory, and a lost
+    claim only costs a duplicate compute (never correctness).
+    """
+
+    def __init__(self, store: ArtifactStore, kind: str, key: str, owner: str, ttl: float) -> None:
+        self._store = store
+        self._kind = kind
+        self._key = key
+        self._owner = owner
+        self._ttl = ttl
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-keeper-{key[:12]}", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._ttl / 3.0):
+            try:
+                if self._store.renew(self._kind, self._key, self._owner, self._ttl) is None:
+                    return  # lost/expired: stop renewing, let a successor steal
+            except Exception:  # noqa: BLE001 - renewal is best-effort
+                continue  # transient backend fault: the next tick retries
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
 
 
 @dataclass(frozen=True, slots=True)
@@ -143,6 +215,10 @@ class AnalysisService:
         *,
         max_memory_entries: int = 8,
         workers: int | None = None,
+        leases: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        lease_wait: float = DEFAULT_LEASE_WAIT,
+        lease_poll: float = DEFAULT_LEASE_POLL,
     ) -> None:
         if store is None:
             store = ArtifactStore(
@@ -151,6 +227,16 @@ class AnalysisService:
         elif not isinstance(store, ArtifactStore):
             store = ArtifactStore(Path(store), max_memory_entries=max_memory_entries)
         self.store = store
+        if lease_ttl <= 0 or lease_wait <= 0 or lease_poll <= 0:
+            raise ServeError("lease ttl, wait and poll must all be positive seconds")
+        #: Fleet coordination: with leases on (the default), a cold compute
+        #: first claims the key's lease through the store backend, so N
+        #: processes sharing one backend perform exactly one compute per key.
+        self.leases = leases
+        self.lease_ttl = float(lease_ttl)
+        self.lease_wait = float(lease_wait)
+        self.lease_poll = float(lease_poll)
+        self.owner = lease_owner_id()
         #: Mining fan-out: 0 = serial, N = fixed process pool, ``"auto"``
         #: (also the default) = the measuring dispatcher decides per corpus;
         #: ``None`` defers to ``$REPRO_MINING_WORKERS``.
@@ -248,6 +334,14 @@ class AnalysisService:
                     workers=self.workers,
                 )
 
+        return self._cold_compute(config, key, started)
+
+    # -- fleet-coordinated cold path ---------------------------------------------------
+
+    def _compute_and_store(
+        self, config: AnalysisConfig, key: str, started: float
+    ) -> ServedAnalysis:
+        """Run the pipeline and persist the artifact (the uncoordinated tail)."""
         results, mining_reused, mining_incremental, worker_compiles = self._compute(
             config
         )
@@ -263,6 +357,124 @@ class AnalysisService:
             workers=self.workers,
             worker_compiles=worker_compiles,
         )
+
+    def _cold_compute(
+        self, config: AnalysisConfig, key: str, started: float
+    ) -> ServedAnalysis:
+        """One cold miss, coordinated fleet-wide through the store's leases.
+
+        Claim the key's compute lease; the winner computes (with a keeper
+        thread renewing the lease for the duration) and releases, every loser
+        polls for the winner's artifact.  A holder that dies stops renewing,
+        so its lease lapses within one TTL and a waiter steals the claim and
+        computes instead -- a crashed winner delays the answer, it never
+        wedges the key.  A loser still waiting at ``lease_wait`` raises
+        :class:`~repro.errors.DeadlineError`, which the HTTP front door maps
+        to a retryable 503.
+        """
+        if not self.leases:
+            return self._compute_and_store(config, key, started)
+        deadline = time.monotonic() + self.lease_wait
+        waited = False
+        while True:
+            lease = self.store.claim(ANALYSIS_KIND, key, self.owner, self.lease_ttl)
+            if lease is not None:
+                # Double-check under the lease: the previous holder may have
+                # published the artifact between our cold miss and this claim
+                # -- computing anyway would break exactly-one-compute.
+                served = self._from_backend(key, started)
+                if served is not None:
+                    self.store.release(ANALYSIS_KIND, key, self.owner)
+                    return served
+                self.store.stats.lease_claims += 1
+                get_registry().counter(
+                    "repro_serve_lease_claims_total",
+                    "Cold computes won through a store compute lease.",
+                ).inc()
+                if waited:
+                    # We only reach a successful claim after waiting when the
+                    # previous holder lapsed or quit without an artifact.
+                    self.store.stats.lease_steals += 1
+                    get_registry().counter(
+                        "repro_serve_lease_steals_total",
+                        "Compute leases stolen from expired (crashed) holders.",
+                    ).inc()
+                keeper = _LeaseKeeper(
+                    self.store, ANALYSIS_KIND, key, self.owner, self.lease_ttl
+                )
+                try:
+                    return self._compute_and_store(config, key, started)
+                finally:
+                    keeper.stop()
+                    try:
+                        self.store.release(ANALYSIS_KIND, key, self.owner)
+                    except Exception:  # noqa: BLE001 - release is best-effort
+                        pass  # an unreleased lease just expires one TTL later
+            if not waited:
+                waited = True
+                self.store.stats.lease_waits += 1
+                get_registry().counter(
+                    "repro_serve_lease_waits_total",
+                    "Cold requests that waited on another process's compute.",
+                ).inc()
+            served = self._await_artifact(key, started, deadline)
+            if served is not None:
+                return served
+            # No artifact and no live holder: the winner crashed or released
+            # empty-handed.  Loop and contest the (now stealable) claim.
+            if time.monotonic() >= deadline:
+                raise DeadlineError(
+                    f"gave up after {self.lease_wait:g}s contesting the "
+                    f"compute lease for analysis {key}; retry"
+                )
+
+    def _from_backend(self, key: str, started: float) -> ServedAnalysis | None:
+        """Decode the persisted artifact for *key* if a readable one exists.
+
+        Probes with :meth:`ArtifactStore.exists` first, so polling waiters
+        never inflate the store's miss counters; an undecodable artifact is
+        dropped (the caller recomputes it).
+        """
+        if not self.store.exists(ANALYSIS_KIND, key):
+            return None
+        payload = self.store.get(ANALYSIS_KIND, key)
+        if payload is None:
+            return None
+        try:
+            results = codec.results_from_dict(payload)
+        except ServeError:
+            self.store.delete(ANALYSIS_KIND, key)
+            return None
+        self._remember_decoded(key, results)
+        return ServedAnalysis(
+            results=results,
+            source="disk",
+            key=key,
+            elapsed_seconds=time.perf_counter() - started,
+            workers=self.workers,
+        )
+
+    def _await_artifact(
+        self, key: str, started: float, deadline: float
+    ) -> ServedAnalysis | None:
+        """Poll for another process's artifact until it lands or its holder dies.
+
+        Returns the decoded analysis when the winner's artifact appears,
+        ``None`` when the slot has no live lease left (caller re-claims), and
+        raises :class:`~repro.errors.DeadlineError` at *deadline*.
+        """
+        while True:
+            served = self._from_backend(key, started)
+            if served is not None:
+                return served
+            if self.store.lease(ANALYSIS_KIND, key) is None:
+                return None
+            if time.monotonic() + self.lease_poll > deadline:
+                raise DeadlineError(
+                    f"gave up after {self.lease_wait:g}s waiting for another "
+                    f"process to finish computing analysis {key}; retry"
+                )
+            time.sleep(self.lease_poll)
 
     def warm(self, configs: Iterable[AnalysisConfig] | AnalysisConfig) -> list[ServedAnalysis]:
         """Precompute (or touch) the cache for one or many configs."""
@@ -360,6 +572,16 @@ class AnalysisService:
                 "cached": len(self._classifiers),
                 "compiles": store.stats.classifier_compiles,
                 "sidecar_loads": store.stats.classifier_sidecar_loads,
+            },
+            "leases": {
+                "enabled": self.leases,
+                "owner": self.owner,
+                "ttl_seconds": self.lease_ttl,
+                "wait_seconds": self.lease_wait,
+                "poll_seconds": self.lease_poll,
+                "claims": store.stats.lease_claims,
+                "waits": store.stats.lease_waits,
+                "steals": store.stats.lease_steals,
             },
         }
         # The resilience / fault-injection wrappers (repro.serve.resilience,

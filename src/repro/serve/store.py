@@ -34,7 +34,7 @@ from typing import Callable
 
 from repro.errors import ServeError
 from repro.serve.backends import DirectoryBackend, StorageBackend
-from repro.serve.backends.base import validate_key, validate_kind
+from repro.serve.backends.base import Lease, validate_key, validate_kind
 from repro.serve.codec import dumps
 from repro.serve.eviction import EntryInfo, EvictionPolicy, LRU
 
@@ -58,6 +58,13 @@ class StoreStats:
     server answered with a 500 (each carries an ``error_id`` correlating the
     response with this counter).  All three stay 0 under purely synchronous
     serving.
+
+    The ``lease_*`` counters are written by the service layer's fleet
+    coordination (:mod:`repro.serve.service`): ``lease_claims`` counts cold
+    computes this process won the lease for, ``lease_waits`` counts cold
+    requests that lost the claim and waited for another process's artifact,
+    and ``lease_steals`` counts claims won by replacing an expired lease (a
+    crashed or stalled holder).
     """
 
     memory_hits: int = 0
@@ -74,6 +81,9 @@ class StoreStats:
     request_errors: int = 0
     classifier_compiles: int = 0
     classifier_sidecar_loads: int = 0
+    lease_claims: int = 0
+    lease_waits: int = 0
+    lease_steals: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """Every counter as one JSON-ready dict (the ``serve-stats`` payload)."""
@@ -92,6 +102,9 @@ class StoreStats:
             "request_errors": self.request_errors,
             "classifier_compiles": self.classifier_compiles,
             "classifier_sidecar_loads": self.classifier_sidecar_loads,
+            "lease_claims": self.lease_claims,
+            "lease_waits": self.lease_waits,
+            "lease_steals": self.lease_steals,
         }
 
 
@@ -327,6 +340,33 @@ class ArtifactStore:
         """Empty the memory front (backend artifacts stay)."""
         with self._lock:
             self._memory.clear()
+
+    # -- compute leases ---------------------------------------------------------------
+    #
+    # Pure delegation to the backend: leases never interact with the memory
+    # front (they coordinate *who computes*, not what is cached), so they
+    # deliberately bypass the store lock -- a claim poll must not serialize
+    # behind another thread's backend I/O.
+
+    def claim(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        """Claim the compute lease for ``(kind, key)`` (see backend contract)."""
+        return self._backend.claim(kind, key, owner, ttl, now=now)
+
+    def renew(
+        self, kind: str, key: str, owner: str, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        """Extend a live lease held by *owner*."""
+        return self._backend.renew(kind, key, owner, ttl, now=now)
+
+    def release(self, kind: str, key: str, owner: str) -> bool:
+        """Drop the slot's lease iff *owner* holds it."""
+        return self._backend.release(kind, key, owner)
+
+    def lease(self, kind: str, key: str, *, now: float | None = None) -> Lease | None:
+        """The current live lease on ``(kind, key)``, or ``None``."""
+        return self._backend.lease(kind, key, now=now)
 
     # -- internals --------------------------------------------------------------------
 

@@ -325,3 +325,140 @@ class TestErrorSurface:
         status, payload = serve(warm_cache, scenario)
         assert status == 400
         assert "distance_metrics" in payload["error"]
+
+
+# -- keep-alive wire behaviour --------------------------------------------------------
+
+
+def _frame(method, path, payload=None, connection=None, version="HTTP/1.1"):
+    """One Content-Length-framed request, ready to write on a live socket."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = f"{method} {path} {version}\r\nHost: test\r\nContent-Length: {len(body)}\r\n"
+    if connection is not None:
+        head += f"Connection: {connection}\r\n"
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+async def _read_framed(reader):
+    """One framed response: ``(status, headers, json body)`` -- no EOF needed."""
+    raw_head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=10)
+    lines = raw_head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if _:
+            headers[name.strip().lower()] = value.strip()
+    body = await asyncio.wait_for(
+        reader.readexactly(int(headers["content-length"])), timeout=10
+    )
+    return status, headers, json.loads(body)
+
+
+class TestKeepAlive:
+    def test_many_requests_ride_one_connection(self, warm_cache):
+        """HTTP/1.1 default: >= 8 framed requests served on a single socket."""
+
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            exchanges = []
+            for _ in range(8):
+                writer.write(_frame("GET", "/healthz"))
+                await writer.drain()
+                exchanges.append(await _read_framed(reader))
+            writer.close()
+            await writer.wait_closed()
+            return exchanges
+
+        exchanges = serve(warm_cache, scenario)
+        assert len(exchanges) == 8
+        for status, headers, payload in exchanges:
+            assert status == 200
+            assert headers["connection"] == "keep-alive"
+            assert payload["status"] == "ok"
+
+    def test_interleaved_analyze_and_stats_share_a_socket(self, warm_cache):
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            exchanges = []
+            for _ in range(4):
+                writer.write(
+                    _frame("POST", "/analyze", {"config": CONFIG_JSON})
+                )
+                await writer.drain()
+                exchanges.append(await _read_framed(reader))
+                writer.write(_frame("GET", "/stats"))
+                await writer.drain()
+                exchanges.append(await _read_framed(reader))
+            writer.close()
+            await writer.wait_closed()
+            return exchanges
+
+        exchanges = serve(warm_cache, scenario)
+        assert [status for status, _, _ in exchanges] == [200] * 8
+        analyses = exchanges[0::2]
+        stats = exchanges[1::2]
+        assert all(p["served"]["source"] in ("memory", "disk") for _, _, p in analyses)
+        assert all("counters" in p for _, _, p in stats)
+
+    def test_connection_close_is_honoured(self, warm_cache):
+        """An explicit ``Connection: close`` tears the socket down afterwards."""
+
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(_frame("GET", "/healthz", connection="close"))
+            await writer.drain()
+            status, headers, _ = await _read_framed(reader)
+            trailing = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            await writer.wait_closed()
+            return status, headers, trailing
+
+        status, headers, trailing = serve(warm_cache, scenario)
+        assert status == 200
+        assert headers["connection"] == "close"
+        assert trailing == b""  # server closed; nothing rides the socket after
+
+    def test_http_1_0_defaults_to_close(self, warm_cache):
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(_frame("GET", "/healthz", version="HTTP/1.0"))
+            await writer.drain()
+            status, headers, _ = await _read_framed(reader)
+            trailing = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            await writer.wait_closed()
+            return status, headers, trailing
+
+        status, headers, trailing = serve(warm_cache, scenario)
+        assert status == 200
+        assert headers["connection"] == "close"
+        assert trailing == b""
+
+    def test_oversized_body_is_413_and_closes_mid_stream(self, warm_cache):
+        """A huge Content-Length is refused before the body and ends the session."""
+
+        async def scenario(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            # Keep-alive request first: proves the same socket was persistent.
+            writer.write(_frame("GET", "/healthz"))
+            await writer.drain()
+            first_status, _, _ = await _read_framed(reader)
+            head = (
+                "POST /analyze HTTP/1.1\r\nHost: test\r\n"
+                f"Content-Length: {5 * 1024 * 1024}\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1"))  # never sends the body
+            await writer.drain()
+            status, headers, payload = await _read_framed(reader)
+            trailing = await asyncio.wait_for(reader.read(), timeout=10)
+            writer.close()
+            await writer.wait_closed()
+            return first_status, status, headers, payload, trailing
+
+        first_status, status, headers, payload, trailing = serve(warm_cache, scenario)
+        assert first_status == 200
+        assert status == 413
+        assert headers["connection"] == "close"
+        assert "too large" in payload["error"]
+        assert trailing == b""  # framing is void after an error: server closed

@@ -248,3 +248,77 @@ class TestBackendConstruction:
             store.path_for("analysis", KEY_A)
         sharded = ArtifactStore(tmp_path)
         assert sharded.path_for("analysis", KEY_A).name == f"analysis-{KEY_A}.json"
+
+
+class TestLeaseContract:
+    """Compute-lease parity: claim/renew/release/steal behave identically
+    across every backend (all take an injectable ``now`` for determinism)."""
+
+    def test_cold_claim_wins(self, any_backend):
+        lease = any_backend.claim("analysis", KEY_A, "alpha", 10.0, now=100.0)
+        assert lease is not None
+        assert (lease.owner, lease.expires_at) == ("alpha", 110.0)
+        assert not lease.expired(now=109.9)
+        assert lease.expired(now=110.0)
+
+    def test_live_lease_blocks_other_owners(self, any_backend):
+        assert any_backend.claim("analysis", KEY_A, "alpha", 10.0, now=100.0)
+        assert any_backend.claim("analysis", KEY_A, "beta", 10.0, now=105.0) is None
+        held = any_backend.lease("analysis", KEY_A, now=105.0)
+        assert held is not None and held.owner == "alpha"
+
+    def test_reclaim_by_live_holder_renews(self, any_backend):
+        assert any_backend.claim("analysis", KEY_A, "alpha", 10.0, now=100.0)
+        again = any_backend.claim("analysis", KEY_A, "alpha", 10.0, now=105.0)
+        assert again is not None and again.expires_at == 115.0
+
+    def test_expired_lease_is_stolen(self, any_backend):
+        assert any_backend.claim("analysis", KEY_A, "alpha", 5.0, now=100.0)
+        stolen = any_backend.claim("analysis", KEY_A, "beta", 5.0, now=106.0)
+        assert stolen is not None and stolen.owner == "beta"
+
+    def test_renew_requires_live_ownership(self, any_backend):
+        assert any_backend.claim("analysis", KEY_A, "alpha", 5.0, now=100.0)
+        assert any_backend.renew("analysis", KEY_A, "beta", 5.0, now=101.0) is None
+        assert any_backend.renew("analysis", KEY_A, "alpha", 5.0, now=106.0) is None
+        renewed = any_backend.renew("analysis", KEY_A, "alpha", 5.0, now=104.0)
+        assert renewed is not None and renewed.expires_at == 109.0
+
+    def test_release_only_drops_own_lease(self, any_backend):
+        assert any_backend.claim("analysis", KEY_A, "alpha", 5.0, now=100.0)
+        assert not any_backend.release("analysis", KEY_A, "beta")
+        assert any_backend.release("analysis", KEY_A, "alpha")
+        assert not any_backend.release("analysis", KEY_A, "alpha")
+        assert any_backend.lease("analysis", KEY_A, now=100.0) is None
+
+    def test_stale_release_never_clobbers_a_successor(self, any_backend):
+        assert any_backend.claim("analysis", KEY_A, "alpha", 5.0, now=100.0)
+        assert any_backend.claim("analysis", KEY_A, "beta", 5.0, now=106.0)
+        # alpha crashed, beta stole; alpha's late release must be a no-op.
+        assert not any_backend.release("analysis", KEY_A, "alpha")
+        held = any_backend.lease("analysis", KEY_A, now=107.0)
+        assert held is not None and held.owner == "beta"
+
+    def test_leases_are_slot_scoped(self, any_backend):
+        assert any_backend.claim("analysis", KEY_A, "alpha", 5.0, now=100.0)
+        assert any_backend.claim("analysis", KEY_B, "beta", 5.0, now=100.0)
+        assert any_backend.claim("mining", KEY_A, "gamma", 5.0, now=100.0)
+        assert any_backend.lease("analysis", KEY_A, now=101.0).owner == "alpha"
+        assert any_backend.lease("analysis", KEY_B, now=101.0).owner == "beta"
+        assert any_backend.lease("mining", KEY_A, now=101.0).owner == "gamma"
+
+    def test_leases_are_invisible_to_artifact_scans(self, any_backend):
+        any_backend.write("analysis", KEY_A, "{}")
+        assert any_backend.claim("analysis", KEY_B, "alpha", 60.0, now=100.0)
+        assert any_backend.keys("analysis") == [KEY_A]
+        assert {(e.kind, e.key) for e in any_backend.entries()} == {
+            ("analysis", KEY_A)
+        }
+
+    def test_bad_owner_and_ttl_rejected(self, any_backend):
+        with pytest.raises(ServeError):
+            any_backend.claim("analysis", KEY_A, "", 5.0)
+        with pytest.raises(ServeError):
+            any_backend.claim("analysis", KEY_A, "evil\nowner", 5.0)
+        with pytest.raises(ServeError):
+            any_backend.claim("analysis", KEY_A, "alpha", 0.0)

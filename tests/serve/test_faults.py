@@ -64,11 +64,24 @@ class TestPlanParsing:
             "read:1:latency",  # latency needs seconds
             "read:1:locked:arg",  # locked takes no argument
             "keys:1:torn",  # torn only applies to read/write
+            "claim:1:torn",  # lease ops are all-or-nothing, torn is meaningless
+            "renew:1:torn",
         ],
     )
     def test_bad_specs_rejected(self, spec):
         with pytest.raises(ServeError):
             parse_fault_plan(spec)
+
+    def test_lease_ops_parse_and_round_trip(self):
+        spec = "claim:%5:locked;renew:%7:oserror;release:1:oserror;lease:2+:locked"
+        plan = parse_fault_plan(spec)
+        assert [rule.op for rule in plan.rules] == [
+            "claim",
+            "renew",
+            "release",
+            "lease",
+        ]
+        assert plan.describe() == spec
 
     def test_resolve_falls_back_to_environment(self, monkeypatch):
         monkeypatch.setenv(FAULT_PLAN_ENV, "read:1:oserror")
@@ -167,6 +180,31 @@ class TestFaultInjectingBackend:
         assert report["plan"] == "read:1:oserror"
         assert report["injections"] == 1
         assert report["injected"] == [{"op": "read", "call": 1, "action": "oserror"}]
+
+    def test_lease_ops_are_faultable(self, any_backend):
+        faulty = FaultInjectingBackend(
+            any_backend, "claim:1:locked;renew:1:oserror;release:1:oserror"
+        )
+        with pytest.raises(sqlite3.OperationalError):
+            faulty.claim("analysis", KEY, "owner-a", 30.0)
+        # The fault consumed call 1; call 2 reaches the real backend.
+        lease = faulty.claim("analysis", KEY, "owner-a", 30.0, now=100.0)
+        assert lease is not None and lease.owner == "owner-a"
+        with pytest.raises(OSError):
+            faulty.renew("analysis", KEY, "owner-a", 30.0, now=101.0)
+        renewed = faulty.renew("analysis", KEY, "owner-a", 30.0, now=102.0)
+        assert renewed is not None and renewed.expires_at == 132.0
+        with pytest.raises(OSError):
+            faulty.release("analysis", KEY, "owner-a")
+        assert faulty.release("analysis", KEY, "owner-a")
+        assert faulty.calls("claim") == 2
+        assert len(faulty.injected) == 3
+
+    def test_lease_query_is_faultable(self):
+        faulty = FaultInjectingBackend(MemoryBackend(), "lease:1:oserror")
+        with pytest.raises(OSError):
+            faulty.lease("analysis", KEY)
+        assert faulty.lease("analysis", KEY) is None
 
     def test_quarantine_is_never_faulted(self):
         inner = MemoryBackend()
